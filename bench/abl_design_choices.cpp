@@ -1,0 +1,104 @@
+// Ablation bench: isolates the design choices the paper argues for in §2.
+//
+//   1. dynamic p_thred vs static thresholds {0.2, 0.5, 0.8}   (§2.2c)
+//   2. learning-curve predictor vs instantaneous last-value   (§2.2a)
+//   3. with vs without the domain-knowledge kill rule         (§2.1)
+//   4. with vs without opportunistic suspend/rotate           (§3.2 / §4)
+//
+// Each variant reports mean time-to-target over the same repeated CIFAR-10
+// experiments (trace-driven simulator, 4 machines).
+#include "bench_common.hpp"
+
+#include "core/policies/pop_policy.hpp"
+#include "sim/trace_replay.hpp"
+
+using namespace hyperdrive;
+
+namespace {
+
+struct AblResult {
+  double mean_minutes = 0.0;
+  double mean_predictions = 0.0;
+};
+
+AblResult mean_time_to_target(const workload::CifarWorkloadModel& model,
+                              const std::function<core::PopConfig(std::uint64_t)>& make_config) {
+  AblResult out;
+  constexpr int kRepeats = 5;
+  for (std::uint64_t r = 0; r < kRepeats; ++r) {
+    const auto trace = bench::suitable_trace(model, 100, 1500 + r * 41, 25);
+    core::PopPolicy policy(make_config(r));
+    sim::ReplayOptions options;
+    options.machines = 4;
+    options.max_experiment_time = util::SimTime::hours(200);
+    const auto result = sim::replay_experiment(trace, policy, options);
+    out.mean_minutes += result.reached_target ? result.time_to_target.to_minutes()
+                                              : result.total_time.to_minutes();
+    out.mean_predictions += static_cast<double>(policy.predictions_made());
+  }
+  out.mean_minutes /= kRepeats;
+  out.mean_predictions /= kRepeats;
+  return out;
+}
+
+core::PopConfig base_config(std::uint64_t seed) {
+  core::PopConfig config;
+  config.tmax = util::SimTime::hours(48);
+  config.predictor = core::make_default_predictor(seed);
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablations", "POP design choices (CIFAR-10, 4 machines, 5 repeats)");
+
+  workload::CifarWorkloadModel model;
+
+  const auto full = mean_time_to_target(model, base_config);
+  std::printf("  %-38s %8.1f min            (baseline, %.0f predictions)\n",
+              "POP (dynamic threshold, full)", full.mean_minutes, full.mean_predictions);
+
+  auto report = [&](const std::string& label, const AblResult& r) {
+    std::printf("  %-38s %8.1f min (%+6.1f%%) (%.0f predictions)\n", label.c_str(),
+                r.mean_minutes, 100.0 * (r.mean_minutes - full.mean_minutes) / full.mean_minutes,
+                r.mean_predictions);
+  };
+
+  for (const double thr : {0.2, 0.5, 0.8}) {
+    report("static p_thred = " + std::to_string(thr).substr(0, 3),
+           mean_time_to_target(model, [&](std::uint64_t seed) {
+             auto config = base_config(seed);
+             config.static_threshold = thr;
+             return config;
+           }));
+  }
+
+  report("instantaneous (last-value) predictor",
+         mean_time_to_target(model, [&](std::uint64_t seed) {
+           auto config = base_config(seed);
+           curve::PredictorConfig pc;
+           pc.seed = seed;
+           config.predictor = std::shared_ptr<const curve::CurvePredictor>(
+               curve::make_last_value_predictor(pc));
+           return config;
+         }));
+
+  report("no kill-threshold domain knowledge",
+         mean_time_to_target(model, [&](std::uint64_t seed) {
+           auto config = base_config(seed);
+           config.use_kill_threshold = false;
+           return config;
+         }));
+
+  report("no opportunistic rotation (no suspend)",
+         mean_time_to_target(model, [&](std::uint64_t seed) {
+           auto config = base_config(seed);
+           config.rotate_opportunistic = false;
+           return config;
+         }));
+
+  std::printf("\n(positive %% = slower than full POP; each §2 design choice should cost\n"
+              " time when removed)\n");
+  return 0;
+}

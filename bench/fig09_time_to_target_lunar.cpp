@@ -1,0 +1,47 @@
+// Figure 9: time to reach the LunarLander solved condition (sustained
+// average reward of 200) with 15 machines, repeated 5 times per policy.
+// Paper: POP's median is 2.07x faster than Bandit and 1.26x faster than
+// EarlyTerm, with variance 9.7x / 3.5x smaller.
+#include "bench_common.hpp"
+
+using namespace hyperdrive;
+
+int main() {
+  bench::print_header("Figure 9", "time to solved reward, LunarLander, 15 machines, 5 repeats");
+
+  workload::LunarWorkloadModel model;
+  constexpr int kRepeats = 5;
+
+  // One hyperparameter set, five repeats with fresh training noise (§6.1).
+  const auto base = bench::suitable_trace(model, 100, 2000, /*machines=*/15);
+
+  std::vector<double> medians, variances;
+  for (const auto kind : bench::evaluated_policies()) {
+    std::vector<double> minutes;
+    for (std::uint64_t r = 0; r < kRepeats; ++r) {
+      const auto trace = bench::renoise(model, base, 0xF169 ^ r);
+      core::RunnerOptions options;
+      options.machines = 15;
+      options.substrate = core::Substrate::Cluster;
+      options.overheads = cluster::lunar_criu_overhead_model();
+      options.seed = r;
+      options.max_experiment_time = util::SimTime::hours(96);
+      const auto result = core::run_experiment(trace, bench::policy_spec(kind, r), options);
+      minutes.push_back(result.reached_target ? result.time_to_target.to_minutes()
+                                              : result.total_time.to_minutes());
+    }
+    bench::print_box(std::string(core::to_string(kind)), minutes, "min");
+    medians.push_back(util::median(minutes));
+    variances.push_back(util::variance(minutes));
+  }
+
+  std::printf("\nmedian speedups: POP vs Bandit %.2fx (paper 2.07x), "
+              "POP vs EarlyTerm %.2fx (paper 1.26x)\n",
+              medians[1] / medians[0], medians[2] / medians[0]);
+  if (variances[0] > 0.0) {
+    std::printf("variance ratios: Bandit/POP %.1fx (paper 9.7x), EarlyTerm/POP %.1fx "
+                "(paper 3.5x)\n",
+                variances[1] / variances[0], variances[2] / variances[0]);
+  }
+  return 0;
+}

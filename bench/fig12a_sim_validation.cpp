@@ -1,0 +1,48 @@
+// Figure 12a: simulator validation. The paper compares its trace-driven
+// simulator against the live system on LunarLander with 15 machines and
+// reports a maximum error of 13%. Here the high-fidelity cluster (jitter,
+// suspend/resume and messaging overheads) plays the live system and the
+// idealized TraceReplaySimulator plays the simulator.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+using namespace hyperdrive;
+
+int main() {
+  bench::print_header("Figure 12a", "simulator vs 'live' cluster, LunarLander, 15 machines");
+
+  workload::LunarWorkloadModel model;
+  std::printf("policy      live(min)  sim(min)  error%%\n");
+  double max_error = 0.0;
+
+  for (const auto kind : bench::evaluated_policies()) {
+    double live_total = 0.0, sim_total = 0.0;
+    for (std::uint64_t r = 0; r < 5; ++r) {
+      const auto trace = bench::reachable_trace(model, 100, 1100 + r * 31);
+      core::RunnerOptions options;
+      options.machines = 15;
+      options.max_experiment_time = util::SimTime::hours(96);
+      options.seed = r;
+
+      options.substrate = core::Substrate::Cluster;
+      options.overheads = cluster::lunar_criu_overhead_model();
+      const auto live = core::run_experiment(trace, bench::policy_spec(kind, r), options);
+
+      options.substrate = core::Substrate::TraceReplay;
+      const auto sim = core::run_experiment(trace, bench::policy_spec(kind, r), options);
+
+      live_total += live.reached_target ? live.time_to_target.to_minutes()
+                                        : live.total_time.to_minutes();
+      sim_total += sim.reached_target ? sim.time_to_target.to_minutes()
+                                      : sim.total_time.to_minutes();
+    }
+    const double error =
+        live_total > 0.0 ? 100.0 * std::fabs(sim_total - live_total) / live_total : 0.0;
+    max_error = std::max(max_error, error);
+    std::printf("%-10s  %9.1f  %8.1f  %6.2f\n", std::string(core::to_string(kind)).c_str(),
+                live_total / 5.0, sim_total / 5.0, error);
+  }
+  std::printf("\nmax simulation error: %.2f%% (paper: 13%%)\n", max_error);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// §5.2 "Reduce total MCMC samples": the paper cut the predictor's MCMC
+// budget from 250,000 samples (nwalkers=100, nsamples=2500) to 70,000
+// (nwalkers=100, nsamples=700) for >2x prediction speedup without
+// significant policy degradation. This google-benchmark binary measures the
+// same trade-off for our predictor, plus the fast LSQ bootstrap used by the
+// simulation benches.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "curve/predictor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hyperdrive;
+
+std::vector<double> sample_history() {
+  // A realistic 30-epoch CIFAR-like prefix.
+  util::Rng rng(7);
+  std::vector<double> ys(30);
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    const double x = static_cast<double>(i + 1);
+    ys[i] = 0.72 - 0.62 * std::exp(-std::pow(0.06 * x, 1.1)) + rng.normal(0.0, 0.008);
+  }
+  return ys;
+}
+
+void run_mcmc(benchmark::State& state, std::size_t nwalkers, std::size_t nsamples) {
+  curve::PredictorConfig config;
+  config.mcmc.nwalkers = nwalkers;
+  config.mcmc.nsamples = nsamples;
+  config.mcmc.burn_in = nsamples / 4;
+  config.mcmc.thin = 10;
+  config.seed = 1;
+  const auto predictor = curve::make_mcmc_predictor(config);
+  const auto history = sample_history();
+  const std::vector<double> future = {120.0};
+
+  double last_prob = 0.0;
+  for (auto _ : state) {
+    // Vary the seed per iteration so caching cannot kick in.
+    curve::PredictorConfig c2 = config;
+    c2.seed = static_cast<std::uint64_t>(state.iterations());
+    const auto p = curve::make_mcmc_predictor(c2);
+    const auto pred = p->predict(history, future, 120.0);
+    last_prob = pred.prob_at_least(0, 0.7);
+    benchmark::DoNotOptimize(last_prob);
+  }
+  state.counters["P(y120>=0.7)"] = last_prob;
+  state.counters["total_samples"] = static_cast<double>(nwalkers * nsamples);
+}
+
+// The paper's original setting: nwalkers=100, nsamples=2500 (250k samples).
+void BM_McmcPredict_Full250k(benchmark::State& state) { run_mcmc(state, 100, 2500); }
+// The paper's optimized setting: nwalkers=100, nsamples=700 (70k samples).
+void BM_McmcPredict_Reduced70k(benchmark::State& state) { run_mcmc(state, 100, 700); }
+// The fast LSQ bootstrap used inside the trace-driven simulation benches.
+void BM_LsqPredict(benchmark::State& state) {
+  curve::PredictorConfig config;
+  config.seed = 1;
+  const auto history = sample_history();
+  const std::vector<double> future = {120.0};
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    curve::PredictorConfig c2 = config;
+    c2.seed = ++i;
+    const auto p = curve::make_lsq_predictor(c2);
+    const auto pred = p->predict(history, future, 120.0);
+    benchmark::DoNotOptimize(pred.prob_at_least(0, 0.7));
+  }
+}
+
+BENCHMARK(BM_McmcPredict_Full250k)->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(BM_McmcPredict_Reduced70k)->Unit(benchmark::kMillisecond)->Iterations(10);
+BENCHMARK(BM_LsqPredict)->Unit(benchmark::kMillisecond)->Iterations(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// §6.2.3 (in-text table): CIFAR-10 scheduling overhead under POP.
+// Paper: suspend latency avg 157.69 ms (sigma 72 ms, p95 219 ms, max 1.12 s);
+// snapshot size avg 357.67 KB (sigma 122.46 KB, p95 685.26 KB, max 686.06 KB);
+// overheads have negligible impact on end-to-end performance.
+#include "bench_common.hpp"
+
+using namespace hyperdrive;
+
+int main() {
+  bench::print_header("Table §6.2.3", "CIFAR-10 suspend/resume overhead under POP");
+
+  workload::CifarWorkloadModel model;
+  std::vector<double> latencies_ms, sizes_kb;
+  double with_overhead_min = 0.0, without_overhead_min = 0.0;
+
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto trace = bench::reachable_trace(model, 100, 800 + seed * 19);
+    core::RunnerOptions options;
+    options.machines = 4;
+    options.substrate = core::Substrate::Cluster;
+    options.seed = seed;
+    options.max_experiment_time = util::SimTime::hours(96);
+
+    const auto result = core::run_experiment(
+        trace, bench::policy_spec(core::PolicyKind::Pop, seed), options);
+    for (const auto& s : result.suspend_samples) {
+      latencies_ms.push_back(s.latency.to_milliseconds());
+      sizes_kb.push_back(s.snapshot_bytes / 1e3);
+    }
+    with_overhead_min += result.time_to_target.to_minutes();
+
+    // Same experiment with free suspends, to quantify the end-to-end cost.
+    options.overheads = cluster::zero_overhead_model();
+    const auto ideal = core::run_experiment(
+        trace, bench::policy_spec(core::PolicyKind::Pop, seed), options);
+    without_overhead_min += ideal.time_to_target.to_minutes();
+  }
+
+  if (latencies_ms.empty()) {
+    std::printf("no suspends occurred\n");
+    return 1;
+  }
+  std::printf("suspend latency: avg=%.2f ms sigma=%.2f p95=%.2f max=%.2f "
+              "(paper: 157.69 / 72 / 219 / 1120)\n",
+              util::mean(latencies_ms), util::stddev(latencies_ms),
+              util::percentile(latencies_ms, 95), util::max_of(latencies_ms));
+  std::printf("snapshot size:   avg=%.2f KB sigma=%.2f p95=%.2f max=%.2f "
+              "(paper: 357.67 / 122.46 / 685.26 / 686.06)\n",
+              util::mean(sizes_kb), util::stddev(sizes_kb), util::percentile(sizes_kb, 95),
+              util::max_of(sizes_kb));
+  std::printf("suspend events observed: %zu\n", latencies_ms.size());
+  const double slowdown =
+      without_overhead_min > 0 ? (with_overhead_min / without_overhead_min - 1.0) * 100.0
+                               : 0.0;
+  std::printf("end-to-end cost of overheads: %.2f%% (paper: negligible)\n", slowdown);
+  return 0;
+}

@@ -1,0 +1,244 @@
+// hyperdrive_cli — command-line experiment driver (the Experiment Runner
+// client of §4.2 ➀ as an executable).
+//
+//   hyperdrive_cli --workload cifar10 --policy pop --machines 4 --repeats 3
+//   hyperdrive_cli --workload lunarlander --policy bandit --substrate cluster
+//   hyperdrive_cli --workload ptb_lstm --policy hyperband --generator tpe
+//   hyperdrive_cli --help
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "core/experiment_runner.hpp"
+#include "core/policies/barrier_policy.hpp"
+#include "core/policies/hyperband_policy.hpp"
+#include "util/stats.hpp"
+#include "workload/cifar_model.hpp"
+#include "workload/lunar_model.hpp"
+#include "workload/ptb_lstm_model.hpp"
+
+using namespace hyperdrive;
+
+namespace {
+
+struct CliOptions {
+  std::string workload = "cifar10";
+  std::string policy = "pop";
+  std::string generator = "random";
+  std::string substrate = "replay";
+  std::string save_trace;
+  std::size_t machines = 4;
+  std::size_t configs = 100;
+  std::size_t repeats = 1;
+  std::uint64_t seed = 1;
+  double tmax_hours = 48.0;
+  bool stop_on_target = true;
+  bool barrier = false;
+  bool verbose = false;
+};
+
+void print_usage() {
+  std::printf(
+      "hyperdrive_cli — run a hyperparameter-exploration experiment\n\n"
+      "options (defaults in brackets):\n"
+      "  --workload cifar10|lunarlander|ptb_lstm   [cifar10]\n"
+      "  --policy pop|bandit|earlyterm|default|hyperband  [pop]\n"
+      "  --generator random|grid|adaptive|tpe      [random]\n"
+      "  --substrate replay|cluster                [replay]\n"
+      "  --machines N                              [4]\n"
+      "  --configs N                               [100]\n"
+      "  --repeats N   (fresh training noise each) [1]\n"
+      "  --seed S                                  [1]\n"
+      "  --tmax-hours H                            [48]\n"
+      "  --run-all     (don't stop at the target)\n"
+      "  --barrier     (barrier-like breadth-first epoch scheduling)\n"
+      "  --save-trace FILE  (write the trace CSV)\n"
+      "  --verbose\n"
+      "  --help\n");
+}
+
+bool parse_args(int argc, char** argv, CliOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      std::exit(0);
+    } else if (arg == "--workload") {
+      options.workload = next();
+    } else if (arg == "--policy") {
+      options.policy = next();
+    } else if (arg == "--generator") {
+      options.generator = next();
+    } else if (arg == "--substrate") {
+      options.substrate = next();
+    } else if (arg == "--machines") {
+      options.machines = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--configs") {
+      options.configs = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--repeats") {
+      options.repeats = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--tmax-hours") {
+      options.tmax_hours = std::strtod(next(), nullptr);
+    } else if (arg == "--run-all") {
+      options.stop_on_target = false;
+    } else if (arg == "--barrier") {
+      options.barrier = true;
+    } else if (arg == "--save-trace") {
+      options.save_trace = next();
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s (try --help)\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<workload::WorkloadModel> make_workload(const std::string& name) {
+  if (name == "cifar10") return std::make_unique<workload::CifarWorkloadModel>();
+  if (name == "lunarlander") return std::make_unique<workload::LunarWorkloadModel>();
+  if (name == "ptb_lstm") return std::make_unique<workload::PtbLstmWorkloadModel>();
+  std::fprintf(stderr, "unknown workload: %s\n", name.c_str());
+  std::exit(2);
+}
+
+std::unique_ptr<core::HyperparameterGenerator> make_generator(
+    const std::string& name, const workload::HyperparameterSpace& space,
+    std::uint64_t seed) {
+  if (name == "random") return core::make_random_generator(space, seed);
+  if (name == "grid") return core::make_grid_generator(space, 3);
+  if (name == "adaptive") return core::make_adaptive_generator(space, seed);
+  if (name == "tpe") return core::make_tpe_generator(space, seed);
+  std::fprintf(stderr, "unknown generator: %s\n", name.c_str());
+  std::exit(2);
+}
+
+std::unique_ptr<core::SchedulingPolicy> make_base_policy(const CliOptions& options,
+                                                         std::uint64_t repeat);
+
+std::unique_ptr<core::SchedulingPolicy> make_cli_policy(const CliOptions& options,
+                                                        std::uint64_t repeat) {
+  auto policy = make_base_policy(options, repeat);
+  if (options.barrier) {
+    return std::make_unique<core::BarrierPolicy>(std::move(policy));
+  }
+  return policy;
+}
+
+std::unique_ptr<core::SchedulingPolicy> make_base_policy(const CliOptions& options,
+                                                         std::uint64_t repeat) {
+  if (options.policy == "hyperband") {
+    return std::make_unique<core::HyperbandPolicy>();
+  }
+  core::PolicySpec spec;
+  if (options.policy == "pop") {
+    spec.kind = core::PolicyKind::Pop;
+  } else if (options.policy == "bandit") {
+    spec.kind = core::PolicyKind::Bandit;
+  } else if (options.policy == "earlyterm") {
+    spec.kind = core::PolicyKind::EarlyTerm;
+  } else if (options.policy == "default") {
+    spec.kind = core::PolicyKind::Default;
+  } else {
+    std::fprintf(stderr, "unknown policy: %s\n", options.policy.c_str());
+    std::exit(2);
+  }
+  const auto predictor = core::make_default_predictor(options.seed ^ repeat);
+  spec.pop.predictor = predictor;
+  spec.pop.tmax = util::SimTime::hours(options.tmax_hours);
+  spec.earlyterm.predictor = predictor;
+  return core::make_policy(spec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!parse_args(argc, argv, options)) return 2;
+
+  const auto model = make_workload(options.workload);
+  const auto generator =
+      make_generator(options.generator, model->space(), options.seed);
+  const auto base = core::trace_from_generator(*model, *generator, options.configs,
+                                               options.seed, /*report_feedback=*/true);
+  if (!options.save_trace.empty()) {
+    std::ofstream out(options.save_trace);
+    base.save_csv(out);
+    std::printf("trace written to %s\n", options.save_trace.c_str());
+  }
+
+  std::printf("workload=%s policy=%s generator=%s machines=%zu configs=%zu "
+              "substrate=%s repeats=%zu\n",
+              options.workload.c_str(), options.policy.c_str(), options.generator.c_str(),
+              options.machines, options.configs, options.substrate.c_str(),
+              options.repeats);
+  if (!base.target_reachable()) {
+    std::printf("note: no configuration in this set reaches the target %.3f\n",
+                base.target_performance);
+  }
+
+  std::vector<double> times_min;
+  for (std::uint64_t r = 0; r < options.repeats; ++r) {
+    workload::Trace trace = base;
+    if (r > 0) {
+      for (auto& job : trace.jobs) job.curve = model->realize(job.config, options.seed ^ r);
+    }
+    const auto policy = make_cli_policy(options, r);
+
+    core::ExperimentResult result;
+    if (options.substrate == "cluster") {
+      cluster::ClusterOptions copts;
+      copts.machines = options.machines;
+      copts.max_experiment_time = util::SimTime::hours(options.tmax_hours);
+      copts.stop_on_target = options.stop_on_target;
+      copts.seed = options.seed ^ r;
+      copts.overheads = options.workload == "lunarlander"
+                            ? cluster::lunar_criu_overhead_model()
+                            : cluster::cifar_overhead_model();
+      result = cluster::run_cluster_experiment(trace, *policy, copts);
+    } else {
+      sim::ReplayOptions ropts;
+      ropts.machines = options.machines;
+      ropts.max_experiment_time = util::SimTime::hours(options.tmax_hours);
+      ropts.stop_on_target = options.stop_on_target;
+      result = sim::replay_experiment(trace, *policy, ropts);
+    }
+
+    if (result.reached_target) times_min.push_back(result.time_to_target.to_minutes());
+    std::printf("repeat %llu: %s%s, best=%.3f, started=%zu terminated=%zu suspended=%zu, "
+                "machine-time=%s\n",
+                static_cast<unsigned long long>(r),
+                result.reached_target ? "target reached in " : "target not reached",
+                result.reached_target
+                    ? util::format_duration(result.time_to_target).c_str()
+                    : "",
+                result.best_perf, result.jobs_started, result.terminations,
+                result.suspends, util::format_duration(result.total_machine_time).c_str());
+    if (options.verbose) {
+      for (const auto& js : result.job_stats) {
+        if (js.epochs_completed == 0) continue;
+        std::printf("  job %4llu: %3zu epochs, %s, best %.3f\n",
+                    static_cast<unsigned long long>(js.job_id), js.epochs_completed,
+                    util::format_duration(js.execution_time).c_str(), js.best_perf);
+      }
+    }
+  }
+  if (times_min.size() > 1) {
+    std::printf("time-to-target over %zu successful repeats: %s [min]\n", times_min.size(),
+                util::to_string(util::box_stats(times_min)).c_str());
+  }
+  return 0;
+}

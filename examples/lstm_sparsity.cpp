@@ -1,0 +1,79 @@
+// Multi-metric exploration (§9 "Ongoing Work"): LSTM language models with
+// group-Lasso structural sparsity. The primary metric is perplexity; the
+// secondary metric is the fraction of zeroed LSTM groups. The model owner
+// wants BOTH: perplexity <= 100 and sparsity >= 0.5, and expresses that as
+//   * a global termination criterion (when to stop the whole experiment),
+//   * an owner rule (kill configurations whose lambda cannot deliver).
+#include <cmath>
+#include <cstdio>
+
+#include "core/experiment_runner.hpp"
+#include "core/policies/pop_policy.hpp"
+#include "sim/trace_replay.hpp"
+#include "workload/ptb_lstm_model.hpp"
+
+using namespace hyperdrive;
+
+int main() {
+  workload::PtbLstmWorkloadModel model;
+  const double ppl_goal = model.normalize_ppl(100.0);
+  constexpr double kSparsityGoal = 0.5;
+
+  // A candidate set where the joint goal is achievable.
+  workload::Trace trace;
+  for (std::uint64_t seed = 61;; ++seed) {
+    trace = workload::generate_trace(model, 100, seed);
+    bool ok = false;
+    for (const auto& job : trace.jobs) {
+      for (std::size_t e = 0; e < job.curve.perf.size() && !ok; ++e) {
+        ok = job.curve.perf[e] >= ppl_goal && job.curve.secondary[e] >= kSparsityGoal;
+      }
+    }
+    if (ok) break;
+  }
+
+  std::printf("goal: perplexity <= 100 AND group sparsity >= %.0f%%\n\n",
+              100.0 * kSparsityGoal);
+
+  core::PopConfig config;
+  config.tmax = util::SimTime::hours(96);
+  config.target = ppl_goal;  // POP steers the primary metric
+  config.predictor = core::make_default_predictor(2);
+  // Owner rule: by epoch 10 the sparsity ramp has shown its hand; a lambda
+  // far below the goal trajectory cannot recover — reclaim the machine.
+  config.owner_rule = [&](const core::JobEvent& event)
+      -> std::optional<core::JobDecision> {
+    if (event.epoch >= 10 && !std::isnan(event.secondary) &&
+        event.secondary < 0.4 * kSparsityGoal) {
+      return core::JobDecision::Terminate;
+    }
+    return std::nullopt;
+  };
+  core::PopPolicy policy(config);
+
+  sim::ReplayOptions options;
+  options.machines = 8;
+  options.max_experiment_time = util::SimTime::hours(96);
+  options.stop_criterion = [&](const core::JobEvent& event) {
+    return event.perf >= ppl_goal && !std::isnan(event.secondary) &&
+           event.secondary >= kSparsityGoal;
+  };
+  const auto result = sim::replay_experiment(trace, policy, options);
+
+  if (result.reached_target) {
+    const auto& winner = trace.jobs[result.winning_job - 1];
+    std::printf("joint goal met in %s by configuration #%llu:\n",
+                util::format_duration(result.time_to_target).c_str(),
+                static_cast<unsigned long long>(result.winning_job));
+    std::printf("  lambda      = %.2e\n", winner.config.get_double("lambda"));
+    std::printf("  perplexity  = %.1f (asymptotic)\n",
+                model.denormalize_ppl(winner.curve.final_perf()));
+    std::printf("  sparsity    = %.0f%% of LSTM groups zeroed\n",
+                100.0 * winner.curve.secondary.back());
+  } else {
+    std::printf("joint goal not met; best perplexity score %.3f\n", result.best_perf);
+  }
+  std::printf("jobs killed by the sparsity owner-rule or POP: %zu of %zu started\n",
+              result.terminations, result.jobs_started);
+  return 0;
+}

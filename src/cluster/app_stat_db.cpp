@@ -1,0 +1,37 @@
+#include "cluster/app_stat_db.hpp"
+
+namespace hyperdrive::cluster {
+
+const std::vector<AppStat> AppStatDb::kEmptyStats{};
+const std::vector<double> AppStatDb::kEmptyPerf{};
+
+void AppStatDb::record_stat(const AppStat& stat) {
+  stats_[stat.job_id].push_back(stat);
+  perf_[stat.job_id].push_back(stat.perf);
+}
+
+const std::vector<AppStat>& AppStatDb::stats(core::JobId job) const {
+  const auto it = stats_.find(job);
+  return it == stats_.end() ? kEmptyStats : it->second;
+}
+
+const std::vector<double>& AppStatDb::perf_history(core::JobId job) const {
+  const auto it = perf_.find(job);
+  return it == perf_.end() ? kEmptyPerf : it->second;
+}
+
+void AppStatDb::store_snapshot(ModelSnapshot snapshot) {
+  snapshots_[snapshot.job_id].push_back(snapshot);
+}
+
+std::optional<ModelSnapshot> AppStatDb::latest_snapshot(core::JobId job) const {
+  const auto it = snapshots_.find(job);
+  if (it == snapshots_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+void AppStatDb::record_suspend_sample(core::SuspendSample sample) {
+  suspend_samples_.push_back(sample);
+}
+
+}  // namespace hyperdrive::cluster

@@ -1,0 +1,69 @@
+// AppStat Database (§4.2 ➂): stores model-generated application statistics
+// (accuracy / reward, epoch durations) and the model-state snapshots that
+// make suspend/resume across machines possible. Shared between the SAP, the
+// Hyperparameter Generator and the training jobs.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cluster/resource_manager.hpp"
+#include "core/experiment_result.hpp"
+#include "core/sap.hpp"
+#include "util/sim_time.hpp"
+
+namespace hyperdrive::cluster {
+
+struct AppStat {
+  core::JobId job_id = 0;
+  std::size_t epoch = 0;
+  double perf = 0.0;
+  /// Optional secondary application metric (NaN when absent), §9.
+  double secondary = std::numeric_limits<double>::quiet_NaN();
+  util::SimTime epoch_duration = util::SimTime::zero();
+  MachineId node = 0;
+  util::SimTime reported_at = util::SimTime::zero();
+};
+
+struct ModelSnapshot {
+  core::JobId job_id = 0;
+  std::size_t epoch = 0;
+  /// Modeled on-the-wire size (framework/CRIU image, §6.2.3/§6.3.2). The
+  /// stored image below contains only the schedulable state and is usually
+  /// much smaller.
+  double size_bytes = 0.0;
+  /// Serialized schedulable state (SnapshotCodec format) used to actually
+  /// restore the job on resume.
+  std::vector<std::uint8_t> image;
+  util::SimTime stored_at = util::SimTime::zero();
+};
+
+class AppStatDb {
+ public:
+  void record_stat(const AppStat& stat);
+  [[nodiscard]] const std::vector<AppStat>& stats(core::JobId job) const;
+  /// Performance values only, in epoch order — what the SAP consumes.
+  [[nodiscard]] const std::vector<double>& perf_history(core::JobId job) const;
+
+  void store_snapshot(ModelSnapshot snapshot);
+  [[nodiscard]] std::optional<ModelSnapshot> latest_snapshot(core::JobId job) const;
+
+  /// Suspend overhead accounting (§6.2.3 study).
+  void record_suspend_sample(core::SuspendSample sample);
+  [[nodiscard]] const std::vector<core::SuspendSample>& suspend_samples() const noexcept {
+    return suspend_samples_;
+  }
+
+ private:
+  std::map<core::JobId, std::vector<AppStat>> stats_;
+  std::map<core::JobId, std::vector<double>> perf_;
+  std::map<core::JobId, std::vector<ModelSnapshot>> snapshots_;
+  std::vector<core::SuspendSample> suspend_samples_;
+  static const std::vector<AppStat> kEmptyStats;
+  static const std::vector<double> kEmptyPerf;
+};
+
+}  // namespace hyperdrive::cluster

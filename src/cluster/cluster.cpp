@@ -1,0 +1,400 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace hyperdrive::cluster {
+
+namespace {
+/// The RPC fabric inherits its latency model from the overhead model so the
+/// calibrated stat-report timings (§6.2.3) are preserved.
+MessageBusOptions bus_options_from(const OverheadModel& overheads) {
+  MessageBusOptions options;
+  options.latency_mu = overheads.stat_latency_s.mu;
+  options.latency_sigma = overheads.stat_latency_s.sigma;
+  options.latency_min_s = overheads.stat_latency_s.lo;
+  options.latency_max_s = overheads.stat_latency_s.hi;
+  options.bandwidth_bps = overheads.resume_bandwidth_bps;
+  return options;
+}
+
+/// Approximate serialized size of one application-stat RPC.
+constexpr double kStatRpcBytes = 256.0;
+}  // namespace
+
+HyperDriveCluster::HyperDriveCluster(const workload::Trace& trace, ClusterOptions options)
+    : trace_(trace),
+      options_(std::move(options)),
+      rm_(options_.machines),
+      jm_(trace),
+      rng_(util::derive_seed(options_.seed, 0xC105)),
+      bus_(simulation_, bus_options_from(options_.overheads), options_.seed) {
+  agents_.reserve(options_.machines);
+  for (std::size_t i = 0; i < options_.machines; ++i) {
+    agents_.emplace_back(static_cast<MachineId>(i));
+  }
+  // The scheduler receives application stats; the AppStatDB storage service
+  // receives snapshot uploads (it enqueues the suspended job once stored).
+  scheduler_endpoint_ = bus_.register_endpoint("scheduler", [this](const Message& m) {
+    const auto stat = std::static_pointer_cast<const AppStat>(m.payload);
+    if (stat) deliver_stat(*stat);
+  });
+  storage_endpoint_ = bus_.register_endpoint("appstatdb", [this](const Message& m) {
+    const auto snapshot = std::static_pointer_cast<const ModelSnapshot>(m.payload);
+    if (!snapshot) return;
+    const core::JobId id = snapshot->job_id;
+    db_.store_snapshot(*snapshot);
+    jm_.enqueue_idle(id);
+    release_and_allocate(id);
+  });
+}
+
+std::optional<core::JobId> HyperDriveCluster::get_idle_job() { return jm_.get_idle_job(); }
+
+bool HyperDriveCluster::start_job(core::JobId id) {
+  auto& job = jm_.job(id);
+  if (!job.idle) return false;
+  if (job.status != core::JobStatus::Pending && job.status != core::JobStatus::Suspended) {
+    return false;
+  }
+  const auto machine = rm_.reserve_idle_machine();
+  if (!machine) return false;
+
+  jm_.dequeue_idle(id);
+  job.machine = *machine;
+  auto& agent = agents_[*machine];
+
+  util::SimTime startup_cost;
+  if (job.status == core::JobStatus::Pending) {
+    startup_cost = options_.overheads.job_start_cost;
+    ++result_.jobs_started;
+  } else {
+    // Resume: ship the snapshot to the new host, restore (decode) the
+    // process state, and hand over the learning-curve history (§5.2).
+    SuspendOverheadSample snapshot_info;
+    if (const auto snapshot = db_.latest_snapshot(id)) {
+      snapshot_info.snapshot_bytes = snapshot->size_bytes;
+      const auto state = SnapshotCodec::decode(snapshot->image);
+      if (!state || state->job_id != id || state->epoch != job.epochs_done) {
+        throw std::logic_error("corrupt or mismatched job snapshot on resume");
+      }
+      agent.install_history(id, state->history);
+    } else {
+      agent.install_history(id, db_.perf_history(id));
+    }
+    startup_cost = options_.overheads.resume_cost(snapshot_info, rng_);
+  }
+  job.status = core::JobStatus::Running;
+  job.execution_time += startup_cost;
+  agent.note_busy(startup_cost);
+  simulation_.schedule_after(startup_cost, [this, id] { begin_epoch(id); });
+  return true;
+}
+
+void HyperDriveCluster::label_job(core::JobId job, double priority) {
+  jm_.label_job(job, priority);
+}
+
+core::JobStatus HyperDriveCluster::job_status(core::JobId job) const {
+  return jm_.job(job).status;
+}
+
+std::vector<core::JobId> HyperDriveCluster::active_jobs() const { return jm_.active_jobs(); }
+
+const std::vector<double>& HyperDriveCluster::perf_history(core::JobId job) const {
+  return db_.perf_history(job);
+}
+
+util::SimTime HyperDriveCluster::avg_epoch_duration(core::JobId job) const {
+  const auto& j = jm_.job(job);
+  if (j.epochs_done == 0) return util::SimTime::zero();
+  return j.training_time / static_cast<double>(j.epochs_done);
+}
+
+std::size_t HyperDriveCluster::epochs_done(core::JobId job) const {
+  return jm_.job(job).epochs_done;
+}
+
+void HyperDriveCluster::begin_epoch(core::JobId id) {
+  if (done_) return;
+  auto& job = jm_.job(id);
+  if (job.status != core::JobStatus::Running) return;
+  const double jitter =
+      options_.epoch_jitter_sigma > 0.0 ? rng_.lognormal(0.0, options_.epoch_jitter_sigma)
+                                        : 1.0;
+  const util::SimTime duration = job.spec->curve.epoch_duration * jitter;
+  job.epoch_started_at = simulation_.now();
+  job.epoch_in_flight = true;
+  job.pending_epoch =
+      simulation_.schedule_after(duration, [this, id] { complete_epoch(id); });
+}
+
+void HyperDriveCluster::complete_epoch(core::JobId id) {
+  if (done_) return;
+  auto& job = jm_.job(id);
+  if (job.status != core::JobStatus::Running || !job.machine) return;
+  const util::SimTime duration = simulation_.now() - job.epoch_started_at;
+  job.epoch_in_flight = false;
+  job.execution_time += duration;
+  job.training_time += duration;
+
+  auto& agent = agents_[*job.machine];
+  agent.note_busy(duration);
+  agent.note_epoch();
+
+  const double perf = job.spec->curve.perf.at(job.epochs_done);
+  ++job.epochs_done;
+  agent.append_history(id, perf);
+
+  AppStat stat;
+  stat.job_id = id;
+  stat.epoch = job.epochs_done;
+  stat.perf = perf;
+  if (!job.spec->curve.secondary.empty()) {
+    stat.secondary = job.spec->curve.secondary.at(job.epochs_done - 1);
+  }
+  stat.epoch_duration = duration;
+  stat.node = *job.machine;
+  stat.reported_at = simulation_.now();
+
+  // The stat report must be in flight before the machine can be released,
+  // otherwise a completing job could end the experiment with its final
+  // (possibly target-reaching) report undelivered. It travels as an RPC
+  // from the Node Agent to the scheduler (§5).
+  Message report;
+  report.type = MessageType::ReportStat;
+  report.from = static_cast<EndpointId>(*job.machine);
+  report.to = scheduler_endpoint_;
+  report.job_id = id;
+  report.payload_bytes = kStatRpcBytes;
+  report.payload = std::make_shared<const AppStat>(stat);
+  bus_.send(std::move(report));
+
+  if (job.epochs_done >= job.spec->curve.perf.size()) {
+    job.status = core::JobStatus::Completed;
+    release_and_allocate(id);
+  } else if (!options_.overlap_decisions && options_.decision_latency &&
+             trace_.evaluation_boundary > 0 &&
+             job.epochs_done % trace_.evaluation_boundary == 0) {
+    // Naive (non-overlapped) mode: the job idles on its machine until the
+    // prediction-based decision arrives; decide() resumes it.
+    job.waiting_decision = true;
+    job.wait_started_at = simulation_.now();
+  } else {
+    // Schedule-as-it-goes with overlapped decisions (§4.2/§5.2): training
+    // proceeds optimistically while the stat report and any prediction-based
+    // decision are in flight.
+    begin_epoch(id);
+  }
+}
+
+void HyperDriveCluster::deliver_stat(const AppStat& stat) {
+  if (done_) return;
+  db_.record_stat(stat);
+
+  core::JobEvent event;
+  event.job_id = stat.job_id;
+  event.epoch = stat.epoch;
+  event.perf = stat.perf;
+  event.secondary = stat.secondary;
+  event.epoch_duration = stat.epoch_duration;
+  event.now = simulation_.now();
+
+  policy_->on_application_stat(*this, event);
+
+  if (stat.perf > result_.best_perf) result_.best_perf = stat.perf;
+  const bool hit = options_.stop_criterion ? options_.stop_criterion(event)
+                                           : stat.perf >= trace_.target_performance;
+  if (options_.stop_on_target && hit) {
+    result_.reached_target = true;
+    result_.time_to_target = simulation_.now();
+    result_.winning_job = stat.job_id;
+    finish();
+    return;
+  }
+
+  // A decision is only worth computing for a job that is still running; a
+  // completed/terminated job's pending stat must not spawn a prediction that
+  // would needlessly extend the experiment.
+  if (jm_.job(stat.job_id).status != core::JobStatus::Running) return;
+
+  // Decision latency models the learning-curve prediction cost at
+  // evaluation-boundary epochs; elsewhere decisions are immediate.
+  util::SimTime decision_delay = util::SimTime::zero();
+  if (options_.decision_latency && trace_.evaluation_boundary > 0 &&
+      stat.epoch % trace_.evaluation_boundary == 0) {
+    decision_delay = options_.decision_latency(stat.job_id, stat.epoch, rng_);
+    if (stat.node < agents_.size()) agents_[stat.node].note_prediction();
+  }
+  if (decision_delay <= util::SimTime::zero()) {
+    decide(stat.job_id, event);
+  } else {
+    simulation_.schedule_after(decision_delay,
+                               [this, id = stat.job_id, event] { decide(id, event); });
+  }
+}
+
+void HyperDriveCluster::decide(core::JobId id, core::JobEvent event) {
+  if (done_) return;
+  auto& job = jm_.job(id);
+  // The job may have completed, been suspended, or been terminated by a
+  // decision for a later epoch while this one was in flight.
+  if (job.status != core::JobStatus::Running) return;
+
+  // Blocking mode: charge the machine-held wait time before acting.
+  if (job.waiting_decision) {
+    const util::SimTime wait = simulation_.now() - job.wait_started_at;
+    job.execution_time += wait;
+    if (job.machine) agents_[*job.machine].note_busy(wait);
+    job.waiting_decision = false;
+  }
+
+  const core::JobDecision decision = policy_->on_iteration_finish(*this, event);
+  switch (decision) {
+    case core::JobDecision::Continue:
+      // In overlapped mode training never stopped; in blocking mode resume
+      // the paused job now.
+      if (!job.epoch_in_flight && job.epochs_done < job.spec->curve.perf.size()) {
+        begin_epoch(id);
+      }
+      return;
+    case core::JobDecision::Suspend:
+      if (job.epochs_done >= job.spec->curve.perf.size()) return;  // done anyway
+      do_suspend(id);
+      return;
+    case core::JobDecision::Terminate:
+      do_terminate(id);
+      return;
+  }
+}
+
+void HyperDriveCluster::interrupt_training(ManagedJob& job) {
+  if (!job.epoch_in_flight) return;
+  // Abandon the partial epoch: it produced no validation point and its
+  // progress is not in the snapshot (which was taken at the last boundary).
+  simulation_.cancel(job.pending_epoch);
+  const util::SimTime partial = simulation_.now() - job.epoch_started_at;
+  job.execution_time += partial;
+  if (job.machine) agents_[*job.machine].note_busy(partial);
+  job.epoch_in_flight = false;
+}
+
+void HyperDriveCluster::do_suspend(core::JobId id) {
+  auto& job = jm_.job(id);
+  interrupt_training(job);
+  const SuspendOverheadSample overhead = options_.overheads.sample_suspend(rng_);
+
+  core::SuspendSample sample;
+  sample.job_id = id;
+  sample.latency = overhead.latency;
+  sample.snapshot_bytes = overhead.snapshot_bytes;
+  db_.record_suspend_sample(sample);
+  result_.suspend_samples.push_back(sample);
+  ++result_.suspends;
+  ++job.times_suspended;
+
+  job.status = core::JobStatus::Suspended;
+  job.execution_time += overhead.latency;
+  if (job.machine) agents_[*job.machine].note_busy(overhead.latency);
+
+  // The machine is occupied until the snapshot has been captured; the image
+  // is then shipped to the AppStatDB over the RPC fabric (§5.1: "captured
+  // model state ... sent to HyperDrive for storage"), whose handler stores
+  // it and releases the machine.
+  simulation_.schedule_after(overhead.latency, [this, id, overhead] {
+    auto& j = jm_.job(id);
+    auto snapshot = std::make_shared<ModelSnapshot>();
+    snapshot->job_id = id;
+    snapshot->epoch = j.epochs_done;
+    snapshot->size_bytes = overhead.snapshot_bytes;
+    // Serialize the actual schedulable state (§5.1): resume decodes this.
+    JobSnapshotState state;
+    state.job_id = id;
+    state.epoch = j.epochs_done;
+    state.config = j.spec->config;
+    state.history = db_.perf_history(id);
+    snapshot->image = SnapshotCodec::encode(state);
+    snapshot->stored_at = simulation_.now();
+
+    Message upload;
+    upload.type = MessageType::SnapshotUpload;
+    upload.from = j.machine ? static_cast<EndpointId>(*j.machine) : 0;
+    upload.to = storage_endpoint_;
+    upload.job_id = id;
+    upload.payload_bytes = overhead.snapshot_bytes;
+    upload.payload = std::move(snapshot);
+    bus_.send(std::move(upload));
+  });
+}
+
+void HyperDriveCluster::do_terminate(core::JobId id) {
+  auto& job = jm_.job(id);
+  interrupt_training(job);
+  job.status = core::JobStatus::Terminated;
+  ++result_.terminations;
+  release_and_allocate(id);
+}
+
+void HyperDriveCluster::release_and_allocate(core::JobId id) {
+  auto& job = jm_.job(id);
+  if (job.machine) {
+    rm_.release_machine(*job.machine);
+    job.machine.reset();
+  }
+  if (done_) return;
+  policy_->on_allocate(*this);
+  maybe_finish();
+}
+
+void HyperDriveCluster::maybe_finish() {
+  if (rm_.idle() == rm_.total() && simulation_.events_pending() == 0) finish();
+}
+
+void HyperDriveCluster::finish() {
+  if (done_) return;
+  done_ = true;
+  simulation_.stop();
+}
+
+core::ExperimentResult HyperDriveCluster::run(core::SchedulingPolicy& policy) {
+  policy_ = &policy;
+  result_ = core::ExperimentResult{};
+  result_.policy_name = std::string(policy.name());
+
+  policy.on_experiment_start(*this);
+  policy.on_allocate(*this);
+  if (rm_.idle() == rm_.total() && simulation_.events_pending() == 0) {
+    result_.total_time = util::SimTime::zero();
+    return result_;
+  }
+  simulation_.run_until(options_.max_experiment_time);
+
+  result_.total_time = done_ ? simulation_.now()
+                             : std::min(simulation_.now(), options_.max_experiment_time);
+  for (const auto& [id, job] : jm_.all()) {
+    core::JobRunStats stats;
+    stats.job_id = id;
+    stats.execution_time = job.execution_time;
+    stats.epochs_completed = job.epochs_done;
+    stats.times_suspended = job.times_suspended;
+    stats.final_status = job.status;
+    const auto& history = db_.perf_history(id);
+    stats.best_perf =
+        history.empty() ? 0.0 : *std::max_element(history.begin(), history.end());
+    result_.total_machine_time += job.execution_time;
+    result_.job_stats.push_back(stats);
+  }
+  policy_ = nullptr;
+  return result_;
+}
+
+core::ExperimentResult run_cluster_experiment(const workload::Trace& trace,
+                                              core::SchedulingPolicy& policy,
+                                              const ClusterOptions& options) {
+  HyperDriveCluster cluster(trace, options);
+  return cluster.run(policy);
+}
+
+}  // namespace hyperdrive::cluster

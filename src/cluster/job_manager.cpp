@@ -1,0 +1,67 @@
+#include "cluster/job_manager.hpp"
+
+#include <stdexcept>
+
+namespace hyperdrive::cluster {
+
+JobManager::JobManager(const workload::Trace& trace) {
+  for (const auto& spec : trace.jobs) {
+    ManagedJob job;
+    job.id = spec.job_id;
+    job.spec = &spec;
+    job.idle_seq = idle_counter_++;
+    jobs_.emplace(job.id, std::move(job));
+  }
+}
+
+ManagedJob& JobManager::job(core::JobId id) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw std::out_of_range("unknown job id");
+  return it->second;
+}
+
+const ManagedJob& JobManager::job(core::JobId id) const {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw std::out_of_range("unknown job id");
+  return it->second;
+}
+
+std::optional<core::JobId> JobManager::get_idle_job() const {
+  const ManagedJob* best = nullptr;
+  for (const auto& [id, job] : jobs_) {
+    if (!job.idle) continue;
+    if (job.status != core::JobStatus::Pending &&
+        job.status != core::JobStatus::Suspended) {
+      continue;
+    }
+    if (best == nullptr || job.priority > best->priority ||
+        (job.priority == best->priority && job.idle_seq < best->idle_seq)) {
+      best = &job;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->id;
+}
+
+void JobManager::label_job(core::JobId id, double priority) { job(id).priority = priority; }
+
+void JobManager::enqueue_idle(core::JobId id) {
+  auto& j = job(id);
+  j.idle = true;
+  j.idle_seq = idle_counter_++;
+}
+
+void JobManager::dequeue_idle(core::JobId id) { job(id).idle = false; }
+
+std::vector<core::JobId> JobManager::active_jobs() const {
+  std::vector<core::JobId> out;
+  for (const auto& [id, job] : jobs_) {
+    if (job.status == core::JobStatus::Pending || job.status == core::JobStatus::Running ||
+        job.status == core::JobStatus::Suspended) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace hyperdrive::cluster

@@ -1,0 +1,63 @@
+#include "cluster/messaging.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hyperdrive::cluster {
+
+std::string_view to_string(MessageType type) noexcept {
+  switch (type) {
+    case MessageType::StartJob: return "StartJob";
+    case MessageType::SuspendJob: return "SuspendJob";
+    case MessageType::TerminateJob: return "TerminateJob";
+    case MessageType::ReportStat: return "ReportStat";
+    case MessageType::SnapshotUpload: return "SnapshotUpload";
+    case MessageType::SnapshotDownload: return "SnapshotDownload";
+    case MessageType::Ack: return "Ack";
+  }
+  return "?";
+}
+
+MessageBus::MessageBus(sim::Simulation& simulation, MessageBusOptions options,
+                       std::uint64_t seed)
+    : simulation_(simulation),
+      options_(options),
+      rng_(util::derive_seed(seed, 0xb05)) {}
+
+EndpointId MessageBus::register_endpoint(std::string name, Handler handler) {
+  const EndpointId id = next_id_++;
+  endpoints_.emplace(id, Endpoint{std::move(name), std::move(handler)});
+  return id;
+}
+
+const std::string& MessageBus::endpoint_name(EndpointId id) const {
+  const auto it = endpoints_.find(id);
+  if (it == endpoints_.end()) throw std::out_of_range("unknown endpoint");
+  return it->second.name;
+}
+
+std::uint64_t MessageBus::send(Message message) {
+  const auto it = endpoints_.find(message.to);
+  if (it == endpoints_.end()) throw std::out_of_range("unknown message destination");
+
+  message.sent_at = simulation_.now();
+  message.seq = next_seq_++;
+
+  ++stats_.messages;
+  stats_.bytes += message.payload_bytes;
+  ++stats_.per_type[message.type];
+
+  const double latency_s = std::clamp(
+      rng_.lognormal(options_.latency_mu, options_.latency_sigma), options_.latency_min_s,
+      options_.latency_max_s);
+  const double transfer_s = options_.bandwidth_bps > 0.0
+                                ? message.payload_bytes / options_.bandwidth_bps
+                                : 0.0;
+  const Handler& handler = it->second.handler;
+  const std::uint64_t seq = message.seq;
+  simulation_.schedule_after(util::SimTime::seconds(latency_s + transfer_s),
+                             [&handler, message] { handler(message); });
+  return seq;
+}
+
+}  // namespace hyperdrive::cluster

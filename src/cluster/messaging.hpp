@@ -1,0 +1,101 @@
+// Simulated RPC messaging between the HyperDrive scheduler and the Node
+// Agents (§5: "All communication between the scheduler, node agents, and
+// applications is done via GRPC").
+//
+// The MessageBus delivers typed messages over the discrete-event simulation
+// with a per-message latency (network + RPC overhead) plus a serialization
+// delay proportional to the payload size (snapshot uploads are MBs, stat
+// reports are bytes). It also keeps the traffic accounting a deployment
+// would export as metrics: message and byte counters per type.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace hyperdrive::cluster {
+
+enum class MessageType {
+  StartJob,          // scheduler -> agent
+  SuspendJob,        // scheduler -> agent
+  TerminateJob,      // scheduler -> agent
+  ReportStat,        // agent -> scheduler (ApplicationStat upcall payload)
+  SnapshotUpload,    // agent -> scheduler/storage
+  SnapshotDownload,  // storage -> agent (resume)
+  Ack,
+};
+
+[[nodiscard]] std::string_view to_string(MessageType type) noexcept;
+
+using EndpointId = std::uint32_t;
+
+struct Message {
+  MessageType type = MessageType::Ack;
+  EndpointId from = 0;
+  EndpointId to = 0;
+  std::uint64_t job_id = 0;
+  double payload_bytes = 0.0;
+  /// Opaque application payload (e.g. the AppStat behind a ReportStat).
+  /// Handlers downcast with std::static_pointer_cast.
+  std::shared_ptr<const void> payload;
+  util::SimTime sent_at = util::SimTime::zero();
+  std::uint64_t seq = 0;
+};
+
+struct MessageBusOptions {
+  /// Base one-way latency: lognormal(mu, sigma) seconds clamped to
+  /// [min_s, max_s]. Defaults model a ~1 ms LAN RPC.
+  double latency_mu = -6.9;
+  double latency_sigma = 0.3;
+  double latency_min_s = 2e-4;
+  double latency_max_s = 0.01;
+  /// Serialization/transfer bandwidth (bytes/second); 0 = infinite.
+  double bandwidth_bps = 1.25e9;
+};
+
+struct MessageBusStats {
+  std::uint64_t messages = 0;
+  double bytes = 0.0;
+  std::map<MessageType, std::uint64_t> per_type;
+};
+
+class MessageBus {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  MessageBus(sim::Simulation& simulation, MessageBusOptions options, std::uint64_t seed);
+
+  /// Register a named endpoint; messages addressed to the returned id invoke
+  /// `handler` after the modelled delay. Names are for diagnostics only.
+  EndpointId register_endpoint(std::string name, Handler handler);
+
+  /// Send a message. Delivery time = now + latency + payload/bandwidth.
+  /// Returns the assigned sequence number. Throws std::out_of_range for an
+  /// unknown destination.
+  std::uint64_t send(Message message);
+
+  [[nodiscard]] const MessageBusStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::string& endpoint_name(EndpointId id) const;
+
+ private:
+  struct Endpoint {
+    std::string name;
+    Handler handler;
+  };
+
+  sim::Simulation& simulation_;
+  MessageBusOptions options_;
+  util::Rng rng_;
+  std::map<EndpointId, Endpoint> endpoints_;
+  EndpointId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
+  MessageBusStats stats_;
+};
+
+}  // namespace hyperdrive::cluster

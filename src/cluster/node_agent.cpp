@@ -1,0 +1,32 @@
+#include "cluster/node_agent.hpp"
+
+namespace hyperdrive::cluster {
+
+const std::vector<double> NodeAgent::kEmpty{};
+
+void NodeAgent::append_history(core::JobId job, double perf) {
+  histories_[job].push_back(perf);
+}
+
+void NodeAgent::install_history(core::JobId job, std::vector<double> history) {
+  histories_[job] = std::move(history);
+}
+
+std::vector<double> NodeAgent::take_history(core::JobId job) {
+  const auto it = histories_.find(job);
+  if (it == histories_.end()) return {};
+  std::vector<double> out = std::move(it->second);
+  histories_.erase(it);
+  return out;
+}
+
+const std::vector<double>& NodeAgent::history(core::JobId job) const {
+  const auto it = histories_.find(job);
+  return it == histories_.end() ? kEmpty : it->second;
+}
+
+bool NodeAgent::hosts_history(core::JobId job) const noexcept {
+  return histories_.find(job) != histories_.end();
+}
+
+}  // namespace hyperdrive::cluster

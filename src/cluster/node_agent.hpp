@@ -1,0 +1,56 @@
+// Node Agent (§4.2 ➅): the per-machine daemon that executes training jobs,
+// forwards application statistics to the scheduler, and — per the §5.2
+// "Distributed Curve Prediction" optimization — keeps the learning-curve
+// history of the jobs it hosts locally so curve predictions run on the
+// worker rather than the central scheduler.
+//
+// In this simulated deployment the agent's job-execution mechanics live in
+// HyperDriveCluster (which owns the event queue); the NodeAgent itself
+// carries the per-machine accounting and the local curve-history cache,
+// including the history handoff that happens when a suspended job resumes on
+// a different machine.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "cluster/resource_manager.hpp"
+#include "core/sap.hpp"
+#include "util/sim_time.hpp"
+
+namespace hyperdrive::cluster {
+
+class NodeAgent {
+ public:
+  explicit NodeAgent(MachineId id) : id_(id) {}
+
+  [[nodiscard]] MachineId id() const noexcept { return id_; }
+
+  // --- execution accounting ----------------------------------------------
+  void note_busy(util::SimTime span) noexcept { busy_time_ += span; }
+  void note_epoch() noexcept { ++epochs_run_; }
+  void note_prediction() noexcept { ++predictions_run_; }
+  [[nodiscard]] util::SimTime busy_time() const noexcept { return busy_time_; }
+  [[nodiscard]] std::size_t epochs_run() const noexcept { return epochs_run_; }
+  [[nodiscard]] std::size_t predictions_run() const noexcept { return predictions_run_; }
+
+  // --- local curve-history cache (§5.2) ------------------------------------
+  /// Record one observed performance value for a hosted job.
+  void append_history(core::JobId job, double perf);
+  /// Install a full history (sent over when a job resumes on this machine).
+  void install_history(core::JobId job, std::vector<double> history);
+  /// Drop and return the history (handed to the next host on migration).
+  [[nodiscard]] std::vector<double> take_history(core::JobId job);
+  [[nodiscard]] const std::vector<double>& history(core::JobId job) const;
+  [[nodiscard]] bool hosts_history(core::JobId job) const noexcept;
+
+ private:
+  MachineId id_;
+  util::SimTime busy_time_ = util::SimTime::zero();
+  std::size_t epochs_run_ = 0;
+  std::size_t predictions_run_ = 0;
+  std::map<core::JobId, std::vector<double>> histories_;
+  static const std::vector<double> kEmpty;
+};
+
+}  // namespace hyperdrive::cluster

@@ -1,0 +1,62 @@
+// Overhead models for the high-fidelity cluster: suspend/resume latency and
+// snapshot size, stat-report message latency, and job-start cost.
+//
+// The distributions are calibrated to the paper's measurements:
+//   CIFAR-10 (§6.2.3, framework-level snapshots through Caffe):
+//     suspend latency avg 157.69 ms, sigma 72 ms, p95 219 ms, max 1.12 s;
+//     snapshot size avg 357.67 KB, sigma 122.46 KB, p95 685.26 KB,
+//     max 686.06 KB.
+//   LunarLander (§6.3.2, whole-process CRIU snapshots):
+//     latency up to 22.36 s, snapshot size up to 43.75 MB (Fig. 10).
+#pragma once
+
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace hyperdrive::cluster {
+
+/// A clamped lognormal: exp(N(mu, sigma)) truncated into [lo, hi].
+struct ClampedLognormal {
+  double mu = 0.0;
+  double sigma = 1.0;
+  double lo = 0.0;
+  double hi = 1.0;
+
+  [[nodiscard]] double sample(util::Rng& rng) const noexcept;
+};
+
+struct SuspendOverheadSample {
+  util::SimTime latency = util::SimTime::zero();
+  double snapshot_bytes = 0.0;
+};
+
+/// Suspend/resume cost model for one workload type.
+struct OverheadModel {
+  ClampedLognormal suspend_latency_s;    ///< seconds
+  ClampedLognormal snapshot_bytes;       ///< bytes
+  /// Network bandwidth used to ship snapshots on resume (bytes/second).
+  double resume_bandwidth_bps = 1.25e9;  ///< 10 Gbps
+  /// Fixed restore cost multiplier relative to the suspend latency.
+  double restore_factor = 1.0;
+  /// Cost of launching a brand new training job on a machine.
+  util::SimTime job_start_cost = util::SimTime::seconds(3.0);
+  /// One-way application-stat message latency (node agent -> scheduler).
+  ClampedLognormal stat_latency_s;
+
+  [[nodiscard]] SuspendOverheadSample sample_suspend(util::Rng& rng) const;
+  [[nodiscard]] util::SimTime resume_cost(const SuspendOverheadSample& snapshot,
+                                          util::Rng& rng) const;
+  [[nodiscard]] util::SimTime sample_stat_latency(util::Rng& rng) const;
+};
+
+/// Framework-level snapshots as measured for the CIFAR-10 workload (§6.2.3).
+[[nodiscard]] OverheadModel cifar_overhead_model();
+
+/// CRIU whole-process snapshots as measured for LunarLander (§6.3.2/Fig. 10).
+[[nodiscard]] OverheadModel lunar_criu_overhead_model();
+
+/// All-zero overheads (the idealization the trace-replay simulator uses);
+/// handy for tests isolating scheduling logic from overhead noise.
+[[nodiscard]] OverheadModel zero_overhead_model();
+
+}  // namespace hyperdrive::cluster

@@ -1,0 +1,35 @@
+#include "cluster/resource_manager.hpp"
+
+#include <stdexcept>
+
+namespace hyperdrive::cluster {
+
+ResourceManager::ResourceManager(std::size_t machines)
+    : busy_(machines, false), idle_count_(machines) {
+  if (machines == 0) throw std::invalid_argument("ResourceManager needs >= 1 machine");
+}
+
+std::optional<MachineId> ResourceManager::reserve_idle_machine() {
+  for (std::size_t i = 0; i < busy_.size(); ++i) {
+    if (!busy_[i]) {
+      busy_[i] = true;
+      --idle_count_;
+      return static_cast<MachineId>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+void ResourceManager::release_machine(MachineId machine) {
+  if (machine >= busy_.size()) throw std::out_of_range("unknown machine id");
+  if (!busy_[machine]) throw std::logic_error("double release of machine");
+  busy_[machine] = false;
+  ++idle_count_;
+}
+
+bool ResourceManager::is_busy(MachineId machine) const {
+  if (machine >= busy_.size()) throw std::out_of_range("unknown machine id");
+  return busy_[machine];
+}
+
+}  // namespace hyperdrive::cluster

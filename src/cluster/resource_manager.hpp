@@ -1,0 +1,33 @@
+// Resource Management component (§4.2 ➄): tracks allocated and idle
+// machines. In a cloud deployment this is where instance reservation would
+// live; here machines are slots in the simulated cluster.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace hyperdrive::cluster {
+
+using MachineId = std::uint32_t;
+
+class ResourceManager {
+ public:
+  explicit ResourceManager(std::size_t machines);
+
+  /// reserveIdleMachine() -> machineId (§4.2). Lowest-numbered idle machine
+  /// first, for determinism.
+  [[nodiscard]] std::optional<MachineId> reserve_idle_machine();
+  /// releaseMachine(machineId). Throws std::logic_error on double release.
+  void release_machine(MachineId machine);
+
+  [[nodiscard]] std::size_t total() const noexcept { return busy_.size(); }
+  [[nodiscard]] std::size_t idle() const noexcept { return idle_count_; }
+  [[nodiscard]] bool is_busy(MachineId machine) const;
+
+ private:
+  std::vector<bool> busy_;
+  std::size_t idle_count_ = 0;
+};
+
+}  // namespace hyperdrive::cluster

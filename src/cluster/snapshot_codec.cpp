@@ -1,0 +1,221 @@
+#include "cluster/snapshot_codec.hpp"
+
+#include <cstring>
+
+namespace hyperdrive::cluster {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x48445353;  // 'HDSS'
+constexpr std::uint32_t kVersion = 1;
+
+// Tags for the ParamValue variant.
+constexpr std::uint8_t kTagDouble = 0;
+constexpr std::uint8_t kTagInt = 1;
+constexpr std::uint8_t kTagString = 2;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+  std::vector<std::uint8_t>& bytes() { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  bool u8(std::uint8_t& v) {
+    if (pos_ + 1 > bytes_.size()) return false;
+    v = bytes_[pos_++];
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+    return true;
+  }
+  bool f64(double& v) {
+    std::uint64_t bits;
+    if (!u64(bits)) return false;
+    std::memcpy(&v, &bits, sizeof(v));
+    return true;
+  }
+  bool str(std::string& s) {
+    std::uint32_t len;
+    if (!u32(len)) return false;
+    if (pos_ + len > bytes_.size()) return false;
+    s.assign(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return true;
+  }
+  bool skip(std::size_t n) {
+    if (pos_ + n > bytes_.size()) return false;
+    pos_ += n;
+    return true;
+  }
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+const std::uint32_t* crc_table() {
+  static const auto table = [] {
+    static std::uint32_t t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) noexcept {
+  const std::uint32_t* table = crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> SnapshotCodec::encode(const JobSnapshotState& state,
+                                                std::size_t min_bytes) {
+  Writer w;
+  w.u32(kMagic);
+  w.u32(kVersion);
+  w.u64(state.job_id);
+  w.u64(state.epoch);
+
+  w.u32(static_cast<std::uint32_t>(state.config.values().size()));
+  for (const auto& [name, value] : state.config.values()) {
+    w.str(name);
+    if (const auto* d = std::get_if<double>(&value)) {
+      w.u8(kTagDouble);
+      w.f64(*d);
+    } else if (const auto* i = std::get_if<std::int64_t>(&value)) {
+      w.u8(kTagInt);
+      w.u64(static_cast<std::uint64_t>(*i));
+    } else {
+      w.u8(kTagString);
+      w.str(std::get<std::string>(value));
+    }
+  }
+
+  w.u32(static_cast<std::uint32_t>(state.history.size()));
+  for (const double y : state.history) w.f64(y);
+  w.u32(static_cast<std::uint32_t>(state.secondary.size()));
+  for (const double s : state.secondary) w.f64(s);
+
+  // Padding to the requested image size (framework / process state).
+  const std::size_t body = w.bytes().size() + 4 /*pad len*/ + 4 /*crc*/;
+  const std::size_t padding = min_bytes > body ? min_bytes - body : 0;
+  w.u32(static_cast<std::uint32_t>(padding));
+  w.bytes().insert(w.bytes().end(), padding, 0);
+
+  w.u32(crc32(w.bytes().data(), w.bytes().size()));
+  return std::move(w.bytes());
+}
+
+std::optional<JobSnapshotState> SnapshotCodec::decode(
+    const std::vector<std::uint8_t>& image) {
+  if (image.size() < 4) return std::nullopt;
+  // Verify the trailing checksum first.
+  const std::size_t body = image.size() - 4;
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) stored |= static_cast<std::uint32_t>(image[body + i]) << (8 * i);
+  if (crc32(image.data(), body) != stored) return std::nullopt;
+
+  Reader r(image);
+  std::uint32_t magic, version;
+  if (!r.u32(magic) || magic != kMagic) return std::nullopt;
+  if (!r.u32(version) || version != kVersion) return std::nullopt;
+
+  JobSnapshotState state;
+  std::uint64_t job_id, epoch;
+  if (!r.u64(job_id) || !r.u64(epoch)) return std::nullopt;
+  state.job_id = job_id;
+  state.epoch = epoch;
+
+  std::uint32_t n_params;
+  if (!r.u32(n_params)) return std::nullopt;
+  for (std::uint32_t i = 0; i < n_params; ++i) {
+    std::string name;
+    std::uint8_t tag;
+    if (!r.str(name) || !r.u8(tag)) return std::nullopt;
+    switch (tag) {
+      case kTagDouble: {
+        double v;
+        if (!r.f64(v)) return std::nullopt;
+        state.config.set(name, v);
+        break;
+      }
+      case kTagInt: {
+        std::uint64_t v;
+        if (!r.u64(v)) return std::nullopt;
+        state.config.set(name, static_cast<std::int64_t>(v));
+        break;
+      }
+      case kTagString: {
+        std::string v;
+        if (!r.str(v)) return std::nullopt;
+        state.config.set(name, v);
+        break;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  std::uint32_t n_history;
+  if (!r.u32(n_history)) return std::nullopt;
+  state.history.resize(n_history);
+  for (auto& y : state.history) {
+    if (!r.f64(y)) return std::nullopt;
+  }
+  std::uint32_t n_secondary;
+  if (!r.u32(n_secondary)) return std::nullopt;
+  state.secondary.resize(n_secondary);
+  for (auto& s : state.secondary) {
+    if (!r.f64(s)) return std::nullopt;
+  }
+
+  std::uint32_t padding;
+  if (!r.u32(padding)) return std::nullopt;
+  if (!r.skip(padding)) return std::nullopt;
+  if (r.pos() != body) return std::nullopt;  // trailing garbage
+  return state;
+}
+
+}  // namespace hyperdrive::cluster

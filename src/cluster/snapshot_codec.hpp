@@ -1,0 +1,60 @@
+// Snapshot codec — the byte-level side of suspend/resume (§5.1).
+//
+// The paper snapshots training state either through the learning framework
+// (Caffe model state, ~360 KB) or through whole-process CRIU images
+// (~20-40 MB). In this reproduction the *schedulable* state of a job is its
+// configuration, its observed performance history, and its epoch counter;
+// this codec serializes that state into a framed, checksummed byte image so
+// suspend/resume actually round-trips through bytes (and the AppStatDB
+// stores something real, not just a size).
+//
+// Wire format (little-endian):
+//   magic  u32  'HDSS'
+//   version u32
+//   job_id u64
+//   epoch  u64
+//   n_params u32, then per param: name (u32 len + bytes), tag u8,
+//       value (f64 | i64 | u32 len + bytes)
+//   n_history u32, then f64 each
+//   n_secondary u32, then f64 each
+//   padding_len u32, then padding bytes (zeros) — models framework/process
+//       state that dwarfs the schedulable state (e.g. CRIU images)
+//   crc32  u32 over everything before it
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sap.hpp"
+#include "workload/hyperparameters.hpp"
+
+namespace hyperdrive::cluster {
+
+/// The schedulable state of a suspended job.
+struct JobSnapshotState {
+  core::JobId job_id = 0;
+  std::size_t epoch = 0;
+  workload::Configuration config;
+  std::vector<double> history;
+  std::vector<double> secondary;
+};
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte span.
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t size) noexcept;
+
+class SnapshotCodec {
+ public:
+  /// Serialize `state`, padding the image up to at least `min_bytes` (0 =
+  /// no padding) to model framework/process state.
+  [[nodiscard]] static std::vector<std::uint8_t> encode(const JobSnapshotState& state,
+                                                        std::size_t min_bytes = 0);
+
+  /// Decode an image. Returns nullopt on any structural or checksum error —
+  /// a corrupt snapshot must never resume as a silently-wrong job.
+  [[nodiscard]] static std::optional<JobSnapshotState> decode(
+      const std::vector<std::uint8_t>& image);
+};
+
+}  // namespace hyperdrive::cluster

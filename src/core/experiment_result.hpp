@@ -1,0 +1,53 @@
+// Result record shared by both execution substrates (high-fidelity cluster
+// and trace-replay simulator). Everything the evaluation figures need is
+// collected here: time-to-target (Fig. 7/9/12), per-job execution durations
+// (Fig. 6), suspend/termination counts and overhead samples (Fig. 10,
+// §6.2.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/sap.hpp"
+#include "util/sim_time.hpp"
+
+namespace hyperdrive::core {
+
+struct JobRunStats {
+  JobId job_id = 0;
+  /// Total machine time this job occupied (training + suspend overheads).
+  util::SimTime execution_time = util::SimTime::zero();
+  std::size_t epochs_completed = 0;
+  std::size_t times_suspended = 0;
+  JobStatus final_status = JobStatus::Pending;
+  double best_perf = 0.0;
+};
+
+/// One suspend operation's overhead sample (§6.2.3 / Fig. 10).
+struct SuspendSample {
+  JobId job_id = 0;
+  util::SimTime latency = util::SimTime::zero();
+  double snapshot_bytes = 0.0;
+};
+
+struct ExperimentResult {
+  std::string policy_name;
+  bool reached_target = false;
+  /// Time at which some job first reported performance >= target
+  /// (infinity when the target was never reached).
+  util::SimTime time_to_target = util::SimTime::infinity();
+  JobId winning_job = 0;
+  double best_perf = 0.0;
+  /// When the experiment ended (target hit, all jobs finished, or Tmax).
+  util::SimTime total_time = util::SimTime::zero();
+  /// Sum of busy machine time across the cluster.
+  util::SimTime total_machine_time = util::SimTime::zero();
+  std::size_t suspends = 0;
+  std::size_t terminations = 0;
+  std::size_t jobs_started = 0;
+  std::vector<JobRunStats> job_stats;
+  std::vector<SuspendSample> suspend_samples;
+};
+
+}  // namespace hyperdrive::core

@@ -1,0 +1,337 @@
+#include "core/generators/hyperparameter_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <stdexcept>
+
+namespace hyperdrive::core {
+
+void HyperparameterGenerator::report_final_performance(JobId /*job*/, double /*performance*/) {}
+
+namespace {
+
+class RandomGenerator final : public HyperparameterGenerator {
+ public:
+  RandomGenerator(const workload::HyperparameterSpace& space, std::uint64_t seed)
+      : space_(space), rng_(util::derive_seed(seed, 0x9a7d)) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "random"; }
+
+  [[nodiscard]] std::pair<JobId, workload::Configuration> create_job() override {
+    return {next_id_++, space_.sample(rng_)};
+  }
+
+ private:
+  const workload::HyperparameterSpace& space_;
+  util::Rng rng_;
+  JobId next_id_ = 1;
+};
+
+class GridGenerator final : public HyperparameterGenerator {
+ public:
+  GridGenerator(const workload::HyperparameterSpace& space, std::size_t points_per_dim,
+                std::size_t max_grid_configs)
+      : grid_(space.grid(points_per_dim, max_grid_configs)) {
+    if (grid_.empty()) throw std::invalid_argument("empty grid");
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "grid"; }
+
+  [[nodiscard]] std::pair<JobId, workload::Configuration> create_job() override {
+    const auto& config = grid_[cursor_ % grid_.size()];
+    if (cursor_ >= grid_.size()) ++wraps_;
+    ++cursor_;
+    return {next_id_++, config};
+  }
+
+  [[nodiscard]] std::size_t wraps() const noexcept { return wraps_; }
+
+ private:
+  std::vector<workload::Configuration> grid_;
+  std::size_t cursor_ = 0;
+  std::size_t wraps_ = 0;
+  JobId next_id_ = 1;
+};
+
+class AdaptiveGenerator final : public HyperparameterGenerator {
+ public:
+  AdaptiveGenerator(const workload::HyperparameterSpace& space, std::uint64_t seed,
+                    std::size_t warmup, double exploit_prob, double perturb_scale)
+      : space_(space),
+        rng_(util::derive_seed(seed, 0xada7)),
+        warmup_(warmup),
+        exploit_prob_(exploit_prob),
+        perturb_scale_(perturb_scale) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "adaptive"; }
+
+  [[nodiscard]] std::pair<JobId, workload::Configuration> create_job() override {
+    const JobId id = next_id_++;
+    workload::Configuration config;
+    if (created_ < warmup_ || !best_config_.has_value() ||
+        !rng_.bernoulli(exploit_prob_)) {
+      config = space_.sample(rng_);
+    } else {
+      config = perturb(*best_config_);
+    }
+    ++created_;
+    issued_[id] = config;
+    return {id, config};
+  }
+
+  void report_final_performance(JobId job, double performance) override {
+    const auto it = issued_.find(job);
+    if (it == issued_.end()) return;
+    if (!best_config_.has_value() || performance > best_performance_) {
+      best_performance_ = performance;
+      best_config_ = it->second;
+    }
+  }
+
+ private:
+  /// Gaussian perturbation per dimension, in log space for log-scaled
+  /// domains, clamped back into the box. Categoricals resample with small
+  /// probability.
+  [[nodiscard]] workload::Configuration perturb(const workload::Configuration& base) {
+    workload::Configuration out;
+    for (const auto& [name, domain] : space_.dims()) {
+      if (const auto* c = std::get_if<workload::ContinuousDomain>(&domain)) {
+        double v = base.get_double(name);
+        if (c->log_scale) {
+          const double span = std::log(c->hi) - std::log(c->lo);
+          v = std::exp(std::log(v) + rng_.normal(0.0, perturb_scale_ * span));
+        } else {
+          v += rng_.normal(0.0, perturb_scale_ * (c->hi - c->lo));
+        }
+        out.set(name, std::clamp(v, c->lo, c->hi));
+      } else if (const auto* i = std::get_if<workload::IntegerDomain>(&domain)) {
+        double v = static_cast<double>(base.get_int(name));
+        const double span = static_cast<double>(i->hi - i->lo);
+        v += rng_.normal(0.0, std::max(1.0, perturb_scale_ * span));
+        const auto iv = std::clamp<std::int64_t>(
+            static_cast<std::int64_t>(std::llround(v)), i->lo, i->hi);
+        out.set(name, iv);
+      } else {
+        const auto& cat = std::get<workload::CategoricalDomain>(domain);
+        if (rng_.bernoulli(perturb_scale_)) {
+          const auto idx = static_cast<std::size_t>(
+              rng_.uniform_int(0, static_cast<std::int64_t>(cat.options.size()) - 1));
+          out.set(name, cat.options[idx]);
+        } else {
+          out.set(name, base.get_categorical(name));
+        }
+      }
+    }
+    return out;
+  }
+
+  const workload::HyperparameterSpace& space_;
+  util::Rng rng_;
+  std::size_t warmup_;
+  double exploit_prob_;
+  double perturb_scale_;
+  JobId next_id_ = 1;
+  std::size_t created_ = 0;
+  std::map<JobId, workload::Configuration> issued_;
+  std::optional<workload::Configuration> best_config_;
+  double best_performance_ = 0.0;
+};
+
+/// Tree-structured Parzen Estimator over the (independent) dimensions of the
+/// space. Continuous/integer dimensions are handled in a normalized [0, 1]
+/// coordinate (log-scaled where flagged); categoricals use smoothed counts.
+class TpeGenerator final : public HyperparameterGenerator {
+ public:
+  TpeGenerator(const workload::HyperparameterSpace& space, std::uint64_t seed,
+               std::size_t warmup, double gamma, std::size_t n_candidates)
+      : space_(space),
+        rng_(util::derive_seed(seed, 0x79e1)),
+        warmup_(warmup),
+        gamma_(std::clamp(gamma, 0.05, 0.5)),
+        n_candidates_(std::max<std::size_t>(2, n_candidates)) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "tpe"; }
+
+  [[nodiscard]] std::pair<JobId, workload::Configuration> create_job() override {
+    const JobId id = next_id_++;
+    workload::Configuration config;
+    if (observed_.size() < warmup_) {
+      config = space_.sample(rng_);
+    } else {
+      config = propose();
+    }
+    issued_[id] = config;
+    return {id, config};
+  }
+
+  void report_final_performance(JobId job, double performance) override {
+    const auto it = issued_.find(job);
+    if (it == issued_.end()) return;
+    observed_.emplace_back(it->second, performance);
+  }
+
+ private:
+  /// Map a dimension's value into [0, 1] (log space where flagged).
+  [[nodiscard]] double to_unit(const workload::ParamDomain& domain,
+                               const workload::Configuration& config,
+                               const std::string& dim_name) const {
+    if (const auto* c = std::get_if<workload::ContinuousDomain>(&domain)) {
+      const double v = config.get_double(dim_name);
+      if (c->log_scale) {
+        return (std::log(v) - std::log(c->lo)) / (std::log(c->hi) - std::log(c->lo));
+      }
+      return (v - c->lo) / (c->hi - c->lo);
+    }
+    const auto* i = std::get_if<workload::IntegerDomain>(&domain);
+    const auto v = static_cast<double>(config.get_int(dim_name));
+    if (i->log_scale) {
+      return (std::log(v) - std::log(static_cast<double>(i->lo))) /
+             (std::log(static_cast<double>(i->hi)) - std::log(static_cast<double>(i->lo)));
+    }
+    return (v - static_cast<double>(i->lo)) /
+           std::max(1.0, static_cast<double>(i->hi - i->lo));
+  }
+
+  [[nodiscard]] workload::ParamValue from_unit(const workload::ParamDomain& domain,
+                                               double u) const {
+    u = std::clamp(u, 0.0, 1.0);
+    if (const auto* c = std::get_if<workload::ContinuousDomain>(&domain)) {
+      double v;
+      if (c->log_scale) {
+        // exp(log(lo)) can round a hair below lo; clamp back into the box.
+        v = std::exp(std::log(c->lo) + u * (std::log(c->hi) - std::log(c->lo)));
+      } else {
+        v = c->lo + u * (c->hi - c->lo);
+      }
+      return std::clamp(v, c->lo, c->hi);
+    }
+    const auto* i = std::get_if<workload::IntegerDomain>(&domain);
+    double v;
+    if (i->log_scale) {
+      v = std::exp(std::log(static_cast<double>(i->lo)) +
+                   u * (std::log(static_cast<double>(i->hi)) -
+                        std::log(static_cast<double>(i->lo))));
+    } else {
+      v = static_cast<double>(i->lo) + u * static_cast<double>(i->hi - i->lo);
+    }
+    return std::clamp<std::int64_t>(static_cast<std::int64_t>(std::llround(v)), i->lo,
+                                    i->hi);
+  }
+
+  /// log of a per-dim Gaussian KDE with a minimum bandwidth.
+  [[nodiscard]] static double log_kde(double u, const std::vector<double>& centers) {
+    if (centers.empty()) return 0.0;
+    double mean = 0.0;
+    for (const double c : centers) mean += c;
+    mean /= static_cast<double>(centers.size());
+    double var = 0.0;
+    for (const double c : centers) var += (c - mean) * (c - mean);
+    var /= static_cast<double>(centers.size());
+    const double bandwidth = std::max(0.08, std::sqrt(var));
+    double density = 0.0;
+    for (const double c : centers) {
+      const double z = (u - c) / bandwidth;
+      density += std::exp(-0.5 * z * z);
+    }
+    return std::log(density / (static_cast<double>(centers.size()) * bandwidth) + 1e-12);
+  }
+
+  [[nodiscard]] workload::Configuration propose() {
+    // Split observations into good (top gamma fraction) and bad.
+    auto sorted = observed_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    const std::size_t n_good = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::ceil(gamma_ * static_cast<double>(sorted.size()))));
+
+    workload::Configuration best_candidate;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (std::size_t cand = 0; cand < n_candidates_; ++cand) {
+      workload::Configuration candidate;
+      double score = 0.0;
+      for (const auto& [dim_name, domain] : space_.dims()) {
+        if (const auto* cat = std::get_if<workload::CategoricalDomain>(&domain)) {
+          // Smoothed counts over the good set; score = log P_good - log P_bad.
+          std::map<std::string, double> good_counts, bad_counts;
+          for (const auto& opt : cat->options) {
+            good_counts[opt] = 1.0;  // Laplace smoothing
+            bad_counts[opt] = 1.0;
+          }
+          for (std::size_t i = 0; i < sorted.size(); ++i) {
+            auto& counts = i < n_good ? good_counts : bad_counts;
+            counts[sorted[i].first.get_categorical(dim_name)] += 1.0;
+          }
+          std::vector<double> weights;
+          weights.reserve(cat->options.size());
+          double good_total = 0.0, bad_total = 0.0;
+          for (const auto& opt : cat->options) {
+            weights.push_back(good_counts[opt]);
+            good_total += good_counts[opt];
+            bad_total += bad_counts[opt];
+          }
+          const auto idx = rng_.categorical(weights);
+          const auto& chosen = cat->options[idx];
+          candidate.set(dim_name, chosen);
+          score += std::log(good_counts[chosen] / good_total) -
+                   std::log(bad_counts[chosen] / bad_total);
+          continue;
+        }
+        std::vector<double> good_units, bad_units;
+        for (std::size_t i = 0; i < sorted.size(); ++i) {
+          (i < n_good ? good_units : bad_units)
+              .push_back(to_unit(domain, sorted[i].first, dim_name));
+        }
+        // Sample from the good KDE: random good center + bandwidth jitter.
+        const auto center = good_units[static_cast<std::size_t>(
+            rng_.uniform_int(0, static_cast<std::int64_t>(good_units.size()) - 1))];
+        const double u = std::clamp(center + rng_.normal(0.0, 0.1), 0.0, 1.0);
+        candidate.set(dim_name, from_unit(domain, u));
+        score += log_kde(u, good_units) - log_kde(u, bad_units);
+      }
+      if (score > best_score) {
+        best_score = score;
+        best_candidate = std::move(candidate);
+      }
+    }
+    return best_candidate;
+  }
+
+  const workload::HyperparameterSpace& space_;
+  util::Rng rng_;
+  std::size_t warmup_;
+  double gamma_;
+  std::size_t n_candidates_;
+  JobId next_id_ = 1;
+  std::map<JobId, workload::Configuration> issued_;
+  std::vector<std::pair<workload::Configuration, double>> observed_;
+};
+
+}  // namespace
+
+std::unique_ptr<HyperparameterGenerator> make_random_generator(
+    const workload::HyperparameterSpace& space, std::uint64_t seed) {
+  return std::make_unique<RandomGenerator>(space, seed);
+}
+
+std::unique_ptr<HyperparameterGenerator> make_grid_generator(
+    const workload::HyperparameterSpace& space, std::size_t points_per_dim,
+    std::size_t max_grid_configs) {
+  return std::make_unique<GridGenerator>(space, points_per_dim, max_grid_configs);
+}
+
+std::unique_ptr<HyperparameterGenerator> make_adaptive_generator(
+    const workload::HyperparameterSpace& space, std::uint64_t seed, std::size_t warmup,
+    double exploit_prob, double perturb_scale) {
+  return std::make_unique<AdaptiveGenerator>(space, seed, warmup, exploit_prob,
+                                             perturb_scale);
+}
+
+std::unique_ptr<HyperparameterGenerator> make_tpe_generator(
+    const workload::HyperparameterSpace& space, std::uint64_t seed, std::size_t warmup,
+    double gamma, std::size_t n_candidates) {
+  return std::make_unique<TpeGenerator>(space, seed, warmup, gamma, n_candidates);
+}
+
+}  // namespace hyperdrive::core

@@ -1,0 +1,67 @@
+// Hyperparameter Generator (§4.2 ➁): the pluggable component that produces
+// concrete configurations within user-specified ranges. The API is exactly
+// the paper's:
+//
+//     createJob() -> (jobID, hyperparameters)
+//     reportFinalPerformance(jobID, performance)
+//
+// Random and grid generators ignore the feedback call; the adaptive
+// generator uses it the way Bayesian-optimization shims would (§4.2
+// "Adaptive techniques ... can be plugged into HyperDrive with the use of a
+// shim that exposes the HG API").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/sap.hpp"
+#include "util/rng.hpp"
+#include "workload/hyperparameters.hpp"
+
+namespace hyperdrive::core {
+
+class HyperparameterGenerator {
+ public:
+  virtual ~HyperparameterGenerator() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// createJob(): mint a fresh (jobID, configuration) pair.
+  [[nodiscard]] virtual std::pair<JobId, workload::Configuration> create_job() = 0;
+
+  /// reportFinalPerformance(jobID, performance): feedback for adaptive
+  /// generators. Default: ignored.
+  virtual void report_final_performance(JobId job, double performance);
+};
+
+/// Uniform (log-uniform where flagged) random search over the space.
+[[nodiscard]] std::unique_ptr<HyperparameterGenerator> make_random_generator(
+    const workload::HyperparameterSpace& space, std::uint64_t seed);
+
+/// Grid search: enumerates an axis-aligned grid lazily; wraps around (with a
+/// warning count available) if asked for more configs than grid points.
+[[nodiscard]] std::unique_ptr<HyperparameterGenerator> make_grid_generator(
+    const workload::HyperparameterSpace& space, std::size_t points_per_dim,
+    std::size_t max_grid_configs = 100000);
+
+/// A simple adaptive generator standing in for Bayesian-optimization shims:
+/// the first `warmup` jobs are random; afterwards each new configuration is
+/// (with probability `exploit_prob`) a log-space Gaussian perturbation of
+/// the best configuration reported so far, otherwise uniform random.
+[[nodiscard]] std::unique_ptr<HyperparameterGenerator> make_adaptive_generator(
+    const workload::HyperparameterSpace& space, std::uint64_t seed,
+    std::size_t warmup = 10, double exploit_prob = 0.5, double perturb_scale = 0.15);
+
+/// Tree-structured Parzen Estimator (Bergstra et al., the HyperOpt [18]
+/// approach): reported results are split into the top `gamma` fraction
+/// ("good") and the rest ("bad"); each new configuration is the candidate —
+/// out of `n_candidates` draws from a per-dimension KDE over the good set —
+/// that maximizes the density ratio l(x)/g(x). Falls back to random until
+/// `warmup` results have been reported.
+[[nodiscard]] std::unique_ptr<HyperparameterGenerator> make_tpe_generator(
+    const workload::HyperparameterSpace& space, std::uint64_t seed,
+    std::size_t warmup = 15, double gamma = 0.25, std::size_t n_candidates = 24);
+
+}  // namespace hyperdrive::core

@@ -1,0 +1,22 @@
+#include "core/policies/bandit_policy.hpp"
+
+#include <algorithm>
+
+namespace hyperdrive::core {
+
+void BanditPolicy::on_application_stat(SchedulerOps& /*ops*/, const JobEvent& event) {
+  auto& best = job_best_[event.job_id];
+  best = std::max(best, event.perf);
+  global_best_ = std::max(global_best_, event.perf);
+}
+
+JobDecision BanditPolicy::on_iteration_finish(SchedulerOps& ops, const JobEvent& event) {
+  const std::size_t boundary =
+      config_.boundary != 0 ? config_.boundary : ops.evaluation_boundary();
+  if (boundary == 0 || event.epoch % boundary != 0) return JobDecision::Continue;
+  const double job_best = job_best_[event.job_id];
+  if (job_best * (1.0 + config_.epsilon) > global_best_) return JobDecision::Continue;
+  return JobDecision::Terminate;
+}
+
+}  // namespace hyperdrive::core

@@ -1,0 +1,41 @@
+// Bandit SAP (§5.3): the action-elimination strategy of TuPAQ [25], built on
+// Even-Dar et al.'s multi-armed-bandit stopping rule [12]. At every
+// evaluation boundary a job survives iff its best performance so far,
+// inflated by (1 + epsilon), still beats the global best across all jobs:
+//
+//     jobBest * (1 + epsilon) > globalBest   ->   continue, else terminate.
+//
+// Following the paper, epsilon = 0.50 and the boundary is 10 epochs for
+// supervised learning; for reinforcement learning (where TuPAQ gives no
+// guidance) the same boundary as POP is used — here both come from the
+// workload's evaluation_boundary().
+#pragma once
+
+#include <map>
+
+#include "core/policies/default_policy.hpp"
+
+namespace hyperdrive::core {
+
+struct BanditConfig {
+  double epsilon = 0.50;
+  /// Override the evaluation boundary; 0 = use the workload's.
+  std::size_t boundary = 0;
+};
+
+class BanditPolicy final : public DefaultPolicy {
+ public:
+  explicit BanditPolicy(BanditConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "bandit"; }
+
+  void on_application_stat(SchedulerOps& ops, const JobEvent& event) override;
+  JobDecision on_iteration_finish(SchedulerOps& ops, const JobEvent& event) override;
+
+ private:
+  BanditConfig config_;
+  double global_best_ = 0.0;
+  std::map<JobId, double> job_best_;
+};
+
+}  // namespace hyperdrive::core

@@ -1,0 +1,36 @@
+#include "core/policies/barrier_policy.hpp"
+
+#include <stdexcept>
+
+namespace hyperdrive::core {
+
+BarrierPolicy::BarrierPolicy(std::unique_ptr<SchedulingPolicy> inner,
+                             std::size_t epochs_per_round)
+    : inner_(std::move(inner)), epochs_per_round_(epochs_per_round) {
+  if (!inner_) throw std::invalid_argument("BarrierPolicy needs an inner policy");
+}
+
+void BarrierPolicy::on_experiment_start(SchedulerOps& ops) {
+  inner_->on_experiment_start(ops);
+  if (epochs_per_round_ == 0) {
+    epochs_per_round_ = ops.evaluation_boundary() != 0 ? ops.evaluation_boundary() : 1;
+  }
+}
+
+void BarrierPolicy::on_allocate(SchedulerOps& ops) { inner_->on_allocate(ops); }
+
+void BarrierPolicy::on_application_stat(SchedulerOps& ops, const JobEvent& event) {
+  inner_->on_application_stat(ops, event);
+}
+
+JobDecision BarrierPolicy::on_iteration_finish(SchedulerOps& ops, const JobEvent& event) {
+  const JobDecision decision = inner_->on_iteration_finish(ops, event);
+  if (decision != JobDecision::Continue) return decision;
+  // Barrier: at round boundaries, yield the machine if anyone is waiting.
+  if (event.epoch % epochs_per_round_ == 0 && ops.get_idle_job().has_value()) {
+    return JobDecision::Suspend;
+  }
+  return JobDecision::Continue;
+}
+
+}  // namespace hyperdrive::core

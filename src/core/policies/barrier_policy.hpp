@@ -1,0 +1,37 @@
+// Barrier-like epoch scheduling (§4.2): "HyperDrive also supports
+// barrier-like epoch scheduling, which some SAPs may prefer as it can help
+// explore job configurations in a breadth-first style ... achieved by
+// allowing the SAP to suspend jobs at every epoch boundary."
+//
+// BarrierPolicy is a decorator: the inner SAP keeps full control of
+// termination, but whenever it would Continue at a barrier epoch and other
+// idle work is waiting, the job is suspended instead — rotating the whole
+// candidate set through the machines, round-robin, `epochs_per_round` epochs
+// at a time.
+#pragma once
+
+#include <memory>
+
+#include "core/sap.hpp"
+
+namespace hyperdrive::core {
+
+class BarrierPolicy final : public SchedulingPolicy {
+ public:
+  /// `epochs_per_round` = 0 uses the workload's evaluation boundary.
+  BarrierPolicy(std::unique_ptr<SchedulingPolicy> inner, std::size_t epochs_per_round = 0);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "barrier"; }
+  [[nodiscard]] const SchedulingPolicy& inner() const noexcept { return *inner_; }
+
+  void on_experiment_start(SchedulerOps& ops) override;
+  void on_allocate(SchedulerOps& ops) override;
+  void on_application_stat(SchedulerOps& ops, const JobEvent& event) override;
+  JobDecision on_iteration_finish(SchedulerOps& ops, const JobEvent& event) override;
+
+ private:
+  std::unique_ptr<SchedulingPolicy> inner_;
+  std::size_t epochs_per_round_;
+};
+
+}  // namespace hyperdrive::core

@@ -1,0 +1,18 @@
+#include "core/policies/default_policy.hpp"
+
+namespace hyperdrive::core {
+
+void DefaultPolicy::on_allocate(SchedulerOps& ops) {
+  while (ops.idle_machines() > 0) {
+    const auto job = ops.get_idle_job();
+    if (!job) return;
+    if (!ops.start_job(*job)) return;
+  }
+}
+
+JobDecision DefaultPolicy::on_iteration_finish(SchedulerOps& /*ops*/,
+                                               const JobEvent& /*event*/) {
+  return JobDecision::Continue;
+}
+
+}  // namespace hyperdrive::core

@@ -1,0 +1,21 @@
+// Default SAP (§4.2): greedily allocates idle jobs to idle machines and runs
+// every job to its maximum epoch. Ignores application statistics. Serves
+// both as the paper's "basic approach" baseline (random search with full
+// executions) and as the base class the Bandit and EarlyTerm policies extend.
+#pragma once
+
+#include "core/sap.hpp"
+
+namespace hyperdrive::core {
+
+class DefaultPolicy : public SchedulingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "default"; }
+
+  /// Start as many idle jobs as there are idle machines.
+  void on_allocate(SchedulerOps& ops) override;
+
+  JobDecision on_iteration_finish(SchedulerOps& ops, const JobEvent& event) override;
+};
+
+}  // namespace hyperdrive::core

@@ -1,0 +1,42 @@
+#include "core/policies/earlyterm_policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hyperdrive::core {
+
+EarlyTermPolicy::EarlyTermPolicy(EarlyTermConfig config) : config_(std::move(config)) {
+  if (!config_.predictor) {
+    throw std::invalid_argument("EarlyTermPolicy requires a curve predictor");
+  }
+}
+
+void EarlyTermPolicy::on_application_stat(SchedulerOps& /*ops*/, const JobEvent& event) {
+  global_best_ = std::max(global_best_, event.perf);
+}
+
+JobDecision EarlyTermPolicy::on_iteration_finish(SchedulerOps& ops, const JobEvent& event) {
+  const std::size_t boundary =
+      config_.boundary != 0 ? config_.boundary : ops.evaluation_boundary();
+  if (boundary == 0 || event.epoch % boundary != 0) return JobDecision::Continue;
+
+  const auto& history = ops.perf_history(event.job_id);
+  if (history.size() < config_.min_history) return JobDecision::Continue;
+  const std::size_t max_epoch = ops.max_epochs();
+  if (history.size() >= max_epoch) return JobDecision::Continue;
+
+  // If the job itself holds the global best it trivially survives.
+  const double job_best = *std::max_element(history.begin(), history.end());
+  if (job_best >= global_best_) return JobDecision::Continue;
+
+  const std::vector<double> future = {static_cast<double>(max_epoch)};
+  const auto prediction = config_.predictor->predict(
+      history, future, static_cast<double>(max_epoch));
+  ++predictions_;
+  if (prediction.empty()) return JobDecision::Continue;
+
+  const double pval = prediction.prob_at_least(0, global_best_);
+  return pval < config_.delta ? JobDecision::Terminate : JobDecision::Continue;
+}
+
+}  // namespace hyperdrive::core

@@ -1,0 +1,48 @@
+// EarlyTerm SAP (§5.3): a parallel version of Domhan et al.'s "predictive
+// termination criterion" [11]. At every evaluation boundary (b = 30 for
+// supervised learning, the workload boundary for RL) the policy predicts the
+// job's performance at the maximum epoch m and terminates the job iff
+//
+//     P(y_m >= y_hat | y_1:n) < delta,    delta = 0.05,
+//
+// where y_hat is the best performance observed across all jobs so far.
+// Unlike POP, EarlyTerm never suspends, never prioritizes, and spends a
+// prediction only to cut clearly-hopeless jobs.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "core/policies/default_policy.hpp"
+#include "curve/predictor.hpp"
+
+namespace hyperdrive::core {
+
+struct EarlyTermConfig {
+  double delta = 0.05;
+  /// Evaluation boundary; 0 = use the workload's. The paper uses 30 for
+  /// supervised learning.
+  std::size_t boundary = 30;
+  /// Don't attempt a prediction with fewer observations than this.
+  std::size_t min_history = 4;
+  std::shared_ptr<const curve::CurvePredictor> predictor;
+};
+
+class EarlyTermPolicy final : public DefaultPolicy {
+ public:
+  explicit EarlyTermPolicy(EarlyTermConfig config);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "earlyterm"; }
+
+  void on_application_stat(SchedulerOps& ops, const JobEvent& event) override;
+  JobDecision on_iteration_finish(SchedulerOps& ops, const JobEvent& event) override;
+
+  [[nodiscard]] std::size_t predictions_made() const noexcept { return predictions_; }
+
+ private:
+  EarlyTermConfig config_;
+  double global_best_ = 0.0;
+  std::size_t predictions_ = 0;
+};
+
+}  // namespace hyperdrive::core

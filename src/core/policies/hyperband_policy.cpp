@@ -1,0 +1,51 @@
+#include "core/policies/hyperband_policy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hyperdrive::core {
+
+HyperbandPolicy::HyperbandPolicy(HyperbandConfig config) : config_(config) {
+  if (config_.eta <= 1.0) throw std::invalid_argument("hyperband eta must be > 1");
+  if (config_.num_brackets == 0) throw std::invalid_argument("need >= 1 bracket");
+}
+
+std::size_t HyperbandPolicy::bracket_of(JobId job) const noexcept {
+  return static_cast<std::size_t>(job) % config_.num_brackets;
+}
+
+std::size_t HyperbandPolicy::rung_at(std::size_t bracket, std::size_t epoch) const {
+  double rung = static_cast<double>(config_.min_rung);
+  for (std::size_t b = 0; b < bracket; ++b) rung *= config_.eta;
+  while (static_cast<std::size_t>(std::llround(rung)) < epoch) rung *= config_.eta;
+  return static_cast<std::size_t>(std::llround(rung));
+}
+
+JobDecision HyperbandPolicy::on_iteration_finish(SchedulerOps& ops, const JobEvent& event) {
+  const std::size_t min_rung =
+      config_.min_rung != 0 ? config_.min_rung : std::max<std::size_t>(1, ops.evaluation_boundary());
+  // Resolve the first rung lazily against the workload if unset.
+  if (config_.min_rung == 0) config_.min_rung = min_rung;
+
+  const std::size_t bracket = bracket_of(event.job_id);
+  const std::size_t rung = rung_at(bracket, event.epoch);
+  if (rung != event.epoch) return JobDecision::Continue;
+
+  auto& scores = rung_scores_[{bracket, rung}];
+  scores.push_back(event.perf);
+  if (scores.size() < config_.min_rung_population) return JobDecision::Continue;
+
+  std::size_t strictly_better = 0;
+  for (const double s : scores) {
+    if (s > event.perf) ++strictly_better;
+  }
+  const double rank =
+      static_cast<double>(strictly_better) / static_cast<double>(scores.size());
+  if (rank > 1.0 / config_.eta) {
+    ++eliminations_;
+    return JobDecision::Terminate;
+  }
+  return JobDecision::Continue;
+}
+
+}  // namespace hyperdrive::core

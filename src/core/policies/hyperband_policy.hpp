@@ -1,0 +1,57 @@
+// HyperBand-style asynchronous successive halving (Li et al. [21], the
+// "Sequential Search Algorithms" related work of §8), implemented as a SAP.
+//
+// Jobs are assigned round-robin to `num_brackets` brackets; bracket b checks
+// its jobs at rungs min_rung * eta^(b), * eta^(b+1), ... (epochs). At each
+// rung a job survives only if its performance ranks in the top 1/eta of all
+// scores recorded at that rung of its bracket so far — the asynchronous
+// (ASHA-style) promotion rule, which suits HyperDrive's schedule-as-it-goes
+// execution where jobs reach rungs at different wall-clock times.
+//
+// Included both as a reusable policy and as the comparison point the paper
+// positions POP against: successive halving allocates by *rank at a fixed
+// budget*, POP by *predicted probability of reaching the target in the
+// remaining time*.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/policies/default_policy.hpp"
+
+namespace hyperdrive::core {
+
+struct HyperbandConfig {
+  /// First rung (epochs); 0 = use the workload's evaluation boundary.
+  std::size_t min_rung = 0;
+  /// Downsampling rate between rungs (eta in [21]).
+  double eta = 3.0;
+  /// Number of brackets; bracket b starts at min_rung * eta^b.
+  std::size_t num_brackets = 1;
+  /// Don't eliminate at a rung before it has seen this many scores.
+  std::size_t min_rung_population = 3;
+};
+
+class HyperbandPolicy final : public DefaultPolicy {
+ public:
+  explicit HyperbandPolicy(HyperbandConfig config = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "hyperband"; }
+
+  JobDecision on_iteration_finish(SchedulerOps& ops, const JobEvent& event) override;
+
+  [[nodiscard]] std::size_t eliminations() const noexcept { return eliminations_; }
+
+ private:
+  [[nodiscard]] std::size_t bracket_of(JobId job) const noexcept;
+  /// Smallest rung of `bracket` that is >= epoch, or 0 if epoch is below
+  /// the bracket's first rung; returns epoch itself iff epoch is a rung.
+  [[nodiscard]] std::size_t rung_at(std::size_t bracket, std::size_t epoch) const;
+
+  HyperbandConfig config_;
+  /// (bracket, rung) -> scores recorded so far.
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<double>> rung_scores_;
+  std::size_t eliminations_ = 0;
+};
+
+}  // namespace hyperdrive::core

@@ -1,0 +1,9 @@
+#include "core/sap.hpp"
+
+namespace hyperdrive::core {
+
+void SchedulingPolicy::on_application_stat(SchedulerOps& /*ops*/, const JobEvent& /*event*/) {}
+
+void SchedulingPolicy::on_experiment_start(SchedulerOps& /*ops*/) {}
+
+}  // namespace hyperdrive::core

@@ -1,0 +1,65 @@
+#include "curve/caching_predictor.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace hyperdrive::curve {
+
+namespace {
+/// FNV-1a over doubles' bit patterns.
+std::uint64_t hash_doubles(std::uint64_t h, std::span<const double> xs) {
+  auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(xs.size());
+  for (const double x : xs) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &x, sizeof(bits));
+    mix(bits);
+  }
+  return h;
+}
+}  // namespace
+
+CachingPredictor::CachingPredictor(std::shared_ptr<const CurvePredictor> inner,
+                                   std::size_t capacity)
+    : inner_(std::move(inner)), capacity_(capacity) {
+  if (!inner_) throw std::invalid_argument("CachingPredictor needs an inner predictor");
+  if (capacity_ == 0) throw std::invalid_argument("cache capacity must be >= 1");
+}
+
+CurvePrediction CachingPredictor::predict(std::span<const double> history,
+                                          std::span<const double> future_epochs,
+                                          double horizon) const {
+  std::uint64_t key = 1469598103934665603ULL;
+  key = hash_doubles(key, history);
+  key = hash_doubles(key, future_epochs);
+  key = hash_doubles(key, std::span<const double>(&horizon, 1));
+
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // promote to front
+    return it->second->prediction;
+  }
+
+  ++misses_;
+  auto prediction = inner_->predict(history, future_epochs, horizon);
+  lru_.push_front(Entry{key, prediction});
+  cache_[key] = lru_.begin();
+  if (cache_.size() > capacity_) {
+    cache_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  return prediction;
+}
+
+std::shared_ptr<const CurvePredictor> with_cache(
+    std::shared_ptr<const CurvePredictor> inner, std::size_t capacity) {
+  return std::make_shared<CachingPredictor>(std::move(inner), capacity);
+}
+
+}  // namespace hyperdrive::curve

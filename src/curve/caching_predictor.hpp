@@ -1,0 +1,55 @@
+// CachingPredictor — a memoizing decorator around any CurvePredictor.
+//
+// The Node Agents (§5.2) keep per-job curve histories locally and only
+// recompute a prediction when the job's history has grown past a new
+// evaluation boundary. Since policies may consult the predictor repeatedly
+// for the same (history, horizon) — e.g. POP's classification runs on every
+// active job's boundary — memoizing the posterior avoids redundant MCMC/LSQ
+// work. Predictors are deterministic per (config, history), so caching is
+// semantics-preserving.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "curve/predictor.hpp"
+
+namespace hyperdrive::curve {
+
+class CachingPredictor final : public CurvePredictor {
+ public:
+  /// Wraps `inner` with an LRU cache of `capacity` predictions.
+  CachingPredictor(std::shared_ptr<const CurvePredictor> inner, std::size_t capacity = 256);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "caching"; }
+
+  [[nodiscard]] CurvePrediction predict(std::span<const double> history,
+                                        std::span<const double> future_epochs,
+                                        double horizon) const override;
+
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::size_t size() const noexcept { return cache_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    CurvePrediction prediction;
+  };
+
+  std::shared_ptr<const CurvePredictor> inner_;
+  std::size_t capacity_;
+  // LRU: most-recent at the front; map points into the list.
+  mutable std::list<Entry> lru_;
+  mutable std::unordered_map<std::uint64_t, std::list<Entry>::iterator> cache_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+/// Convenience: wrap a predictor.
+[[nodiscard]] std::shared_ptr<const CurvePredictor> with_cache(
+    std::shared_ptr<const CurvePredictor> inner, std::size_t capacity = 256);
+
+}  // namespace hyperdrive::curve

@@ -1,0 +1,88 @@
+#include "curve/mcmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hyperdrive::curve {
+
+McmcResult run_ensemble_mcmc(
+    const std::function<double(const std::vector<double>&)>& log_prob,
+    std::vector<std::vector<double>> walkers, const McmcOptions& opts, util::Rng& rng) {
+  const std::size_t nwalkers = walkers.size();
+  if (nwalkers < 4) throw std::invalid_argument("need at least 4 walkers");
+  const std::size_t dim = walkers.front().size();
+  for (const auto& w : walkers) {
+    if (w.size() != dim) throw std::invalid_argument("walker dimension mismatch");
+  }
+
+  std::vector<double> logp(nwalkers);
+  std::size_t best = 0;
+  double best_lp = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < nwalkers; ++i) {
+    logp[i] = log_prob(walkers[i]);
+    if (logp[i] > best_lp) {
+      best_lp = logp[i];
+      best = i;
+    }
+  }
+  if (!std::isfinite(best_lp)) {
+    throw std::runtime_error("ensemble MCMC: no walker starts inside the support");
+  }
+  // Nudge invalid starts onto the best valid one (they will diffuse apart).
+  for (std::size_t i = 0; i < nwalkers; ++i) {
+    if (!std::isfinite(logp[i])) {
+      walkers[i] = walkers[best];
+      logp[i] = best_lp;
+    }
+  }
+
+  McmcResult result;
+  const std::size_t kept_steps =
+      opts.nsamples > opts.burn_in ? (opts.nsamples - opts.burn_in) / std::max<std::size_t>(1, opts.thin)
+                                   : 0;
+  result.samples.reserve(kept_steps * nwalkers);
+
+  std::size_t accepted = 0, proposed = 0;
+  std::vector<double> candidate(dim);
+  const double a = opts.stretch_a;
+
+  for (std::size_t step = 0; step < opts.nsamples; ++step) {
+    for (std::size_t i = 0; i < nwalkers; ++i) {
+      // Pick a random complementary walker j != i.
+      std::size_t j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(nwalkers) - 2));
+      if (j >= i) ++j;
+
+      // Stretch move: z ~ g(z) with g(z) ∝ 1/sqrt(z) on [1/a, a].
+      const double u = rng.uniform();
+      const double sqrt_a = std::sqrt(a);
+      const double z_sqrt = (1.0 / sqrt_a) + u * (sqrt_a - 1.0 / sqrt_a);
+      const double z = z_sqrt * z_sqrt;
+
+      for (std::size_t d = 0; d < dim; ++d) {
+        candidate[d] = walkers[j][d] + z * (walkers[i][d] - walkers[j][d]);
+      }
+      const double cand_lp = log_prob(candidate);
+      ++proposed;
+      // Acceptance: min(1, z^(dim-1) * pi(cand)/pi(cur)).
+      const double log_ratio =
+          (static_cast<double>(dim) - 1.0) * std::log(z) + cand_lp - logp[i];
+      if (std::isfinite(cand_lp) && std::log(rng.uniform() + 1e-300) < log_ratio) {
+        walkers[i] = candidate;
+        logp[i] = cand_lp;
+        ++accepted;
+      }
+    }
+    if (step >= opts.burn_in && (step - opts.burn_in) % std::max<std::size_t>(1, opts.thin) == 0) {
+      for (const auto& w : walkers) result.samples.push_back(w);
+    }
+  }
+
+  result.acceptance_rate =
+      proposed > 0 ? static_cast<double>(accepted) / static_cast<double>(proposed) : 0.0;
+  return result;
+}
+
+}  // namespace hyperdrive::curve

@@ -1,0 +1,37 @@
+// Affine-invariant ensemble MCMC sampler (Goodman & Weare 2010), the
+// algorithm behind the `emcee` package used by the reference learning-curve
+// predictor. HyperDrive runs it with nwalkers=100 and a reduced nsamples=700
+// (§5.2 "Reduce total MCMC samples").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hyperdrive::curve {
+
+struct McmcOptions {
+  std::size_t nwalkers = 100;   ///< must be >= 2 * dim and even for good mixing
+  std::size_t nsamples = 700;   ///< steps per walker (the paper's reduced setting)
+  std::size_t burn_in = 200;    ///< steps discarded from the front
+  std::size_t thin = 10;        ///< keep every `thin`-th post-burn-in step
+  double stretch_a = 2.0;       ///< Goodman–Weare stretch parameter
+};
+
+struct McmcResult {
+  /// Flattened posterior draws: samples[i] is one parameter vector.
+  std::vector<std::vector<double>> samples;
+  double acceptance_rate = 0.0;
+};
+
+/// Run the sampler. `log_prob` must return -inf outside the support.
+/// `initial_walkers` supplies nwalkers starting positions (each of equal
+/// dimension, with finite log_prob for at least one walker — non-finite
+/// starts are nudged onto the best finite start).
+[[nodiscard]] McmcResult run_ensemble_mcmc(
+    const std::function<double(const std::vector<double>&)>& log_prob,
+    std::vector<std::vector<double>> initial_walkers, const McmcOptions& opts,
+    util::Rng& rng);
+
+}  // namespace hyperdrive::curve

@@ -1,0 +1,117 @@
+#include "curve/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hyperdrive::curve {
+
+namespace {
+double safe_eval(const std::function<double(const std::vector<double>&)>& fn,
+                 const std::vector<double>& x) {
+  const double v = fn(x);
+  return std::isfinite(v) ? v : std::numeric_limits<double>::infinity();
+}
+}  // namespace
+
+NelderMeadResult nelder_mead(const std::function<double(const std::vector<double>&)>& fn,
+                             std::vector<double> x0, const NelderMeadOptions& opts) {
+  const std::size_t n = x0.size();
+  NelderMeadResult result;
+  if (n == 0) {
+    result.x = std::move(x0);
+    result.fx = safe_eval(fn, result.x);
+    return result;
+  }
+
+  // Standard reflection/expansion/contraction/shrink coefficients.
+  constexpr double kAlpha = 1.0, kGamma = 2.0, kRho = 0.5, kSigma = 0.5;
+
+  std::vector<std::vector<double>> simplex(n + 1, x0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double step = opts.initial_step * std::fabs(x0[i]);
+    if (step < 1e-4) step = opts.initial_step;
+    simplex[i + 1][i] += step;
+  }
+  std::vector<double> fvals(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) fvals[i] = safe_eval(fn, simplex[i]);
+
+  std::vector<std::size_t> order(n + 1);
+  std::vector<double> centroid(n), candidate(n);
+
+  std::size_t iter = 0;
+  for (; iter < opts.max_iterations; ++iter) {
+    for (std::size_t i = 0; i <= n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return fvals[a] < fvals[b]; });
+
+    const double best = fvals[order[0]];
+    const double worst = fvals[order[n]];
+    if (std::isfinite(worst) && worst - best < opts.tolerance) break;
+
+    // Centroid of all but the worst vertex.
+    std::fill(centroid.begin(), centroid.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t d = 0; d < n; ++d) centroid[d] += simplex[order[i]][d];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto& worst_vertex = simplex[order[n]];
+    auto point_along = [&](double coef, std::vector<double>& out) {
+      for (std::size_t d = 0; d < n; ++d) {
+        out[d] = centroid[d] + coef * (centroid[d] - worst_vertex[d]);
+      }
+    };
+
+    point_along(kAlpha, candidate);
+    const double f_reflect = safe_eval(fn, candidate);
+
+    if (f_reflect < fvals[order[0]]) {
+      std::vector<double> expanded(n);
+      point_along(kGamma, expanded);
+      const double f_expand = safe_eval(fn, expanded);
+      if (f_expand < f_reflect) {
+        worst_vertex = std::move(expanded);
+        fvals[order[n]] = f_expand;
+      } else {
+        worst_vertex = candidate;
+        fvals[order[n]] = f_reflect;
+      }
+      continue;
+    }
+    if (f_reflect < fvals[order[n - 1]]) {
+      worst_vertex = candidate;
+      fvals[order[n]] = f_reflect;
+      continue;
+    }
+
+    point_along(-kRho, candidate);  // inside contraction
+    const double f_contract = safe_eval(fn, candidate);
+    if (f_contract < fvals[order[n]]) {
+      worst_vertex = candidate;
+      fvals[order[n]] = f_contract;
+      continue;
+    }
+
+    // Shrink toward the best vertex.
+    const auto& best_vertex = simplex[order[0]];
+    for (std::size_t i = 1; i <= n; ++i) {
+      auto& v = simplex[order[i]];
+      for (std::size_t d = 0; d < n; ++d) {
+        v[d] = best_vertex[d] + kSigma * (v[d] - best_vertex[d]);
+      }
+      fvals[order[i]] = safe_eval(fn, v);
+    }
+  }
+
+  std::size_t best_idx = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (fvals[i] < fvals[best_idx]) best_idx = i;
+  }
+  result.x = simplex[best_idx];
+  result.fx = fvals[best_idx];
+  result.iterations = iter;
+  return result;
+}
+
+}  // namespace hyperdrive::curve

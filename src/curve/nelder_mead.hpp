@@ -1,0 +1,29 @@
+// Derivative-free simplex minimizer (Nelder & Mead 1965), used to fit each
+// parametric curve family to an observed learning-curve prefix by least
+// squares before MCMC refinement.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace hyperdrive::curve {
+
+struct NelderMeadOptions {
+  std::size_t max_iterations = 400;
+  double initial_step = 0.1;       ///< relative simplex spread around the start
+  double tolerance = 1e-8;         ///< stop when simplex f-spread falls below this
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double fx = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// Minimize fn over R^n starting at x0. fn may return non-finite values;
+/// those are treated as +infinity (rejected).
+[[nodiscard]] NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& fn,
+    std::vector<double> x0, const NelderMeadOptions& opts = {});
+
+}  // namespace hyperdrive::curve

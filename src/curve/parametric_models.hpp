@@ -1,0 +1,78 @@
+// The 11 parametric learning-curve families used by the probabilistic
+// learning-curve model of Domhan, Springenberg & Hutter (IJCAI'15) — the
+// model HyperDrive's POP policy builds on (§3.1.1, §5.2 of the paper).
+//
+// Each family maps a (1-based) epoch index x > 0 to a predicted performance
+// value y(x) given a small parameter vector theta. The families are:
+//
+//   pow3            c - a * x^(-alpha)
+//   pow4            c - (a*x + b)^(-alpha)
+//   log_log_linear  log(a * log(x) + b)
+//   log_power       a / (1 + (x / exp(b))^c)
+//   vapor_pressure  exp(a + b/x + c * log(x))
+//   hill3           ymax * x^eta / (kappa^eta + x^eta)
+//   mmf             alpha - (alpha - beta) / (1 + (kappa * x)^delta)
+//   exp4            c - exp(-a * x^alpha + b)
+//   janoschek       alpha - (alpha - beta) * exp(-kappa * x^delta)
+//   weibull         alpha - (alpha - beta) * exp(-(kappa * x)^delta)
+//   ilog2           c - a / log(x + 1)
+//
+// All performance values are assumed normalized to [0, 1] (accuracy, or
+// min-max scaled reward per Eq. 4 of the paper).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hyperdrive::curve {
+
+/// Inclusive parameter box used both as a uniform prior support and to
+/// clamp optimizer proposals.
+struct ParamBounds {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Interface for one parametric curve family.
+class ParametricModel {
+ public:
+  virtual ~ParametricModel() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t num_params() const noexcept = 0;
+  [[nodiscard]] virtual const std::vector<ParamBounds>& bounds() const noexcept = 0;
+
+  /// Evaluate the curve at epoch x (x >= 1) with parameters theta
+  /// (theta.size() == num_params()). May return non-finite values for
+  /// pathological theta; callers must reject those.
+  [[nodiscard]] virtual double eval(double x, std::span<const double> theta) const noexcept = 0;
+
+  /// A reasonable starting point for the optimizer given the observed prefix
+  /// ys (ys[i] is performance at epoch i+1). Deterministic.
+  [[nodiscard]] virtual std::vector<double> initial_guess(
+      std::span<const double> ys) const = 0;
+
+  /// Draw a random parameter vector uniformly from the bounds box.
+  [[nodiscard]] std::vector<double> random_params(util::Rng& rng) const;
+
+  /// True iff theta lies inside the bounds box.
+  [[nodiscard]] bool in_bounds(std::span<const double> theta) const noexcept;
+};
+
+/// Construct all 11 families (the full Domhan set).
+[[nodiscard]] std::vector<std::unique_ptr<ParametricModel>> make_all_models();
+
+/// Construct a named subset (by family name); throws std::invalid_argument
+/// for an unknown name. Useful for fast predictor configurations.
+[[nodiscard]] std::vector<std::unique_ptr<ParametricModel>> make_models(
+    const std::vector<std::string>& names);
+
+/// Names of all 11 families in canonical order.
+[[nodiscard]] const std::vector<std::string>& all_model_names();
+
+}  // namespace hyperdrive::curve

@@ -1,0 +1,52 @@
+#include "sim/simulation.hpp"
+
+#include <utility>
+
+namespace hyperdrive::sim {
+
+EventHandle Simulation::schedule_at(util::SimTime t, Callback cb, int priority) {
+  if (t < now_) t = now_;
+  Event ev;
+  ev.time = t;
+  ev.priority = priority;
+  ev.seq = next_seq_++;
+  ev.handle = next_handle_++;
+  pending_.emplace(ev.handle, std::move(cb));
+  queue_.push(ev);
+  return ev.handle;
+}
+
+EventHandle Simulation::schedule_after(util::SimTime delay, Callback cb, int priority) {
+  return schedule_at(now_ + delay, std::move(cb), priority);
+}
+
+bool Simulation::cancel(EventHandle handle) { return pending_.erase(handle) > 0; }
+
+std::size_t Simulation::events_pending() const noexcept { return pending_.size(); }
+
+void Simulation::drain(util::SimTime until) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    const Event ev = queue_.top();
+    if (ev.time > until) break;
+    queue_.pop();
+    const auto it = pending_.find(ev.handle);
+    if (it == pending_.end()) continue;  // cancelled tombstone
+    Callback cb = std::move(it->second);
+    pending_.erase(it);
+    now_ = ev.time;
+    ++processed_;
+    cb();
+  }
+}
+
+void Simulation::run() { drain(util::SimTime::infinity()); }
+
+void Simulation::run_until(util::SimTime until) {
+  drain(until);
+  // Advance the clock to the boundary only for finite horizons; an infinite
+  // horizon means "run to completion" and the clock stays at the last event.
+  if (until < util::SimTime::infinity() && now_ < until && !stopped_) now_ = until;
+}
+
+}  // namespace hyperdrive::sim

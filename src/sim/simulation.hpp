@@ -1,0 +1,81 @@
+// Discrete-event simulation engine — the "Simulator Engine" of §7.1.
+//
+// Both execution substrates in this repository run on virtual time:
+//   * cluster::HyperDriveCluster, the high-fidelity model of the live
+//     HyperDrive deployment (node agents, suspend/resume and message
+//     overheads, epoch jitter), and
+//   * sim::TraceReplaySimulator, the paper's simplified trace-driven
+//     simulator used for the sensitivity studies (§7.2).
+// Comparing the two reproduces the simulator-validation experiment
+// (Fig. 12a).
+//
+// Events fire in (time, priority, insertion order) order, so simulations are
+// fully deterministic. Events can be cancelled via the handle returned by
+// schedule_*.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+
+#include "util/sim_time.hpp"
+
+namespace hyperdrive::sim {
+
+using EventHandle = std::uint64_t;
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] util::SimTime now() const noexcept { return now_; }
+
+  /// Schedule `cb` at absolute time `t` (>= now(), else clamped to now()).
+  /// Lower `priority` fires first among same-time events.
+  EventHandle schedule_at(util::SimTime t, Callback cb, int priority = 0);
+  EventHandle schedule_after(util::SimTime delay, Callback cb, int priority = 0);
+
+  /// Cancel a pending event; returns false if it already fired or was
+  /// cancelled before.
+  bool cancel(EventHandle handle);
+
+  /// Run until the queue drains, `stop()` is called, or the optional
+  /// `until` time is passed (events at exactly `until` still fire).
+  void run();
+  void run_until(util::SimTime until);
+  void stop() noexcept { stopped_ = true; }
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+
+  [[nodiscard]] std::size_t events_processed() const noexcept { return processed_; }
+  [[nodiscard]] std::size_t events_pending() const noexcept;
+
+ private:
+  struct Event {
+    util::SimTime time;
+    int priority = 0;
+    std::uint64_t seq = 0;
+    EventHandle handle = 0;
+    // Ordering for the min-heap (std::priority_queue is a max-heap, so the
+    // comparator is reversed).
+    bool operator<(const Event& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      if (priority != other.priority) return priority > other.priority;
+      return seq > other.seq;
+    }
+  };
+
+  void drain(util::SimTime until);
+
+  util::SimTime now_ = util::SimTime::zero();
+  std::priority_queue<Event> queue_;
+  /// handle -> callback; erased on fire or cancel, so a queue entry whose
+  /// handle is absent here is a cancelled tombstone.
+  std::unordered_map<EventHandle, Callback> pending_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_handle_ = 1;
+  std::size_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace hyperdrive::sim

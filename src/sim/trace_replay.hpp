@@ -1,0 +1,99 @@
+// TraceReplaySimulator — the paper's trace-driven simulator (§7.1).
+//
+// Replays a frozen workload::Trace under a pluggable SchedulingPolicy with
+// idealized resource-management logic: epoch durations are exactly the
+// trace's recorded averages and suspend/resume, messaging and prediction
+// overheads are all zero. This is deliberately simpler than
+// cluster::HyperDriveCluster; the difference between the two on the same
+// trace is the simulator-validation error of Fig. 12a (the paper reports a
+// max error of 13% against its live system).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "core/experiment_result.hpp"
+#include "core/sap.hpp"
+#include "sim/simulation.hpp"
+#include "workload/trace.hpp"
+
+namespace hyperdrive::sim {
+
+struct ReplayOptions {
+  std::size_t machines = 4;
+  /// Experiment cutoff (the user's Tmax); infinity disables it.
+  util::SimTime max_experiment_time = util::SimTime::infinity();
+  /// Stop as soon as any job reports perf >= target (the paper's
+  /// time-to-target objective). When false the experiment runs all jobs to
+  /// completion/termination (used to study best-within-budget).
+  bool stop_on_target = true;
+  /// Model-owner-defined global termination criterion (§9); when set it
+  /// replaces the perf >= target check (stop_on_target still gates it).
+  core::GlobalStopCriterion stop_criterion;
+};
+
+class TraceReplaySimulator final : public core::SchedulerOps {
+ public:
+  TraceReplaySimulator(const workload::Trace& trace, ReplayOptions options);
+
+  /// Run the experiment under `policy` and collect the result. The
+  /// simulator object is single-use.
+  [[nodiscard]] core::ExperimentResult run(core::SchedulingPolicy& policy);
+
+  // --- SchedulerOps -------------------------------------------------------
+  [[nodiscard]] std::optional<core::JobId> get_idle_job() override;
+  bool start_job(core::JobId job) override;
+  void label_job(core::JobId job, double priority) override;
+  [[nodiscard]] std::size_t total_machines() const override { return options_.machines; }
+  [[nodiscard]] std::size_t idle_machines() const override { return idle_machines_; }
+  [[nodiscard]] util::SimTime now() const override { return simulation_.now(); }
+  [[nodiscard]] core::JobStatus job_status(core::JobId job) const override;
+  [[nodiscard]] std::vector<core::JobId> active_jobs() const override;
+  [[nodiscard]] const std::vector<double>& perf_history(core::JobId job) const override;
+  [[nodiscard]] util::SimTime avg_epoch_duration(core::JobId job) const override;
+  [[nodiscard]] std::size_t epochs_done(core::JobId job) const override;
+  [[nodiscard]] std::size_t max_epochs() const override { return trace_.max_epochs; }
+  [[nodiscard]] double target_performance() const override {
+    return trace_.target_performance;
+  }
+  [[nodiscard]] double kill_threshold() const override { return trace_.kill_threshold; }
+  [[nodiscard]] std::size_t evaluation_boundary() const override {
+    return trace_.evaluation_boundary;
+  }
+
+ private:
+  struct JobRuntime {
+    const workload::TraceJob* spec = nullptr;
+    core::JobStatus status = core::JobStatus::Pending;
+    std::size_t epochs_done = 0;
+    std::vector<double> history;
+    util::SimTime execution_time = util::SimTime::zero();
+    std::size_t times_suspended = 0;
+    double priority = 0.0;
+    std::uint64_t idle_seq = 0;  ///< FIFO tie-break within equal priority
+    bool idle = true;            ///< in the idle queue (pending or suspended)
+  };
+
+  JobRuntime& runtime(core::JobId job);
+  [[nodiscard]] const JobRuntime& runtime(core::JobId job) const;
+  void complete_epoch(core::JobId job);
+  void release_machine_and_allocate();
+  void finish_experiment();
+
+  const workload::Trace& trace_;
+  ReplayOptions options_;
+  Simulation simulation_;
+  core::SchedulingPolicy* policy_ = nullptr;
+  std::map<core::JobId, JobRuntime> jobs_;  // ordered => deterministic iteration
+  std::size_t idle_machines_ = 0;
+  std::uint64_t idle_counter_ = 0;
+  core::ExperimentResult result_;
+  bool done_ = false;
+};
+
+/// Convenience wrapper: build, run, return.
+[[nodiscard]] core::ExperimentResult replay_experiment(const workload::Trace& trace,
+                                                       core::SchedulingPolicy& policy,
+                                                       const ReplayOptions& options);
+
+}  // namespace hyperdrive::sim

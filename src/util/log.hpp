@@ -1,0 +1,53 @@
+// Leveled, thread-safe logging. The simulator and cluster components log at
+// Debug; experiment drivers log progress at Info. Benches default to Warn so
+// figure output stays clean.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace hyperdrive::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit one line ("[level] component: message") to stderr under a lock.
+void log_line(LogLevel level, const std::string& component, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  if constexpr (sizeof...(Args) > 0) {
+    (os << ... << std::forward<Args>(args));
+  }
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const std::string& component, Args&&... args) {
+  if (log_level() <= LogLevel::Debug)
+    log_line(LogLevel::Debug, component, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(const std::string& component, Args&&... args) {
+  if (log_level() <= LogLevel::Info)
+    log_line(LogLevel::Info, component, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(const std::string& component, Args&&... args) {
+  if (log_level() <= LogLevel::Warn)
+    log_line(LogLevel::Warn, component, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(const std::string& component, Args&&... args) {
+  if (log_level() <= LogLevel::Error)
+    log_line(LogLevel::Error, component, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace hyperdrive::util

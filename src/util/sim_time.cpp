@@ -1,0 +1,31 @@
+#include "util/sim_time.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace hyperdrive::util {
+
+SimTime SimTime::infinity() noexcept {
+  return SimTime(std::numeric_limits<double>::infinity());
+}
+
+std::string format_duration(SimTime t) {
+  const double s = t.to_seconds();
+  std::ostringstream os;
+  os.precision(4);
+  if (!std::isfinite(s)) {
+    os << (s > 0 ? "inf" : "-inf");
+  } else if (std::fabs(s) >= 3600.0) {
+    os << s / 3600.0 << "h";
+  } else if (std::fabs(s) >= 60.0) {
+    os << s / 60.0 << "min";
+  } else if (std::fabs(s) >= 1.0) {
+    os << s << "s";
+  } else {
+    os << s * 1000.0 << "ms";
+  }
+  return os.str();
+}
+
+}  // namespace hyperdrive::util

@@ -1,0 +1,63 @@
+// Simulated-time type. HyperDrive's discrete-event simulator (§7.1) advances
+// a virtual clock measured in seconds; using a distinct strong type prevents
+// mixing simulated durations with wall-clock values from std::chrono.
+#pragma once
+
+#include <compare>
+#include <string>
+
+namespace hyperdrive::util {
+
+/// A point or span on the simulated timeline, in seconds.
+///
+/// SimTime is deliberately a plain value type: arithmetic, comparisons and
+/// helpers only. Negative values are allowed for spans (e.g. time deltas).
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+  constexpr explicit SimTime(double seconds) noexcept : seconds_(seconds) {}
+
+  [[nodiscard]] static constexpr SimTime seconds(double s) noexcept { return SimTime(s); }
+  [[nodiscard]] static constexpr SimTime minutes(double m) noexcept { return SimTime(m * 60.0); }
+  [[nodiscard]] static constexpr SimTime hours(double h) noexcept { return SimTime(h * 3600.0); }
+  [[nodiscard]] static constexpr SimTime milliseconds(double ms) noexcept {
+    return SimTime(ms / 1000.0);
+  }
+  [[nodiscard]] static constexpr SimTime zero() noexcept { return SimTime(0.0); }
+  [[nodiscard]] static SimTime infinity() noexcept;
+
+  [[nodiscard]] constexpr double to_seconds() const noexcept { return seconds_; }
+  [[nodiscard]] constexpr double to_minutes() const noexcept { return seconds_ / 60.0; }
+  [[nodiscard]] constexpr double to_hours() const noexcept { return seconds_ / 3600.0; }
+  [[nodiscard]] constexpr double to_milliseconds() const noexcept { return seconds_ * 1000.0; }
+
+  constexpr auto operator<=>(const SimTime&) const noexcept = default;
+
+  constexpr SimTime operator+(SimTime other) const noexcept {
+    return SimTime(seconds_ + other.seconds_);
+  }
+  constexpr SimTime operator-(SimTime other) const noexcept {
+    return SimTime(seconds_ - other.seconds_);
+  }
+  constexpr SimTime operator*(double k) const noexcept { return SimTime(seconds_ * k); }
+  constexpr SimTime operator/(double k) const noexcept { return SimTime(seconds_ / k); }
+  [[nodiscard]] constexpr double operator/(SimTime other) const noexcept {
+    return seconds_ / other.seconds_;
+  }
+  constexpr SimTime& operator+=(SimTime other) noexcept {
+    seconds_ += other.seconds_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime other) noexcept {
+    seconds_ -= other.seconds_;
+    return *this;
+  }
+
+ private:
+  double seconds_ = 0.0;
+};
+
+/// Human-readable rendering, e.g. "2.81h", "47.3min", "158ms".
+[[nodiscard]] std::string format_duration(SimTime t);
+
+}  // namespace hyperdrive::util

@@ -1,0 +1,87 @@
+// Descriptive statistics used throughout the evaluation harness: percentiles
+// and quartile summaries for the paper's box plots (Fig. 7 / Fig. 9), ECDFs
+// for the duration and overhead distributions (Fig. 6 / Fig. 10 / Fig. 12c),
+// and streaming moments for overhead accounting (§6.2.3).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hyperdrive::util {
+
+[[nodiscard]] double mean(const std::vector<double>& xs);
+/// Sample variance (divides by n-1); returns 0 for fewer than two samples.
+[[nodiscard]] double variance(const std::vector<double>& xs);
+[[nodiscard]] double stddev(const std::vector<double>& xs);
+[[nodiscard]] double min_of(const std::vector<double>& xs);
+[[nodiscard]] double max_of(const std::vector<double>& xs);
+
+/// Linear-interpolation percentile (same convention as numpy.percentile).
+/// q is in [0, 100]. Throws std::invalid_argument on empty input.
+[[nodiscard]] double percentile(std::vector<double> xs, double q);
+[[nodiscard]] double median(std::vector<double> xs);
+
+/// Five-number summary used to print box plots as text.
+struct BoxStats {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+  double mean = 0;
+  std::size_t n = 0;
+};
+[[nodiscard]] BoxStats box_stats(const std::vector<double>& xs);
+/// Render "min/Q1/med/Q3/max (mean, n)" for the bench reports.
+[[nodiscard]] std::string to_string(const BoxStats& b);
+
+/// Empirical CDF over the samples. eval(x) = fraction of samples <= x.
+class Ecdf {
+ public:
+  explicit Ecdf(std::vector<double> samples);
+  [[nodiscard]] double eval(double x) const noexcept;
+  /// Inverse ECDF: the q-quantile, q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted() const noexcept { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Welford's online mean/variance — used where samples arrive one at a time
+/// (e.g. suspend latencies recorded during a live cluster run).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; out-of-range
+/// samples are clamped into the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t i) const noexcept;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace hyperdrive::util

@@ -1,0 +1,175 @@
+#include "workload/cifar_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hyperdrive::workload {
+
+namespace {
+
+/// Gaussian kernel in log10 space: 1 at the ideal value, decaying with
+/// distance measured in `width` decades.
+double log_kernel(double value, double ideal_log10, double width) {
+  const double d = (std::log10(value) - ideal_log10) / width;
+  return std::exp(-d * d);
+}
+
+double linear_kernel(double value, double ideal, double width) {
+  const double d = (value - ideal) / width;
+  return std::exp(-d * d);
+}
+
+}  // namespace
+
+CifarWorkloadModel::CifarWorkloadModel(CifarModelOptions options) : options_(options) {
+  // The 14-hyperparameter space mirrors the cuda-convnet layers-18pct knobs
+  // explored in Domhan et al. Table 3: learning-rate schedule, momentum,
+  // per-layer weight decay and init scales, and batching.
+  space_.add("lr", ContinuousDomain{1e-5, 0.5, /*log_scale=*/true})
+      .add("lr_decay", ContinuousDomain{0.5, 1.0})
+      .add("lr_step", IntegerDomain{10, 100})
+      .add("momentum", ContinuousDomain{0.0, 0.99})
+      .add("wd_conv1", ContinuousDomain{1e-7, 1e-1, true})
+      .add("wd_conv2", ContinuousDomain{1e-7, 1e-1, true})
+      .add("wd_conv3", ContinuousDomain{1e-7, 1e-1, true})
+      .add("wd_fc", ContinuousDomain{1e-7, 1e-1, true})
+      .add("init_std_conv1", ContinuousDomain{1e-5, 1e-1, true})
+      .add("init_std_conv2", ContinuousDomain{1e-5, 1e-1, true})
+      .add("init_std_conv3", ContinuousDomain{1e-5, 1e-1, true})
+      .add("init_std_fc", ContinuousDomain{1e-5, 1e-1, true})
+      .add("bias_lr_mult", ContinuousDomain{0.1, 10.0, true})
+      .add("batch_size", IntegerDomain{32, 512, true});
+}
+
+ConfigQuality CifarWorkloadModel::quality(const Configuration& config) const {
+  ConfigQuality q;
+  const double lr = config.get_double("lr");
+  const double momentum = config.get_double("momentum");
+
+  // Divergence: too-aggressive step sizes blow the loss up — the network
+  // never leaves random accuracy. An overly large conv init also kills
+  // training (saturated activations from the start).
+  const double effective_lr = lr * (1.0 + 4.0 * std::max(0.0, momentum - 0.90) * 10.0);
+  if (effective_lr > 0.09) {
+    q.learns = false;
+    q.final_perf = options_.random_accuracy;
+    q.speed = 1.0;
+    return q;
+  }
+  for (const char* layer : {"init_std_conv1", "init_std_conv2", "init_std_conv3"}) {
+    if (config.get_double(layer) > 0.05) {
+      q.learns = false;
+      q.final_perf = options_.random_accuracy;
+      q.speed = 1.0;
+      return q;
+    }
+  }
+
+  // Smooth quality kernels. A geometric combination makes simultaneous
+  // near-ideal settings rare, which reproduces the paper's sparsity of good
+  // configurations (§1, §2).
+  const double s_lr = log_kernel(lr, -2.1, 1.1);
+  const double s_mom = linear_kernel(momentum, 0.90, 0.30);
+  double s_init = 1.0;
+  for (const char* layer :
+       {"init_std_conv1", "init_std_conv2", "init_std_conv3", "init_std_fc"}) {
+    s_init *= std::pow(log_kernel(config.get_double(layer), -2.0, 1.4), 0.25);
+  }
+  double s_wd = 1.0;
+  for (const char* layer : {"wd_conv1", "wd_conv2", "wd_conv3", "wd_fc"}) {
+    s_wd *= std::pow(log_kernel(config.get_double(layer), -4.0, 2.2), 0.25);
+  }
+  const double s_bias = log_kernel(config.get_double("bias_lr_mult"), 0.3, 1.5);
+  const double s_batch =
+      log_kernel(static_cast<double>(config.get_int("batch_size")), 2.0, 1.0);
+  const double s_sched = linear_kernel(config.get_double("lr_decay"), 0.85, 0.35);
+
+  const double score = std::pow(s_lr, 0.34) * std::pow(s_mom, 0.16) *
+                       std::pow(s_init, 0.20) * std::pow(s_wd, 0.12) *
+                       std::pow(s_bias, 0.06) * std::pow(s_batch, 0.06) *
+                       std::pow(s_sched, 0.06);
+  q.score = score;
+
+  // Speed/quality trade-off: hotter learning rates move early but plateau
+  // lower; cool ones crawl but generalize — the source of Fig. 2b overtakes.
+  const double heat = std::clamp((std::log10(lr) + 3.5) / 2.5, 0.0, 1.0);
+  // Logistic score→accuracy map, calibrated so that under random sampling a
+  // few percent of configurations clear 0.75 and the best land near 0.80
+  // (Fig. 1 / Fig. 2a population shape).
+  const double g = 1.0 / (1.0 + std::exp(-(score - 0.45) / 0.115));
+  const double final_from_score =
+      options_.random_accuracy + (0.87 - options_.random_accuracy) * g;
+  q.final_perf = final_from_score * (1.0 - 0.06 * heat);
+  // Good configurations also learn quickly (real layers-18pct winners pass
+  // 60% within ~30 epochs); heat adds a secondary kick that, combined with
+  // its small final-accuracy penalty, produces occasional A/B overtakes.
+  q.speed = 0.55 + 1.8 * score + 0.5 * heat;
+
+  // Extremely cold learning rates never escape the floor within the budget.
+  if (lr < 5e-5) {
+    q.final_perf = std::min(q.final_perf, options_.random_accuracy + 0.04);
+    q.speed = 0.15;
+  }
+  q.learns = q.final_perf > options_.random_accuracy + 0.02;
+  return q;
+}
+
+GroundTruthCurve CifarWorkloadModel::realize(const Configuration& config,
+                                             std::uint64_t experiment_seed) const {
+  const ConfigQuality q = quality(config);
+  const std::uint64_t config_hash = config.stable_hash();
+  // Intrinsic shape parameters depend only on the configuration; the noise
+  // realization additionally depends on the experiment seed.
+  util::Rng shape_rng(util::derive_seed(config_hash, 0xC1FA9));
+  util::Rng noise_rng(util::derive_seed(config_hash ^ experiment_seed, 0x401E));
+
+  GroundTruthCurve curve;
+  curve.raw_min = 0.0;
+  curve.raw_max = 1.0;
+  curve.perf.resize(options_.max_epochs);
+
+  // Epoch duration: ~1 minute, mildly batch-size dependent, constant per
+  // configuration (§9) with a per-config lognormal factor.
+  const double batch = static_cast<double>(config.get_int("batch_size"));
+  const double base_seconds = (46.0 + 2200.0 / batch) * options_.epoch_duration_scale;
+  curve.epoch_duration =
+      util::SimTime::seconds(base_seconds * shape_rng.lognormal(0.0, 0.07));
+
+  const double floor = options_.random_accuracy;
+  const double noise_sigma =
+      (0.004 + 0.008 * shape_rng.uniform()) * options_.noise_scale;
+
+  if (!q.learns) {
+    // Non-learner: noisy wandering around random accuracy.
+    for (std::size_t e = 0; e < curve.perf.size(); ++e) {
+      const double wobble = noise_rng.normal(0.0, noise_sigma + 0.004);
+      curve.perf[e] = std::clamp(floor + wobble, 0.05, floor + 0.045);
+    }
+    return curve;
+  }
+
+  // Janoschek-style growth: floor + (final - floor) * (1 - exp(-(k e)^d)),
+  // with a small fast component so learners escape random accuracy within
+  // the first few epochs (as the Fig. 1 curves do).
+  const double k = 0.028 * q.speed * shape_rng.lognormal(0.0, 0.22);
+  const double d = 0.85 + 0.6 * shape_rng.uniform();
+  // Learning-rate step schedule gives a small late boost (classic CIFAR
+  // staircase), at the configured step epoch.
+  const auto lr_step = static_cast<double>(config.get_int("lr_step"));
+  const double step_boost = 0.025 * (1.0 - config.get_double("lr_decay"));
+
+  for (std::size_t e = 0; e < curve.perf.size(); ++e) {
+    const double x = static_cast<double>(e + 1);
+    const double growth =
+        0.12 * (1.0 - std::exp(-x / 2.5)) + 0.88 * (1.0 - std::exp(-std::pow(k * x, d)));
+    double y = floor + (q.final_perf - floor) * growth;
+    if (x >= lr_step) {
+      y += step_boost * (1.0 - std::exp(-(x - lr_step) / 8.0)) * (q.final_perf - floor);
+    }
+    y += noise_rng.normal(0.0, noise_sigma);
+    curve.perf[e] = std::clamp(y, 0.02, 0.95);
+  }
+  return curve;
+}
+
+}  // namespace hyperdrive::workload

@@ -1,0 +1,212 @@
+#include "workload/hyperparameters.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace hyperdrive::workload {
+
+std::string to_string(const ParamValue& v) {
+  return std::visit(
+      [](const auto& x) -> std::string {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, std::string>) {
+          return x;
+        } else if constexpr (std::is_same_v<T, std::int64_t>) {
+          return std::to_string(x);
+        } else {
+          std::ostringstream os;
+          os.precision(8);
+          os << x;
+          return os.str();
+        }
+      },
+      v);
+}
+
+void Configuration::set(std::string name, ParamValue value) {
+  values_[std::move(name)] = std::move(value);
+}
+
+bool Configuration::has(const std::string& name) const noexcept {
+  return values_.find(name) != values_.end();
+}
+
+const ParamValue& Configuration::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) throw std::out_of_range("hyperparameter not set: " + name);
+  return it->second;
+}
+
+double Configuration::get_double(const std::string& name) const {
+  const auto& v = get(name);
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return static_cast<double>(*i);
+  throw std::invalid_argument("hyperparameter is categorical: " + name);
+}
+
+std::int64_t Configuration::get_int(const std::string& name) const {
+  const auto& v = get(name);
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return *i;
+  if (const auto* d = std::get_if<double>(&v)) return static_cast<std::int64_t>(*d);
+  throw std::invalid_argument("hyperparameter is categorical: " + name);
+}
+
+const std::string& Configuration::get_categorical(const std::string& name) const {
+  const auto& v = get(name);
+  if (const auto* s = std::get_if<std::string>(&v)) return *s;
+  throw std::invalid_argument("hyperparameter is not categorical: " + name);
+}
+
+std::uint64_t Configuration::stable_hash() const noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix_byte = [&h](unsigned char b) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  };
+  auto mix_bytes = [&](const void* p, std::size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) mix_byte(bytes[i]);
+  };
+  for (const auto& [name, value] : values_) {
+    mix_bytes(name.data(), name.size());
+    mix_byte(0);
+    std::visit(
+        [&](const auto& x) {
+          using T = std::decay_t<decltype(x)>;
+          if constexpr (std::is_same_v<T, std::string>) {
+            mix_byte(2);
+            mix_bytes(x.data(), x.size());
+          } else if constexpr (std::is_same_v<T, std::int64_t>) {
+            mix_byte(1);
+            mix_bytes(&x, sizeof(x));
+          } else {
+            mix_byte(0);
+            std::uint64_t bits;
+            std::memcpy(&bits, &x, sizeof(bits));
+            mix_bytes(&bits, sizeof(bits));
+          }
+        },
+        value);
+    mix_byte(0);
+  }
+  return h;
+}
+
+std::string Configuration::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const auto& [name, value] : values_) {
+    if (!first) os << ", ";
+    first = false;
+    os << name << '=' << workload::to_string(value);
+  }
+  os << '}';
+  return os.str();
+}
+
+HyperparameterSpace& HyperparameterSpace::add(std::string name, ParamDomain domain) {
+  if (const auto* c = std::get_if<ContinuousDomain>(&domain)) {
+    if (!(c->hi > c->lo)) throw std::invalid_argument("bad continuous domain: " + name);
+    if (c->log_scale && c->lo <= 0.0) {
+      throw std::invalid_argument("log-scale domain needs positive bounds: " + name);
+    }
+  } else if (const auto* i = std::get_if<IntegerDomain>(&domain)) {
+    if (i->hi < i->lo) throw std::invalid_argument("bad integer domain: " + name);
+    if (i->log_scale && i->lo <= 0) {
+      throw std::invalid_argument("log-scale domain needs positive bounds: " + name);
+    }
+  } else if (const auto* cat = std::get_if<CategoricalDomain>(&domain)) {
+    if (cat->options.empty()) throw std::invalid_argument("empty categorical: " + name);
+  }
+  dims_.emplace_back(std::move(name), std::move(domain));
+  return *this;
+}
+
+Configuration HyperparameterSpace::sample(util::Rng& rng) const {
+  Configuration config;
+  for (const auto& [name, domain] : dims_) {
+    if (const auto* c = std::get_if<ContinuousDomain>(&domain)) {
+      double v;
+      if (c->log_scale) {
+        v = std::exp(rng.uniform(std::log(c->lo), std::log(c->hi)));
+      } else {
+        v = rng.uniform(c->lo, c->hi);
+      }
+      config.set(name, v);
+    } else if (const auto* i = std::get_if<IntegerDomain>(&domain)) {
+      std::int64_t v;
+      if (i->log_scale) {
+        const double lv = rng.uniform(std::log(static_cast<double>(i->lo)),
+                                      std::log(static_cast<double>(i->hi) + 1.0));
+        v = std::clamp<std::int64_t>(static_cast<std::int64_t>(std::exp(lv)), i->lo, i->hi);
+      } else {
+        v = rng.uniform_int(i->lo, i->hi);
+      }
+      config.set(name, v);
+    } else {
+      const auto& cat = std::get<CategoricalDomain>(domain);
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(cat.options.size()) - 1));
+      config.set(name, cat.options[idx]);
+    }
+  }
+  return config;
+}
+
+std::vector<Configuration> HyperparameterSpace::grid(std::size_t points_per_dim,
+                                                     std::size_t max_configs) const {
+  if (points_per_dim == 0) throw std::invalid_argument("points_per_dim must be >= 1");
+  std::vector<Configuration> out;
+  out.emplace_back();
+
+  for (const auto& [name, domain] : dims_) {
+    std::vector<ParamValue> axis;
+    if (const auto* c = std::get_if<ContinuousDomain>(&domain)) {
+      const std::size_t n = points_per_dim;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = n == 1 ? 0.5 : static_cast<double>(i) / static_cast<double>(n - 1);
+        double v;
+        if (c->log_scale) {
+          v = std::exp(std::log(c->lo) + t * (std::log(c->hi) - std::log(c->lo)));
+        } else {
+          v = c->lo + t * (c->hi - c->lo);
+        }
+        axis.emplace_back(v);
+      }
+    } else if (const auto* idom = std::get_if<IntegerDomain>(&domain)) {
+      const auto span = static_cast<std::size_t>(idom->hi - idom->lo) + 1;
+      const std::size_t n = std::min(points_per_dim, span);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = n == 1 ? 0.5 : static_cast<double>(i) / static_cast<double>(n - 1);
+        axis.emplace_back(static_cast<std::int64_t>(
+            std::llround(static_cast<double>(idom->lo) +
+                         t * static_cast<double>(idom->hi - idom->lo))));
+      }
+    } else {
+      for (const auto& opt : std::get<CategoricalDomain>(domain).options) {
+        axis.emplace_back(opt);
+      }
+    }
+
+    std::vector<Configuration> next;
+    next.reserve(out.size() * axis.size());
+    for (const auto& base : out) {
+      for (const auto& v : axis) {
+        Configuration c = base;
+        c.set(name, v);
+        next.push_back(std::move(c));
+      }
+    }
+    out = std::move(next);
+    // Cap growth eagerly so a many-dimensional grid cannot explode; kept
+    // configs still receive every remaining dimension.
+    if (max_configs > 0 && out.size() > max_configs) out.resize(max_configs);
+  }
+  return out;
+}
+
+}  // namespace hyperdrive::workload

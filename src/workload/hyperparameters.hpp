@@ -1,0 +1,97 @@
+// Hyperparameter spaces and configurations. The Hyperparameter Generator
+// (§4.2 ➁) draws configurations from a HyperparameterSpace; the workload
+// models map a Configuration deterministically to a ground-truth learning
+// curve, so the same configuration always trains the same way regardless of
+// the order in which a policy explores it (needed for §7.2.2's
+// configuration-order sensitivity study).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hyperdrive::workload {
+
+/// A continuous range, optionally sampled log-uniformly (learning rates,
+/// weight decays and friends span orders of magnitude).
+struct ContinuousDomain {
+  double lo = 0.0;
+  double hi = 1.0;
+  bool log_scale = false;
+};
+
+struct IntegerDomain {
+  std::int64_t lo = 0;
+  std::int64_t hi = 1;
+  bool log_scale = false;
+};
+
+struct CategoricalDomain {
+  std::vector<std::string> options;
+};
+
+using ParamDomain = std::variant<ContinuousDomain, IntegerDomain, CategoricalDomain>;
+using ParamValue = std::variant<double, std::int64_t, std::string>;
+
+/// Render a value for traces and logs ("0.0032", "128", "adam").
+[[nodiscard]] std::string to_string(const ParamValue& v);
+
+/// One named hyperparameter assignment set, e.g. {lr: 0.003, momentum: 0.9}.
+class Configuration {
+ public:
+  Configuration() = default;
+
+  void set(std::string name, ParamValue value);
+  [[nodiscard]] bool has(const std::string& name) const noexcept;
+  /// Throws std::out_of_range if absent.
+  [[nodiscard]] const ParamValue& get(const std::string& name) const;
+  /// Numeric view: doubles pass through, integers convert; throws
+  /// std::invalid_argument for categorical values.
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] const std::string& get_categorical(const std::string& name) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] const std::map<std::string, ParamValue>& values() const noexcept {
+    return values_;
+  }
+
+  /// Stable FNV-1a hash of all (name, value) pairs; the workload models seed
+  /// their ground-truth curve generation from this.
+  [[nodiscard]] std::uint64_t stable_hash() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<std::string, ParamValue> values_;  // ordered => deterministic hash
+};
+
+/// A named collection of parameter domains.
+class HyperparameterSpace {
+ public:
+  HyperparameterSpace& add(std::string name, ParamDomain domain);
+
+  [[nodiscard]] std::size_t size() const noexcept { return dims_.size(); }
+  [[nodiscard]] const std::vector<std::pair<std::string, ParamDomain>>& dims() const noexcept {
+    return dims_;
+  }
+
+  /// Sample one configuration uniformly (log-uniformly where flagged).
+  [[nodiscard]] Configuration sample(util::Rng& rng) const;
+
+  /// Enumerate an axis-aligned grid with `points_per_dim` points per
+  /// continuous/integer dimension (categoricals enumerate all options).
+  /// Order is row-major over dims(). Grid size grows multiplicatively, so
+  /// callers should cap `max_configs` (0 = unlimited).
+  [[nodiscard]] std::vector<Configuration> grid(std::size_t points_per_dim,
+                                                std::size_t max_configs = 0) const;
+
+ private:
+  std::vector<std::pair<std::string, ParamDomain>> dims_;
+};
+
+}  // namespace hyperdrive::workload

@@ -1,0 +1,101 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace hyperdrive::workload {
+
+Trace Trace::shuffled(util::Rng& rng) const {
+  Trace out = *this;
+  rng.shuffle(out.jobs);
+  return out;
+}
+
+bool Trace::target_reachable() const noexcept {
+  for (const auto& job : jobs) {
+    if (job.curve.first_epoch_reaching(target_performance) != 0) return true;
+  }
+  return false;
+}
+
+void Trace::save_csv(std::ostream& out) const {
+  util::CsvWriter writer(out, {"job_id", "epoch", "duration_s", "perf"});
+  for (const auto& job : jobs) {
+    for (std::size_t e = 0; e < job.curve.perf.size(); ++e) {
+      writer.write_row({std::to_string(job.job_id), std::to_string(e + 1),
+                        std::to_string(job.curve.epoch_duration.to_seconds()),
+                        std::to_string(job.curve.perf[e])});
+    }
+  }
+}
+
+Trace Trace::load_csv(std::istream& in, std::string workload_name, double target,
+                      double kill_threshold, std::size_t evaluation_boundary) {
+  const auto table = util::parse_csv(in);
+  const auto job_col = table.column("job_id");
+  const auto epoch_col = table.column("epoch");
+  const auto dur_col = table.column("duration_s");
+  const auto perf_col = table.column("perf");
+
+  // job_id -> (duration, ordered perf values); std::map keeps first-seen
+  // order irrelevant, so we track insertion order separately.
+  std::map<std::uint64_t, TraceJob> jobs;
+  std::vector<std::uint64_t> order;
+  for (const auto& row : table.rows) {
+    const std::uint64_t job_id = std::stoull(row[job_col]);
+    const std::size_t epoch = std::stoull(row[epoch_col]);
+    const double duration = std::stod(row[dur_col]);
+    const double perf = std::stod(row[perf_col]);
+    auto [it, inserted] = jobs.try_emplace(job_id);
+    if (inserted) {
+      it->second.job_id = job_id;
+      it->second.curve.epoch_duration = util::SimTime::seconds(duration);
+      order.push_back(job_id);
+    }
+    auto& perf_vec = it->second.curve.perf;
+    if (epoch != perf_vec.size() + 1) {
+      throw std::runtime_error("trace rows for job " + std::to_string(job_id) +
+                               " are not consecutive epochs");
+    }
+    perf_vec.push_back(perf);
+  }
+
+  Trace trace;
+  trace.workload_name = std::move(workload_name);
+  trace.target_performance = target;
+  trace.kill_threshold = kill_threshold;
+  trace.evaluation_boundary = evaluation_boundary;
+  trace.jobs.reserve(order.size());
+  for (const auto id : order) trace.jobs.push_back(std::move(jobs.at(id)));
+  for (const auto& job : trace.jobs) {
+    trace.max_epochs = std::max(trace.max_epochs, job.curve.perf.size());
+  }
+  return trace;
+}
+
+Trace generate_trace(const WorkloadModel& model, std::size_t num_configs,
+                     std::uint64_t seed) {
+  Trace trace;
+  trace.workload_name = std::string(model.name());
+  trace.target_performance = model.target_performance();
+  trace.kill_threshold = model.kill_threshold();
+  trace.evaluation_boundary = model.evaluation_boundary();
+  trace.max_epochs = model.max_epochs();
+
+  util::Rng rng(util::derive_seed(seed, 0x7ace));
+  trace.jobs.reserve(num_configs);
+  for (std::size_t i = 0; i < num_configs; ++i) {
+    TraceJob job;
+    job.job_id = i + 1;
+    job.config = model.space().sample(rng);
+    job.curve = model.realize(job.config, seed);
+    trace.jobs.push_back(std::move(job));
+  }
+  return trace;
+}
+
+}  // namespace hyperdrive::workload

@@ -1,0 +1,62 @@
+// Replayable workload traces — the Trace Generator of the paper's simulator
+// (§7.1, Fig. 11: rows of Job ID / Epoch / Time / Accuracy / Node ID).
+//
+// A Trace freezes the ground truth of a set of configurations so that
+// different scheduling policies (and different resource capacities /
+// configuration orders) can be compared on *identical* training behaviour.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+#include "workload/workload_model.hpp"
+
+namespace hyperdrive::workload {
+
+/// Ground truth for one job in a trace.
+struct TraceJob {
+  std::uint64_t job_id = 0;
+  Configuration config;
+  GroundTruthCurve curve;
+};
+
+/// A full experiment workload: jobs in exploration order plus the domain
+/// metadata every policy needs.
+struct Trace {
+  std::string workload_name;
+  double target_performance = 0.0;
+  double kill_threshold = 0.0;
+  std::size_t evaluation_boundary = 10;
+  std::size_t max_epochs = 0;
+  std::vector<TraceJob> jobs;
+
+  /// A copy with the job order permuted by `rng` (§7.2.2 configuration-order
+  /// sensitivity). Job ids are preserved; only the order changes.
+  [[nodiscard]] Trace shuffled(util::Rng& rng) const;
+
+  /// Does any job ever reach the target? (Sanity check for experiments that
+  /// measure time-to-target.)
+  [[nodiscard]] bool target_reachable() const noexcept;
+
+  /// Serialize per-epoch rows (job_id, epoch, duration_s, perf) as CSV.
+  void save_csv(std::ostream& out) const;
+  /// Reload rows saved by save_csv. Configurations are not round-tripped
+  /// (the scheduler never needs them once the curve is frozen); metadata
+  /// must be supplied by the caller.
+  [[nodiscard]] static Trace load_csv(std::istream& in, std::string workload_name,
+                                      double target, double kill_threshold,
+                                      std::size_t evaluation_boundary);
+};
+
+/// Sample `num_configs` configurations from the model's space and realize
+/// their ground truth. The same (model, seed, num_configs) triple always
+/// produces the same trace — the paper's "same random search HG with the
+/// same initial random seed" setup (§6.1).
+[[nodiscard]] Trace generate_trace(const WorkloadModel& model, std::size_t num_configs,
+                                   std::uint64_t seed);
+
+}  // namespace hyperdrive::workload

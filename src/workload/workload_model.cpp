@@ -1,0 +1,19 @@
+#include "workload/workload_model.hpp"
+
+#include <algorithm>
+
+namespace hyperdrive::workload {
+
+double GroundTruthCurve::best_perf() const noexcept {
+  if (perf.empty()) return 0.0;
+  return *std::max_element(perf.begin(), perf.end());
+}
+
+std::size_t GroundTruthCurve::first_epoch_reaching(double target) const noexcept {
+  for (std::size_t i = 0; i < perf.size(); ++i) {
+    if (perf[i] >= target) return i + 1;
+  }
+  return 0;
+}
+
+}  // namespace hyperdrive::workload

@@ -1,0 +1,192 @@
+#include "cluster/messaging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/policies/default_policy.hpp"
+#include "workload/cifar_model.hpp"
+
+namespace hyperdrive::cluster {
+namespace {
+
+using util::SimTime;
+
+MessageBusOptions fixed_latency(double seconds) {
+  MessageBusOptions options;
+  options.latency_mu = 0.0;
+  options.latency_sigma = 0.0;
+  options.latency_min_s = seconds;
+  options.latency_max_s = seconds;
+  options.bandwidth_bps = 1000.0;  // 1 KB/s so transfer delays are visible
+  return options;
+}
+
+TEST(MessageBusTest, DeliversToRegisteredHandlerAfterLatency) {
+  sim::Simulation simulation;
+  MessageBus bus(simulation, fixed_latency(0.5), 1);
+  std::vector<Message> received;
+  const auto scheduler = bus.register_endpoint("scheduler", [&](const Message& m) {
+    received.push_back(m);
+  });
+
+  Message m;
+  m.type = MessageType::ReportStat;
+  m.to = scheduler;
+  m.job_id = 7;
+  m.payload_bytes = 0.0;
+  bus.send(m);
+  simulation.run();
+
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].job_id, 7u);
+  EXPECT_EQ(received[0].sent_at, SimTime::zero());
+  EXPECT_EQ(simulation.now(), SimTime::seconds(0.5));
+}
+
+TEST(MessageBusTest, PayloadAddsTransferDelay) {
+  sim::Simulation simulation;
+  MessageBus bus(simulation, fixed_latency(0.5), 2);
+  SimTime delivered_at;
+  const auto agent = bus.register_endpoint("agent", [&](const Message&) {
+    delivered_at = simulation.now();
+  });
+
+  Message m;
+  m.type = MessageType::SnapshotDownload;
+  m.to = agent;
+  m.payload_bytes = 2000.0;  // 2 s at 1 KB/s
+  bus.send(m);
+  simulation.run();
+  EXPECT_NEAR(delivered_at.to_seconds(), 2.5, 1e-9);
+}
+
+TEST(MessageBusTest, UnknownDestinationThrows) {
+  sim::Simulation simulation;
+  MessageBus bus(simulation, fixed_latency(0.1), 3);
+  Message m;
+  m.to = 999;
+  EXPECT_THROW(bus.send(m), std::out_of_range);
+}
+
+TEST(MessageBusTest, StatsAccumulatePerType) {
+  sim::Simulation simulation;
+  MessageBus bus(simulation, fixed_latency(0.01), 4);
+  const auto sink = bus.register_endpoint("sink", [](const Message&) {});
+
+  for (int i = 0; i < 3; ++i) {
+    Message m;
+    m.type = MessageType::ReportStat;
+    m.to = sink;
+    m.payload_bytes = 100.0;
+    bus.send(m);
+  }
+  Message big;
+  big.type = MessageType::SnapshotUpload;
+  big.to = sink;
+  big.payload_bytes = 1e6;
+  bus.send(big);
+  simulation.run();
+
+  const auto& stats = bus.stats();
+  EXPECT_EQ(stats.messages, 4u);
+  EXPECT_DOUBLE_EQ(stats.bytes, 300.0 + 1e6);
+  EXPECT_EQ(stats.per_type.at(MessageType::ReportStat), 3u);
+  EXPECT_EQ(stats.per_type.at(MessageType::SnapshotUpload), 1u);
+}
+
+TEST(MessageBusTest, SequenceNumbersAreMonotonic) {
+  sim::Simulation simulation;
+  MessageBus bus(simulation, fixed_latency(0.01), 5);
+  std::vector<std::uint64_t> seqs;
+  const auto sink =
+      bus.register_endpoint("sink", [&](const Message& m) { seqs.push_back(m.seq); });
+  for (int i = 0; i < 5; ++i) {
+    Message m;
+    m.to = sink;
+    bus.send(m);
+  }
+  simulation.run();
+  ASSERT_EQ(seqs.size(), 5u);
+  for (std::size_t i = 1; i < seqs.size(); ++i) EXPECT_GT(seqs[i], seqs[i - 1]);
+}
+
+TEST(MessageBusTest, EndpointNamesResolve) {
+  sim::Simulation simulation;
+  MessageBus bus(simulation, fixed_latency(0.01), 6);
+  const auto a = bus.register_endpoint("node-0", [](const Message&) {});
+  EXPECT_EQ(bus.endpoint_name(a), "node-0");
+  EXPECT_THROW((void)bus.endpoint_name(12345), std::out_of_range);
+}
+
+TEST(MessageBusTest, MessageTypeNames) {
+  EXPECT_EQ(to_string(MessageType::StartJob), "StartJob");
+  EXPECT_EQ(to_string(MessageType::SnapshotUpload), "SnapshotUpload");
+  EXPECT_EQ(to_string(MessageType::Ack), "Ack");
+}
+
+TEST(MessageBusTest, VariableLatencyStaysInBounds) {
+  sim::Simulation simulation;
+  MessageBusOptions options;  // default ~1 ms lognormal
+  MessageBus bus(simulation, options, 7);
+  std::vector<double> arrival;
+  const auto sink = bus.register_endpoint("sink", [&](const Message&) {
+    arrival.push_back(simulation.now().to_seconds());
+  });
+  for (int i = 0; i < 200; ++i) {
+    Message m;
+    m.to = sink;
+    bus.send(m);  // all sent at t = 0
+  }
+  simulation.run();
+  for (const double t : arrival) {
+    EXPECT_GE(t, options.latency_min_s);
+    EXPECT_LE(t, options.latency_max_s + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace hyperdrive::cluster
+
+namespace hyperdrive::cluster {
+namespace {
+
+TEST(MessageBusIntegrationTest, ClusterTrafficIsAccounted) {
+  workload::CifarWorkloadModel model;
+  const auto trace = workload::generate_trace(model, 2, 5);
+
+  class SuspendOnce final : public core::DefaultPolicy {
+   public:
+    core::JobDecision on_iteration_finish(core::SchedulerOps& ops,
+                                          const core::JobEvent& event) override {
+      if (event.epoch == 3 && event.job_id == 1 && !done_) {
+        done_ = true;
+        return core::JobDecision::Suspend;
+      }
+      return core::DefaultPolicy::on_iteration_finish(ops, event);
+    }
+
+   private:
+    bool done_ = false;
+  };
+
+  SuspendOnce policy;
+  ClusterOptions options;
+  options.machines = 1;
+  options.stop_on_target = false;
+  HyperDriveCluster cluster(trace, options);
+  (void)cluster.run(policy);
+
+  const auto& stats = cluster.message_stats();
+  // Every completed epoch produced one ReportStat RPC (partial epochs from
+  // the suspend discard produce none) and the suspend produced one upload.
+  EXPECT_EQ(stats.per_type.at(MessageType::ReportStat),
+            2u * model.max_epochs());
+  EXPECT_EQ(stats.per_type.at(MessageType::SnapshotUpload), 1u);
+  EXPECT_GT(stats.bytes, 2.0 * 256.0 * model.max_epochs());
+  EXPECT_EQ(stats.messages, 2u * model.max_epochs() + 1u);
+}
+
+}  // namespace
+}  // namespace hyperdrive::cluster

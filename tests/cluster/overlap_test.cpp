@@ -1,0 +1,117 @@
+// Tests for the §5.2 overlapped-vs-blocking decision modes of the cluster.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "core/policies/default_policy.hpp"
+
+namespace hyperdrive::cluster {
+namespace {
+
+using core::JobDecision;
+using core::JobEvent;
+using core::JobStatus;
+using util::SimTime;
+
+workload::Trace one_job_trace(std::size_t epochs) {
+  workload::Trace trace;
+  trace.workload_name = "one";
+  trace.target_performance = 0.99;
+  trace.kill_threshold = 0.0;
+  trace.evaluation_boundary = 2;
+  trace.max_epochs = epochs;
+  workload::TraceJob job;
+  job.job_id = 1;
+  job.curve.epoch_duration = SimTime::seconds(60);
+  for (std::size_t e = 1; e <= epochs; ++e) {
+    job.curve.perf.push_back(0.5 * static_cast<double>(e) / static_cast<double>(epochs));
+  }
+  trace.jobs.push_back(std::move(job));
+  return trace;
+}
+
+ClusterOptions base_options() {
+  ClusterOptions options;
+  options.machines = 1;
+  options.overheads = zero_overhead_model();
+  options.epoch_jitter_sigma = 0.0;
+  options.decision_latency = [](core::JobId, std::size_t, util::Rng&) {
+    return SimTime::seconds(30);
+  };
+  return options;
+}
+
+TEST(OverlapDecisionTest, BlockingModePausesTrainingAtBoundaries) {
+  // 6 epochs, boundaries at 2/4 block for 30 s each (the epoch-6 decision
+  // arrives after the job has already completed). Blocking wall time:
+  // 6*60 + 2*30 = 420 s; overlapped: 360 s.
+  const auto trace = one_job_trace(6);
+
+  core::DefaultPolicy p1, p2;
+  auto blocking = base_options();
+  blocking.overlap_decisions = false;
+  const auto blocked = run_cluster_experiment(trace, p1, blocking);
+
+  auto overlapped = base_options();
+  const auto overlap = run_cluster_experiment(trace, p2, overlapped);
+
+  EXPECT_NEAR(blocked.total_time.to_seconds(), 420.0, 1e-6);
+  EXPECT_NEAR(overlap.total_time.to_seconds(), 360.0, 1e-6);
+  // The blocked machine time includes the idle waits.
+  EXPECT_NEAR(blocked.job_stats[0].execution_time.to_seconds(), 420.0, 1e-6);
+  EXPECT_NEAR(overlap.job_stats[0].execution_time.to_seconds(), 360.0, 1e-6);
+}
+
+TEST(OverlapDecisionTest, BlockingTerminationWastesNoPartialEpoch) {
+  class KillAtFirstBoundary final : public core::DefaultPolicy {
+   public:
+    JobDecision on_iteration_finish(core::SchedulerOps& ops,
+                                    const JobEvent& event) override {
+      if (event.epoch % ops.evaluation_boundary() == 0) return JobDecision::Terminate;
+      return JobDecision::Continue;
+    }
+  };
+
+  const auto trace = one_job_trace(10);
+  KillAtFirstBoundary policy;
+  auto options = base_options();
+  options.overlap_decisions = false;
+  const auto result = run_cluster_experiment(trace, policy, options);
+  ASSERT_EQ(result.job_stats.size(), 1u);
+  // Exactly 2 epochs + one 30 s decision wait; no discarded partial epoch.
+  EXPECT_EQ(result.job_stats[0].epochs_completed, 2u);
+  EXPECT_NEAR(result.job_stats[0].execution_time.to_seconds(), 150.0, 1e-6);
+  EXPECT_EQ(result.job_stats[0].final_status, JobStatus::Terminated);
+}
+
+TEST(OverlapDecisionTest, OverlappedTerminationDiscardsPartialEpoch) {
+  class KillAtFirstBoundary final : public core::DefaultPolicy {
+   public:
+    JobDecision on_iteration_finish(core::SchedulerOps& ops,
+                                    const JobEvent& event) override {
+      if (event.epoch % ops.evaluation_boundary() == 0) return JobDecision::Terminate;
+      return JobDecision::Continue;
+    }
+  };
+
+  const auto trace = one_job_trace(10);
+  KillAtFirstBoundary policy;
+  const auto result = run_cluster_experiment(trace, policy, base_options());
+  ASSERT_EQ(result.job_stats.size(), 1u);
+  // 2 epochs complete; the decision lands at t = 150 s, 30 s into epoch 3,
+  // whose partial work is charged but produced nothing.
+  EXPECT_EQ(result.job_stats[0].epochs_completed, 2u);
+  EXPECT_NEAR(result.job_stats[0].execution_time.to_seconds(), 150.0, 1e-6);
+}
+
+TEST(OverlapDecisionTest, NoLatencyModelMeansNoBlocking) {
+  const auto trace = one_job_trace(4);
+  core::DefaultPolicy policy;
+  auto options = base_options();
+  options.decision_latency = nullptr;
+  options.overlap_decisions = false;  // irrelevant without a latency model
+  const auto result = run_cluster_experiment(trace, policy, options);
+  EXPECT_NEAR(result.total_time.to_seconds(), 240.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace hyperdrive::cluster

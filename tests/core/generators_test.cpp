@@ -1,0 +1,146 @@
+#include "core/generators/hyperparameter_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "workload/cifar_model.hpp"
+
+namespace hyperdrive::core {
+namespace {
+
+workload::HyperparameterSpace small_space() {
+  workload::HyperparameterSpace space;
+  space.add("lr", workload::ContinuousDomain{1e-4, 1e-1, true})
+      .add("momentum", workload::ContinuousDomain{0.0, 0.99})
+      .add("batch", workload::IntegerDomain{16, 128})
+      .add("opt", workload::CategoricalDomain{{"sgd", "adam"}});
+  return space;
+}
+
+TEST(RandomGeneratorTest, IdsIncrementFromOne) {
+  const auto space = small_space();
+  const auto gen = make_random_generator(space, 1);
+  EXPECT_EQ(gen->name(), "random");
+  EXPECT_EQ(gen->create_job().first, 1u);
+  EXPECT_EQ(gen->create_job().first, 2u);
+}
+
+TEST(RandomGeneratorTest, DeterministicPerSeed) {
+  const auto space = small_space();
+  const auto a = make_random_generator(space, 9);
+  const auto b = make_random_generator(space, 9);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a->create_job().second.stable_hash(), b->create_job().second.stable_hash());
+  }
+}
+
+TEST(RandomGeneratorTest, SamplesStayInDomain) {
+  const auto space = small_space();
+  const auto gen = make_random_generator(space, 2);
+  for (int i = 0; i < 200; ++i) {
+    const auto [id, config] = gen->create_job();
+    EXPECT_GE(config.get_double("lr"), 1e-4);
+    EXPECT_LE(config.get_double("lr"), 1e-1);
+    EXPECT_GE(config.get_int("batch"), 16);
+    EXPECT_LE(config.get_int("batch"), 128);
+  }
+}
+
+TEST(RandomGeneratorTest, FeedbackIsIgnoredWithoutCrashing) {
+  const auto space = small_space();
+  const auto gen = make_random_generator(space, 3);
+  const auto [id, config] = gen->create_job();
+  gen->report_final_performance(id, 0.9);  // no-op
+  (void)gen->create_job();
+}
+
+TEST(GridGeneratorTest, EnumeratesAllPointsThenWraps) {
+  const auto space = small_space();
+  // 2 points per dim x 2 categorical options = 2*2*2*2 = 16 points.
+  const auto gen = make_grid_generator(space, 2);
+  std::set<std::uint64_t> hashes;
+  for (int i = 0; i < 16; ++i) hashes.insert(gen->create_job().second.stable_hash());
+  EXPECT_EQ(hashes.size(), 16u);
+  // 17th call wraps to the first grid point.
+  const auto wrapped = gen->create_job().second.stable_hash();
+  EXPECT_TRUE(hashes.count(wrapped));
+}
+
+TEST(GridGeneratorTest, RespectsMaxGridCap) {
+  const auto space = small_space();
+  const auto gen = make_grid_generator(space, 10, /*max_grid_configs=*/5);
+  std::set<std::uint64_t> hashes;
+  for (int i = 0; i < 20; ++i) hashes.insert(gen->create_job().second.stable_hash());
+  EXPECT_LE(hashes.size(), 5u);
+}
+
+TEST(AdaptiveGeneratorTest, WarmupIsRandom) {
+  const auto space = small_space();
+  const auto gen = make_adaptive_generator(space, 4, /*warmup=*/10);
+  std::set<std::uint64_t> hashes;
+  for (int i = 0; i < 10; ++i) hashes.insert(gen->create_job().second.stable_hash());
+  EXPECT_EQ(hashes.size(), 10u);  // all distinct random draws
+}
+
+TEST(AdaptiveGeneratorTest, ExploitsReportedBest) {
+  const auto space = small_space();
+  const auto gen = make_adaptive_generator(space, 5, /*warmup=*/1,
+                                           /*exploit_prob=*/1.0, /*perturb_scale=*/0.02);
+  const auto [first_id, first_config] = gen->create_job();
+  gen->report_final_performance(first_id, 0.9);
+
+  // With exploit_prob=1 and a tiny perturbation, subsequent configs must be
+  // close to the reported best in log-lr space.
+  const double base_lr = std::log(first_config.get_double("lr"));
+  for (int i = 0; i < 20; ++i) {
+    const auto [id, config] = gen->create_job();
+    const double lr = std::log(config.get_double("lr"));
+    EXPECT_NEAR(lr, base_lr, 1.5);
+  }
+}
+
+TEST(AdaptiveGeneratorTest, BetterReportsReplaceTheIncumbent) {
+  const auto space = small_space();
+  const auto gen = make_adaptive_generator(space, 6, /*warmup=*/2,
+                                           /*exploit_prob=*/1.0, /*perturb_scale=*/0.01);
+  const auto [id1, config1] = gen->create_job();
+  const auto [id2, config2] = gen->create_job();
+  gen->report_final_performance(id1, 0.3);
+  gen->report_final_performance(id2, 0.8);  // id2 becomes the incumbent
+
+  const double target_lr = std::log(config2.get_double("lr"));
+  double total_dev = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    total_dev += std::fabs(std::log(gen->create_job().second.get_double("lr")) - target_lr);
+  }
+  EXPECT_LT(total_dev / 20.0, 1.0);
+}
+
+TEST(AdaptiveGeneratorTest, PerturbationsStayInDomain) {
+  const auto space = small_space();
+  const auto gen = make_adaptive_generator(space, 7, /*warmup=*/1,
+                                           /*exploit_prob=*/1.0, /*perturb_scale=*/0.5);
+  const auto [id, config] = gen->create_job();
+  gen->report_final_performance(id, 0.9);
+  for (int i = 0; i < 200; ++i) {
+    const auto c = gen->create_job().second;
+    EXPECT_GE(c.get_double("lr"), 1e-4);
+    EXPECT_LE(c.get_double("lr"), 1e-1);
+    EXPECT_GE(c.get_double("momentum"), 0.0);
+    EXPECT_LE(c.get_double("momentum"), 0.99);
+    EXPECT_GE(c.get_int("batch"), 16);
+    EXPECT_LE(c.get_int("batch"), 128);
+  }
+}
+
+TEST(AdaptiveGeneratorTest, UnknownJobFeedbackIgnored) {
+  const auto space = small_space();
+  const auto gen = make_adaptive_generator(space, 8);
+  gen->report_final_performance(999, 1.0);  // never issued; must not crash
+  (void)gen->create_job();
+}
+
+}  // namespace
+}  // namespace hyperdrive::core

@@ -1,0 +1,116 @@
+#include "curve/parametric_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hyperdrive::curve {
+namespace {
+
+// A plausible learning-curve prefix used to seed initial guesses.
+std::vector<double> sample_prefix() {
+  return {0.12, 0.20, 0.28, 0.34, 0.40, 0.45, 0.48, 0.51, 0.53, 0.55};
+}
+
+TEST(ModelRegistryTest, AllElevenFamiliesPresent) {
+  EXPECT_EQ(all_model_names().size(), 11u);
+  const auto models = make_all_models();
+  EXPECT_EQ(models.size(), 11u);
+}
+
+TEST(ModelRegistryTest, UnknownNameThrows) {
+  EXPECT_THROW(make_models({"pow3", "not_a_model"}), std::invalid_argument);
+}
+
+TEST(ModelRegistryTest, SubsetSelection) {
+  const auto models = make_models({"weibull", "janoschek"});
+  ASSERT_EQ(models.size(), 2u);
+  EXPECT_EQ(models[0]->name(), "weibull");
+  EXPECT_EQ(models[1]->name(), "janoschek");
+}
+
+/// Parameterized over all 11 families: shared structural properties.
+class FamilyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<ParametricModel> model_ = std::move(make_models({GetParam()})[0]);
+};
+
+TEST_P(FamilyTest, BoundsMatchParameterCount) {
+  EXPECT_EQ(model_->bounds().size(), model_->num_params());
+  EXPECT_GT(model_->num_params(), 0u);
+  for (const auto& b : model_->bounds()) EXPECT_LT(b.lo, b.hi);
+}
+
+TEST_P(FamilyTest, InitialGuessIsInBounds) {
+  const auto guess = model_->initial_guess(sample_prefix());
+  ASSERT_EQ(guess.size(), model_->num_params());
+  EXPECT_TRUE(model_->in_bounds(guess));
+}
+
+TEST_P(FamilyTest, InitialGuessEvaluatesFinite) {
+  const auto guess = model_->initial_guess(sample_prefix());
+  for (double x : {1.0, 2.0, 10.0, 60.0, 120.0}) {
+    const double y = model_->eval(x, guess);
+    EXPECT_TRUE(std::isfinite(y)) << model_->name() << " at x=" << x;
+  }
+}
+
+TEST_P(FamilyTest, InitialGuessRoughlyIncreasing) {
+  // Learning-curve families seeded from an increasing prefix should predict
+  // later-epoch performance at or above the very first epoch's.
+  const auto guess = model_->initial_guess(sample_prefix());
+  const double early = model_->eval(1.0, guess);
+  const double late = model_->eval(120.0, guess);
+  EXPECT_GE(late, early - 0.05) << model_->name();
+}
+
+TEST_P(FamilyTest, RandomParamsStayInBounds) {
+  util::Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(model_->in_bounds(model_->random_params(rng)));
+  }
+}
+
+TEST_P(FamilyTest, InBoundsRejectsOutliersAndWrongArity) {
+  auto theta = model_->initial_guess(sample_prefix());
+  theta[0] = model_->bounds()[0].hi + 1.0;
+  EXPECT_FALSE(model_->in_bounds(theta));
+  theta.pop_back();
+  EXPECT_FALSE(model_->in_bounds(theta));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyTest,
+                         ::testing::ValuesIn(all_model_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(FamilySemanticsTest, Pow3ApproachesAsymptote) {
+  const auto models = make_models({"pow3"});
+  const std::vector<double> theta = {0.8, 0.7, 0.5};  // c - a x^-alpha
+  EXPECT_NEAR(models[0]->eval(1e9, theta), 0.8, 1e-3);
+  EXPECT_LT(models[0]->eval(1.0, theta), models[0]->eval(100.0, theta));
+}
+
+TEST(FamilySemanticsTest, WeibullInterpolatesBetaToAlpha) {
+  const auto models = make_models({"weibull"});
+  const std::vector<double> theta = {0.8, 0.1, 0.05, 1.0};
+  EXPECT_NEAR(models[0]->eval(1e-9, theta), 0.1, 1e-3);
+  EXPECT_NEAR(models[0]->eval(1e6, theta), 0.8, 1e-3);
+}
+
+TEST(FamilySemanticsTest, VaporPressureMatchesClosedForm) {
+  const auto models = make_models({"vapor_pressure"});
+  const std::vector<double> theta = {-0.5, -1.0, 0.1};
+  const double x = 7.0;
+  EXPECT_NEAR(models[0]->eval(x, theta),
+              std::exp(-0.5 - 1.0 / x + 0.1 * std::log(x)), 1e-12);
+}
+
+TEST(FamilySemanticsTest, Pow4RejectsNegativeBase) {
+  const auto models = make_models({"pow4"});
+  // a*x + b <= 0 must yield NaN, not a crash.
+  const std::vector<double> theta = {0.8, 0.01, 0.01, 0.5};
+  EXPECT_TRUE(std::isfinite(models[0]->eval(1.0, theta)));
+}
+
+}  // namespace
+}  // namespace hyperdrive::curve

@@ -1,0 +1,130 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hyperdrive::sim {
+namespace {
+
+using util::SimTime;
+
+TEST(SimulationTest, FiresInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::seconds(3), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime::seconds(1), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::seconds(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(SimulationTest, SameTimePriorityThenInsertionOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  const auto t = SimTime::seconds(1);
+  sim.schedule_at(t, [&] { order.push_back(1); }, /*priority=*/5);
+  sim.schedule_at(t, [&] { order.push_back(2); }, /*priority=*/0);
+  sim.schedule_at(t, [&] { order.push_back(3); }, /*priority=*/0);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+}
+
+TEST(SimulationTest, NowAdvancesWithEvents) {
+  Simulation sim;
+  SimTime seen;
+  sim.schedule_at(SimTime::seconds(5), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, SimTime::seconds(5));
+  EXPECT_EQ(sim.now(), SimTime::seconds(5));
+}
+
+TEST(SimulationTest, ScheduleAfterIsRelative) {
+  Simulation sim;
+  SimTime inner;
+  sim.schedule_at(SimTime::seconds(10), [&] {
+    sim.schedule_after(SimTime::seconds(5), [&] { inner = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner, SimTime::seconds(15));
+}
+
+TEST(SimulationTest, PastTimesClampToNow) {
+  Simulation sim;
+  SimTime fired;
+  sim.schedule_at(SimTime::seconds(10), [&] {
+    sim.schedule_at(SimTime::seconds(1), [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, SimTime::seconds(10));
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  const auto handle = sim.schedule_at(SimTime::seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(handle));
+  EXPECT_FALSE(sim.cancel(handle));  // second cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(SimulationTest, CancelFromWithinEvent) {
+  Simulation sim;
+  bool fired = false;
+  const auto victim = sim.schedule_at(SimTime::seconds(2), [&] { fired = true; });
+  sim.schedule_at(SimTime::seconds(1), [&] { sim.cancel(victim); });
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulationTest, RunUntilStopsAtBoundaryInclusive) {
+  Simulation sim;
+  std::vector<int> fired;
+  sim.schedule_at(SimTime::seconds(1), [&] { fired.push_back(1); });
+  sim.schedule_at(SimTime::seconds(2), [&] { fired.push_back(2); });
+  sim.schedule_at(SimTime::seconds(3), [&] { fired.push_back(3); });
+  sim.run_until(SimTime::seconds(2));
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), SimTime::seconds(2));
+  EXPECT_EQ(sim.events_pending(), 1u);
+}
+
+TEST(SimulationTest, RunUntilAdvancesClockWhenQueueDrains) {
+  Simulation sim;
+  sim.schedule_at(SimTime::seconds(1), [] {});
+  sim.run_until(SimTime::seconds(100));
+  EXPECT_EQ(sim.now(), SimTime::seconds(100));
+}
+
+TEST(SimulationTest, StopHaltsProcessing) {
+  Simulation sim;
+  std::vector<int> fired;
+  sim.schedule_at(SimTime::seconds(1), [&] {
+    fired.push_back(1);
+    sim.stop();
+  });
+  sim.schedule_at(SimTime::seconds(2), [&] { fired.push_back(2); });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1}));
+  EXPECT_TRUE(sim.stopped());
+  EXPECT_EQ(sim.events_pending(), 1u);
+}
+
+TEST(SimulationTest, CascadingEventsAllRun) {
+  Simulation sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 100) sim.schedule_after(SimTime::seconds(1), chain);
+  };
+  sim.schedule_at(SimTime::seconds(0), chain);
+  sim.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sim.now(), SimTime::seconds(99));
+}
+
+}  // namespace
+}  // namespace hyperdrive::sim

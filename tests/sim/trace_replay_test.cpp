@@ -1,0 +1,244 @@
+#include "sim/trace_replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/policies/default_policy.hpp"
+
+namespace hyperdrive::sim {
+namespace {
+
+using core::JobDecision;
+using core::JobEvent;
+using core::JobStatus;
+using util::SimTime;
+
+/// Handcrafted trace: every job has a constant 60 s epoch and a linear ramp
+/// to `final` over `epochs` epochs.
+workload::Trace tiny_trace(const std::vector<double>& finals, std::size_t epochs,
+                           double target = 0.9) {
+  workload::Trace trace;
+  trace.workload_name = "tiny";
+  trace.target_performance = target;
+  trace.kill_threshold = 0.0;
+  trace.evaluation_boundary = 2;
+  trace.max_epochs = epochs;
+  for (std::size_t i = 0; i < finals.size(); ++i) {
+    workload::TraceJob job;
+    job.job_id = i + 1;
+    job.curve.epoch_duration = SimTime::seconds(60);
+    for (std::size_t e = 1; e <= epochs; ++e) {
+      job.curve.perf.push_back(finals[i] * static_cast<double>(e) /
+                               static_cast<double>(epochs));
+    }
+    trace.jobs.push_back(std::move(job));
+  }
+  return trace;
+}
+
+TEST(TraceReplayTest, DefaultPolicyRunsEverythingToCompletion) {
+  const auto trace = tiny_trace({0.5, 0.6, 0.4}, 10, /*target=*/0.99);
+  core::DefaultPolicy policy;
+  ReplayOptions options;
+  options.machines = 2;
+  const auto result = replay_experiment(trace, policy, options);
+
+  EXPECT_FALSE(result.reached_target);
+  EXPECT_EQ(result.jobs_started, 3u);
+  EXPECT_EQ(result.terminations, 0u);
+  EXPECT_EQ(result.suspends, 0u);
+  for (const auto& js : result.job_stats) {
+    EXPECT_EQ(js.final_status, JobStatus::Completed);
+    EXPECT_EQ(js.epochs_completed, 10u);
+    EXPECT_EQ(js.execution_time, SimTime::seconds(600));
+  }
+  // 3 jobs x 10 epochs x 60 s of machine time.
+  EXPECT_EQ(result.total_machine_time, SimTime::seconds(1800));
+  // 2 machines: jobs 1+2 run [0, 600); job 3 runs [600, 1200).
+  EXPECT_EQ(result.total_time, SimTime::seconds(1200));
+}
+
+TEST(TraceReplayTest, StopsExactlyWhenTargetReached) {
+  // Job 1 ramps to 1.0 over 10 epochs: hits 0.9 at epoch 9 = 540 s.
+  const auto trace = tiny_trace({1.0}, 10, 0.9);
+  core::DefaultPolicy policy;
+  ReplayOptions options;
+  options.machines = 1;
+  const auto result = replay_experiment(trace, policy, options);
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_EQ(result.time_to_target, SimTime::seconds(540));
+  EXPECT_EQ(result.winning_job, 1u);
+  EXPECT_DOUBLE_EQ(result.best_perf, 0.9);
+}
+
+TEST(TraceReplayTest, StopOnTargetFalseRunsToCompletion) {
+  const auto trace = tiny_trace({1.0}, 10, 0.9);
+  core::DefaultPolicy policy;
+  ReplayOptions options;
+  options.machines = 1;
+  options.stop_on_target = false;
+  const auto result = replay_experiment(trace, policy, options);
+  EXPECT_FALSE(result.reached_target);
+  EXPECT_DOUBLE_EQ(result.best_perf, 1.0);
+  EXPECT_EQ(result.total_time, SimTime::seconds(600));
+}
+
+TEST(TraceReplayTest, MaxExperimentTimeCapsTheRun) {
+  const auto trace = tiny_trace({0.5, 0.5, 0.5, 0.5}, 100, 0.99);
+  core::DefaultPolicy policy;
+  ReplayOptions options;
+  options.machines = 1;
+  options.max_experiment_time = SimTime::seconds(250);
+  const auto result = replay_experiment(trace, policy, options);
+  EXPECT_FALSE(result.reached_target);
+  EXPECT_LE(result.total_time, SimTime::seconds(250));
+}
+
+/// Policy that terminates every job at its first boundary.
+class KillAllPolicy final : public core::DefaultPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "kill_all"; }
+  JobDecision on_iteration_finish(core::SchedulerOps& ops, const JobEvent& event) override {
+    if (event.epoch % ops.evaluation_boundary() == 0) return JobDecision::Terminate;
+    return JobDecision::Continue;
+  }
+};
+
+TEST(TraceReplayTest, TerminationFreesMachinesForLaterJobs) {
+  const auto trace = tiny_trace({0.5, 0.5, 0.5, 0.5}, 10, 0.99);
+  KillAllPolicy policy;
+  ReplayOptions options;
+  options.machines = 1;
+  const auto result = replay_experiment(trace, policy, options);
+  EXPECT_EQ(result.terminations, 4u);
+  EXPECT_EQ(result.jobs_started, 4u);
+  // Each job runs exactly 2 epochs (boundary) on the single machine.
+  EXPECT_EQ(result.total_time, SimTime::seconds(4 * 2 * 60));
+  for (const auto& js : result.job_stats) {
+    EXPECT_EQ(js.final_status, JobStatus::Terminated);
+    EXPECT_EQ(js.epochs_completed, 2u);
+  }
+}
+
+/// Policy that suspends the running job at every boundary (barrier-like
+/// epoch scheduling from §4.2).
+class SuspendEveryBoundaryPolicy final : public core::DefaultPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "suspender"; }
+  JobDecision on_iteration_finish(core::SchedulerOps& ops, const JobEvent& event) override {
+    if (event.epoch % ops.evaluation_boundary() == 0) return JobDecision::Suspend;
+    return JobDecision::Continue;
+  }
+};
+
+TEST(TraceReplayTest, SuspendRotatesJobsRoundRobin) {
+  const auto trace = tiny_trace({0.5, 0.5}, 4, 0.99);  // boundary = 2
+  SuspendEveryBoundaryPolicy policy;
+  ReplayOptions options;
+  options.machines = 1;
+  const auto result = replay_experiment(trace, policy, options);
+  // Each job is suspended once mid-way (at epoch 2) and the final "suspend"
+  // at epoch 4 completes it instead.
+  EXPECT_EQ(result.suspends, 2u);
+  for (const auto& js : result.job_stats) {
+    EXPECT_EQ(js.final_status, JobStatus::Completed);
+    EXPECT_EQ(js.epochs_completed, 4u);
+    EXPECT_EQ(js.times_suspended, 1u);
+  }
+  // Total serialized work unchanged by rotation.
+  EXPECT_EQ(result.total_time, SimTime::seconds(2 * 4 * 60));
+}
+
+/// Policy whose allocation prefers the labeled job.
+class PriorityProbePolicy final : public core::DefaultPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "probe"; }
+  void on_allocate(core::SchedulerOps& ops) override {
+    if (!labeled_ && ops.now() == SimTime::zero()) {
+      ops.label_job(3, 1.0);  // boost job 3 above FIFO order
+      labeled_ = true;
+    }
+    core::DefaultPolicy::on_allocate(ops);
+  }
+  std::vector<core::JobId> started_order;
+  JobDecision on_iteration_finish(core::SchedulerOps& ops, const JobEvent& event) override {
+    if (event.epoch == 1 &&
+        std::find(started_order.begin(), started_order.end(), event.job_id) ==
+            started_order.end()) {
+      started_order.push_back(event.job_id);
+    }
+    return core::DefaultPolicy::on_iteration_finish(ops, event);
+  }
+
+ private:
+  bool labeled_ = false;
+};
+
+TEST(TraceReplayTest, LabelJobOrdersIdleQueueByPriority) {
+  const auto trace = tiny_trace({0.5, 0.5, 0.5}, 2, 0.99);
+  PriorityProbePolicy policy;
+  ReplayOptions options;
+  options.machines = 1;
+  (void)replay_experiment(trace, policy, options);
+  ASSERT_EQ(policy.started_order.size(), 3u);
+  EXPECT_EQ(policy.started_order[0], 3u);  // labeled job first
+  EXPECT_EQ(policy.started_order[1], 1u);  // then FIFO
+  EXPECT_EQ(policy.started_order[2], 2u);
+}
+
+TEST(TraceReplayTest, SchedulerOpsExposesConsistentState) {
+  const auto trace = tiny_trace({0.5, 0.6}, 4, 0.99);
+
+  class InspectingPolicy final : public core::DefaultPolicy {
+   public:
+    JobDecision on_iteration_finish(core::SchedulerOps& ops, const JobEvent& event) override {
+      EXPECT_EQ(ops.total_machines(), 2u);
+      EXPECT_EQ(ops.max_epochs(), 4u);
+      EXPECT_DOUBLE_EQ(ops.target_performance(), 0.99);
+      EXPECT_EQ(ops.epochs_done(event.job_id), event.epoch);
+      const auto& history = ops.perf_history(event.job_id);
+      EXPECT_EQ(history.size(), event.epoch);
+      EXPECT_DOUBLE_EQ(history.back(), event.perf);
+      EXPECT_EQ(ops.avg_epoch_duration(event.job_id), SimTime::seconds(60));
+      EXPECT_EQ(ops.job_status(event.job_id), JobStatus::Running);
+      ++checks;
+      return JobDecision::Continue;
+    }
+    int checks = 0;
+  };
+
+  InspectingPolicy policy;
+  ReplayOptions options;
+  options.machines = 2;
+  (void)replay_experiment(trace, policy, options);
+  EXPECT_EQ(policy.checks, 8);  // 2 jobs x 4 epochs
+}
+
+TEST(TraceReplayTest, ZeroMachinesRejected) {
+  const auto trace = tiny_trace({0.5}, 2);
+  ReplayOptions options;
+  options.machines = 0;
+  EXPECT_THROW(TraceReplaySimulator(trace, options), std::invalid_argument);
+}
+
+TEST(TraceReplayTest, ActiveJobsShrinkAsJobsFinish) {
+  const auto trace = tiny_trace({0.5, 0.5}, 2, 0.99);
+  class CountingPolicy final : public core::DefaultPolicy {
+   public:
+    JobDecision on_iteration_finish(core::SchedulerOps& ops, const JobEvent& event) override {
+      last_active = ops.active_jobs().size();
+      return core::DefaultPolicy::on_iteration_finish(ops, event);
+    }
+    std::size_t last_active = 99;
+  };
+  CountingPolicy policy;
+  ReplayOptions options;
+  options.machines = 2;
+  (void)replay_experiment(trace, policy, options);
+  // At the very last iteration event, one job already completed.
+  EXPECT_LE(policy.last_active, 2u);
+}
+
+}  // namespace
+}  // namespace hyperdrive::sim

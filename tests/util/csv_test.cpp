@@ -1,0 +1,106 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hyperdrive::util {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldUnchanged) { EXPECT_EQ(csv_escape("hello"), "hello"); }
+
+TEST(CsvEscapeTest, CommaQuoted) { EXPECT_EQ(csv_escape("a,b"), "\"a,b\""); }
+
+TEST(CsvEscapeTest, QuoteDoubled) { EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\""); }
+
+TEST(CsvEscapeTest, NewlineQuoted) { EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\""); }
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter writer(out, {"a", "b"});
+  writer.write_row({"1", "2"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(CsvWriterTest, RejectsWidthMismatch) {
+  std::ostringstream out;
+  CsvWriter writer(out, {"a", "b"});
+  EXPECT_THROW(writer.write_row({"1"}), std::invalid_argument);
+}
+
+TEST(CsvParseTest, SimpleTable) {
+  const auto t = parse_csv_string("a,b\n1,2\n3,4\n");
+  ASSERT_EQ(t.header.size(), 2u);
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[1][1], "4");
+}
+
+TEST(CsvParseTest, QuotedFieldsWithCommasAndNewlines) {
+  const auto t = parse_csv_string("a,b\n\"x,y\",\"line1\nline2\"\n");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "x,y");
+  EXPECT_EQ(t.rows[0][1], "line1\nline2");
+}
+
+TEST(CsvParseTest, EscapedQuotes) {
+  const auto t = parse_csv_string("a\n\"he said \"\"hi\"\"\"\n");
+  EXPECT_EQ(t.rows[0][0], "he said \"hi\"");
+}
+
+TEST(CsvParseTest, ToleratesCrlfAndMissingTrailingNewline) {
+  const auto t = parse_csv_string("a,b\r\n1,2");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "1");
+}
+
+TEST(CsvParseTest, SkipsBlankLines) {
+  const auto t = parse_csv_string("a,b\n\n1,2\n\n");
+  EXPECT_EQ(t.rows.size(), 1u);
+}
+
+TEST(CsvParseTest, RaggedRowThrows) {
+  EXPECT_THROW(parse_csv_string("a,b\n1\n"), std::runtime_error);
+}
+
+TEST(CsvParseTest, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv_string("a\n\"oops\n"), std::runtime_error);
+}
+
+TEST(CsvParseTest, RoundTripThroughWriter) {
+  std::ostringstream out;
+  CsvWriter writer(out, {"x", "y"});
+  writer.write_row({"a,b", "c\"d"});
+  writer.write_row({"plain", "line\nbreak"});
+  const auto t = parse_csv_string(out.str());
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[0][0], "a,b");
+  EXPECT_EQ(t.rows[0][1], "c\"d");
+  EXPECT_EQ(t.rows[1][1], "line\nbreak");
+}
+
+TEST(CsvTableTest, ColumnLookup) {
+  const auto t = parse_csv_string("job,epoch,perf\n1,1,0.5\n");
+  EXPECT_EQ(t.column("epoch"), 1u);
+  EXPECT_THROW((void)t.column("nope"), std::out_of_range);
+}
+
+TEST(CsvFileTest, ReadFile) {
+  const std::string path = ::testing::TempDir() + "/hd_csv_test.csv";
+  {
+    std::ofstream f(path);
+    f << "a,b\n7,8\n";
+  }
+  const auto t = read_csv_file(path);
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "7");
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hyperdrive::util

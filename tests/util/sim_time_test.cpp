@@ -1,0 +1,53 @@
+#include "util/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hyperdrive::util {
+namespace {
+
+TEST(SimTimeTest, Conversions) {
+  EXPECT_DOUBLE_EQ(SimTime::minutes(2).to_seconds(), 120.0);
+  EXPECT_DOUBLE_EQ(SimTime::hours(1).to_minutes(), 60.0);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(90).to_minutes(), 1.5);
+  EXPECT_DOUBLE_EQ(SimTime::milliseconds(1500).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(2).to_milliseconds(), 2000.0);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  const auto t = SimTime::seconds(10) + SimTime::seconds(5);
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 15.0);
+  EXPECT_DOUBLE_EQ((t - SimTime::seconds(5)).to_seconds(), 10.0);
+  EXPECT_DOUBLE_EQ((t * 2.0).to_seconds(), 30.0);
+  EXPECT_DOUBLE_EQ((t / 3.0).to_seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(10) / SimTime::seconds(4), 2.5);
+}
+
+TEST(SimTimeTest, CompoundAssignment) {
+  auto t = SimTime::seconds(1);
+  t += SimTime::seconds(2);
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 3.0);
+  t -= SimTime::seconds(1);
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 2.0);
+}
+
+TEST(SimTimeTest, Comparisons) {
+  EXPECT_LT(SimTime::seconds(1), SimTime::seconds(2));
+  EXPECT_EQ(SimTime::minutes(1), SimTime::seconds(60));
+  EXPECT_GT(SimTime::infinity(), SimTime::hours(1e9));
+}
+
+TEST(SimTimeTest, ZeroAndDefault) {
+  EXPECT_EQ(SimTime{}, SimTime::zero());
+  EXPECT_DOUBLE_EQ(SimTime::zero().to_seconds(), 0.0);
+}
+
+TEST(FormatDurationTest, PicksSensibleUnits) {
+  EXPECT_EQ(format_duration(SimTime::milliseconds(158)), "158ms");
+  EXPECT_EQ(format_duration(SimTime::seconds(2.5)), "2.5s");
+  EXPECT_EQ(format_duration(SimTime::minutes(47.3)), "47.3min");
+  EXPECT_EQ(format_duration(SimTime::hours(2.81)), "2.81h");
+  EXPECT_EQ(format_duration(SimTime::infinity()), "inf");
+}
+
+}  // namespace
+}  // namespace hyperdrive::util

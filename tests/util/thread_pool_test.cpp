@@ -1,0 +1,70 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+namespace hyperdrive::util {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsResults) {
+  ThreadPool pool(4);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ParallelForTest, CoversAllIndicesExactlyOnce) {
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(500, 8, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroItemsIsNoop) {
+  bool called = false;
+  parallel_for(0, 4, [&called](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleThreadPathWorks) {
+  int sum = 0;
+  parallel_for(10, 1, [&sum](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ParallelForTest, RethrowsFirstException) {
+  EXPECT_THROW(
+      parallel_for(100, 4,
+                   [](std::size_t i) {
+                     if (i == 50) throw std::logic_error("bad index");
+                   }),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace hyperdrive::util

@@ -1,0 +1,154 @@
+#include "workload/hyperparameters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace hyperdrive::workload {
+namespace {
+
+HyperparameterSpace mixed_space() {
+  HyperparameterSpace space;
+  space.add("lr", ContinuousDomain{1e-5, 1e-1, /*log_scale=*/true})
+      .add("momentum", ContinuousDomain{0.0, 0.99})
+      .add("batch", IntegerDomain{32, 256, /*log_scale=*/true})
+      .add("layers", IntegerDomain{1, 5})
+      .add("optimizer", CategoricalDomain{{"sgd", "adam", "rmsprop"}});
+  return space;
+}
+
+TEST(SpaceValidationTest, RejectsBadDomains) {
+  HyperparameterSpace s;
+  EXPECT_THROW(s.add("x", ContinuousDomain{2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(s.add("x", ContinuousDomain{-1.0, 1.0, true}), std::invalid_argument);
+  EXPECT_THROW(s.add("x", IntegerDomain{5, 2}), std::invalid_argument);
+  EXPECT_THROW(s.add("x", IntegerDomain{0, 5, true}), std::invalid_argument);
+  EXPECT_THROW(s.add("x", CategoricalDomain{{}}), std::invalid_argument);
+}
+
+TEST(SpaceSampleTest, ValuesStayInBounds) {
+  const auto space = mixed_space();
+  util::Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const auto c = space.sample(rng);
+    EXPECT_GE(c.get_double("lr"), 1e-5);
+    EXPECT_LE(c.get_double("lr"), 1e-1);
+    EXPECT_GE(c.get_double("momentum"), 0.0);
+    EXPECT_LT(c.get_double("momentum"), 0.99);
+    EXPECT_GE(c.get_int("batch"), 32);
+    EXPECT_LE(c.get_int("batch"), 256);
+    EXPECT_GE(c.get_int("layers"), 1);
+    EXPECT_LE(c.get_int("layers"), 5);
+    const auto& opt = c.get_categorical("optimizer");
+    EXPECT_TRUE(opt == "sgd" || opt == "adam" || opt == "rmsprop");
+  }
+}
+
+TEST(SpaceSampleTest, LogScaleSpreadsAcrossDecades) {
+  const auto space = mixed_space();
+  util::Rng rng(2);
+  int low_decade = 0;  // [1e-5, 1e-3)
+  constexpr int kN = 4000;
+  for (int i = 0; i < kN; ++i) {
+    if (space.sample(rng).get_double("lr") < 1e-3) ++low_decade;
+  }
+  // Log-uniform gives half the samples to the lower two of four decades;
+  // plain uniform would put ~1% there.
+  EXPECT_NEAR(low_decade / static_cast<double>(kN), 0.5, 0.05);
+}
+
+TEST(SpaceSampleTest, IntegerLogScaleCoversRange) {
+  HyperparameterSpace s;
+  s.add("n", IntegerDomain{16, 512, true});
+  util::Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(s.sample(rng).get_int("n"));
+  EXPECT_LE(*seen.begin(), 20);
+  EXPECT_GE(*seen.rbegin(), 450);
+}
+
+TEST(SpaceGridTest, CartesianSize) {
+  HyperparameterSpace s;
+  s.add("a", ContinuousDomain{0.0, 1.0}).add("b", IntegerDomain{1, 3}).add(
+      "c", CategoricalDomain{{"x", "y"}});
+  const auto grid = s.grid(3);
+  EXPECT_EQ(grid.size(), 3u * 3u * 2u);
+  // Every configuration is fully populated.
+  for (const auto& c : grid) EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(SpaceGridTest, CapTruncatesButKeepsCompleteConfigs) {
+  const auto space = mixed_space();
+  const auto grid = space.grid(4, 50);
+  EXPECT_LE(grid.size(), 50u);
+  for (const auto& c : grid) EXPECT_EQ(c.size(), space.size());
+}
+
+TEST(SpaceGridTest, SinglePointGridUsesMidpoints) {
+  HyperparameterSpace s;
+  s.add("a", ContinuousDomain{0.0, 10.0});
+  const auto grid = s.grid(1);
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_DOUBLE_EQ(grid[0].get_double("a"), 5.0);
+}
+
+TEST(SpaceGridTest, ZeroPointsThrows) {
+  EXPECT_THROW(mixed_space().grid(0), std::invalid_argument);
+}
+
+TEST(ConfigurationTest, AccessorsAndErrors) {
+  Configuration c;
+  c.set("lr", 0.01);
+  c.set("batch", std::int64_t{64});
+  c.set("opt", std::string("adam"));
+  EXPECT_TRUE(c.has("lr"));
+  EXPECT_FALSE(c.has("nope"));
+  EXPECT_DOUBLE_EQ(c.get_double("lr"), 0.01);
+  EXPECT_DOUBLE_EQ(c.get_double("batch"), 64.0);  // int converts
+  EXPECT_EQ(c.get_int("batch"), 64);
+  EXPECT_EQ(c.get_categorical("opt"), "adam");
+  EXPECT_THROW((void)c.get("missing"), std::out_of_range);
+  EXPECT_THROW((void)c.get_double("opt"), std::invalid_argument);
+  EXPECT_THROW((void)c.get_categorical("lr"), std::invalid_argument);
+}
+
+TEST(ConfigurationTest, StableHashIsOrderIndependentAndValueSensitive) {
+  Configuration a, b;
+  a.set("x", 1.0);
+  a.set("y", 2.0);
+  b.set("y", 2.0);
+  b.set("x", 1.0);
+  EXPECT_EQ(a.stable_hash(), b.stable_hash());  // map iteration order is sorted
+
+  Configuration c = a;
+  c.set("x", 1.0000001);
+  EXPECT_NE(a.stable_hash(), c.stable_hash());
+}
+
+TEST(ConfigurationTest, HashDistinguishesTypesAndNames) {
+  Configuration a, b, c;
+  a.set("x", 1.0);
+  b.set("x", std::int64_t{1});
+  c.set("y", 1.0);
+  EXPECT_NE(a.stable_hash(), b.stable_hash());
+  EXPECT_NE(a.stable_hash(), c.stable_hash());
+}
+
+TEST(ConfigurationTest, ToStringListsAllParams) {
+  Configuration c;
+  c.set("lr", 0.5);
+  c.set("opt", std::string("sgd"));
+  const auto s = c.to_string();
+  EXPECT_NE(s.find("lr=0.5"), std::string::npos);
+  EXPECT_NE(s.find("opt=sgd"), std::string::npos);
+}
+
+TEST(ParamValueTest, ToString) {
+  EXPECT_EQ(to_string(ParamValue{std::int64_t{42}}), "42");
+  EXPECT_EQ(to_string(ParamValue{std::string("adam")}), "adam");
+  EXPECT_EQ(to_string(ParamValue{0.25}), "0.25");
+}
+
+}  // namespace
+}  // namespace hyperdrive::workload

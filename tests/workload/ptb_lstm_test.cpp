@@ -1,0 +1,148 @@
+// Tests for the multi-metric PTB-LSTM workload (§9 case study).
+#include "workload/ptb_lstm_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/trace.hpp"
+
+namespace hyperdrive::workload {
+namespace {
+
+TEST(PtbLstmModelTest, Metadata) {
+  PtbLstmWorkloadModel model;
+  EXPECT_EQ(model.name(), "ptb_lstm");
+  EXPECT_EQ(model.space().size(), 10u);
+  EXPECT_TRUE(model.space().dims().front().first == "lambda");
+  EXPECT_EQ(model.max_epochs(), 40u);
+  EXPECT_EQ(model.evaluation_boundary(), 5u);
+}
+
+TEST(PtbLstmModelTest, PerplexityNormalizationRoundTrips) {
+  PtbLstmWorkloadModel model;
+  EXPECT_DOUBLE_EQ(model.normalize_ppl(800.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.normalize_ppl(65.0), 1.0);
+  for (double ppl : {90.0, 150.0, 400.0}) {
+    EXPECT_NEAR(model.denormalize_ppl(model.normalize_ppl(ppl)), ppl, 1e-9);
+  }
+  // Lower perplexity = higher score (kill threshold below target).
+  EXPECT_LT(model.kill_threshold(), model.target_performance());
+}
+
+TEST(PtbLstmModelTest, LambdaControlsSparsityMonotonically) {
+  PtbLstmWorkloadModel model;
+  Configuration low, mid, high;
+  for (auto* c : {&low, &mid, &high}) {
+    // Fill all dims with fixed midpoints; lambda varies.
+    util::Rng rng(1);
+    *c = model.space().sample(rng);
+  }
+  low.set("lambda", 1e-7);
+  mid.set("lambda", 1e-4);
+  high.set("lambda", 1e-2);
+  EXPECT_LT(model.target_sparsity(low), 0.05);
+  EXPECT_GT(model.target_sparsity(mid), 0.1);
+  EXPECT_LT(model.target_sparsity(mid), 0.7);
+  EXPECT_GT(model.target_sparsity(high), 0.75);
+  EXPECT_LT(model.target_sparsity(high), 0.91);
+}
+
+TEST(PtbLstmModelTest, SparsityCostsPerplexity) {
+  // Same configuration except lambda: higher lambda must not improve the
+  // primary metric, and far past the knee it must hurt it noticeably.
+  PtbLstmWorkloadModel model;
+  util::Rng rng(2);
+  auto config = model.space().sample(rng);
+  config.set("lambda", 1e-7);
+  const auto no_reg = model.quality(config);
+  config.set("lambda", 8e-4);
+  const auto moderate = model.quality(config);
+  config.set("lambda", 1e-2);
+  const auto heavy = model.quality(config);
+  if (no_reg.learns && moderate.learns && heavy.learns) {
+    EXPECT_GE(no_reg.final_perf, moderate.final_perf - 1e-9);
+    EXPECT_GT(moderate.final_perf, heavy.final_perf);
+  }
+}
+
+TEST(PtbLstmModelTest, CurvesCarrySecondaryMetric) {
+  PtbLstmWorkloadModel model;
+  util::Rng rng(3);
+  const auto config = model.space().sample(rng);
+  const auto curve = model.realize(config, 1);
+  ASSERT_EQ(curve.secondary.size(), curve.perf.size());
+  for (double s : curve.secondary) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(PtbLstmModelTest, SparsityRampsUpForLearners) {
+  PtbLstmWorkloadModel model;
+  util::Rng rng(4);
+  for (int i = 0; i < 60; ++i) {
+    const auto config = model.space().sample(rng);
+    const auto q = model.quality(config);
+    if (!q.learns || model.target_sparsity(config) < 0.3) continue;
+    const auto curve = model.realize(config, 1);
+    // Early sparsity well below the asymptote, late sparsity near it.
+    EXPECT_LT(curve.secondary.front(), model.target_sparsity(config) * 0.8);
+    EXPECT_NEAR(curve.secondary.back(), model.target_sparsity(config), 0.12);
+  }
+}
+
+TEST(PtbLstmModelTest, DivergedModelsShrinkNothing) {
+  PtbLstmWorkloadModel model;
+  util::Rng rng(5);
+  auto config = model.space().sample(rng);
+  config.set("lr", 9.0);
+  config.set("grad_clip", 14.0);
+  const auto q = model.quality(config);
+  ASSERT_FALSE(q.learns);
+  const auto curve = model.realize(config, 1);
+  for (double s : curve.secondary) EXPECT_DOUBLE_EQ(s, 0.0);
+  for (double y : curve.perf) EXPECT_LT(y, model.kill_threshold() + 0.05);
+}
+
+TEST(PtbLstmModelTest, PopulationHasJointGoalAchievers) {
+  // Some configurations must meet both perplexity <= 100 and sparsity >= 0.5
+  // — otherwise the §9 case study is vacuous.
+  PtbLstmWorkloadModel model;
+  const auto trace = generate_trace(model, 400, 77);
+  const double ppl_goal = model.normalize_ppl(100.0);
+  std::size_t joint = 0;
+  for (const auto& job : trace.jobs) {
+    for (std::size_t e = 0; e < job.curve.perf.size(); ++e) {
+      if (job.curve.perf[e] >= ppl_goal && job.curve.secondary[e] >= 0.5) {
+        ++joint;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(joint, 0u);
+  EXPECT_LT(joint, 100u);  // but they must be rare enough to need search
+}
+
+TEST(PtbLstmModelTest, EpochsAreMinutesLong) {
+  PtbLstmWorkloadModel model;
+  util::Rng rng(6);
+  for (int i = 0; i < 30; ++i) {
+    const auto curve = model.realize(model.space().sample(rng), 1);
+    EXPECT_GT(curve.epoch_duration.to_seconds(), 60.0);
+    EXPECT_LT(curve.epoch_duration.to_minutes(), 20.0);
+  }
+}
+
+TEST(PtbLstmModelTest, DeterministicRealization) {
+  PtbLstmWorkloadModel model;
+  util::Rng rng(7);
+  const auto config = model.space().sample(rng);
+  const auto a = model.realize(config, 9);
+  const auto b = model.realize(config, 9);
+  EXPECT_EQ(a.perf, b.perf);
+  EXPECT_EQ(a.secondary, b.secondary);
+}
+
+}  // namespace
+}  // namespace hyperdrive::workload

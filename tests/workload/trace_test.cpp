@@ -1,0 +1,111 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "workload/cifar_model.hpp"
+
+namespace hyperdrive::workload {
+namespace {
+
+TEST(GenerateTraceTest, MetadataAndSize) {
+  CifarWorkloadModel model;
+  const auto trace = generate_trace(model, 25, 1);
+  EXPECT_EQ(trace.jobs.size(), 25u);
+  EXPECT_EQ(trace.workload_name, "cifar10");
+  EXPECT_DOUBLE_EQ(trace.target_performance, 0.77);
+  EXPECT_DOUBLE_EQ(trace.kill_threshold, 0.15);
+  EXPECT_EQ(trace.max_epochs, 120u);
+  EXPECT_EQ(trace.evaluation_boundary, 10u);
+}
+
+TEST(GenerateTraceTest, JobIdsAreSequentialFromOne) {
+  CifarWorkloadModel model;
+  const auto trace = generate_trace(model, 10, 2);
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    EXPECT_EQ(trace.jobs[i].job_id, i + 1);
+    EXPECT_EQ(trace.jobs[i].curve.perf.size(), model.max_epochs());
+  }
+}
+
+TEST(GenerateTraceTest, DeterministicPerSeed) {
+  CifarWorkloadModel model;
+  const auto a = generate_trace(model, 10, 3);
+  const auto b = generate_trace(model, 10, 3);
+  const auto c = generate_trace(model, 10, 4);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.jobs[i].curve.perf, b.jobs[i].curve.perf);
+    EXPECT_EQ(a.jobs[i].config.stable_hash(), b.jobs[i].config.stable_hash());
+  }
+  // A different seed draws different configurations.
+  EXPECT_NE(a.jobs[0].config.stable_hash(), c.jobs[0].config.stable_hash());
+}
+
+TEST(TraceShuffleTest, PermutesOrderButKeepsContent) {
+  CifarWorkloadModel model;
+  const auto trace = generate_trace(model, 30, 5);
+  util::Rng rng(99);
+  const auto shuffled = trace.shuffled(rng);
+  ASSERT_EQ(shuffled.jobs.size(), trace.jobs.size());
+
+  std::set<std::uint64_t> original_ids, shuffled_ids;
+  std::vector<std::uint64_t> order_a, order_b;
+  for (const auto& j : trace.jobs) {
+    original_ids.insert(j.job_id);
+    order_a.push_back(j.job_id);
+  }
+  for (const auto& j : shuffled.jobs) {
+    shuffled_ids.insert(j.job_id);
+    order_b.push_back(j.job_id);
+  }
+  EXPECT_EQ(original_ids, shuffled_ids);
+  EXPECT_NE(order_a, order_b);
+  EXPECT_EQ(shuffled.target_performance, trace.target_performance);
+}
+
+TEST(TraceTargetReachableTest, DetectsWinners) {
+  Trace trace;
+  trace.target_performance = 0.7;
+  TraceJob loser;
+  loser.job_id = 1;
+  loser.curve.perf = {0.1, 0.2, 0.3};
+  trace.jobs.push_back(loser);
+  EXPECT_FALSE(trace.target_reachable());
+
+  TraceJob winner;
+  winner.job_id = 2;
+  winner.curve.perf = {0.2, 0.5, 0.75};
+  trace.jobs.push_back(winner);
+  EXPECT_TRUE(trace.target_reachable());
+}
+
+TEST(TraceCsvTest, SaveLoadRoundTrip) {
+  CifarWorkloadModel model;
+  const auto trace = generate_trace(model, 5, 6);
+  std::stringstream buffer;
+  trace.save_csv(buffer);
+
+  const auto loaded = Trace::load_csv(buffer, "cifar10", trace.target_performance,
+                                      trace.kill_threshold, trace.evaluation_boundary);
+  ASSERT_EQ(loaded.jobs.size(), trace.jobs.size());
+  EXPECT_EQ(loaded.max_epochs, trace.max_epochs);
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    EXPECT_EQ(loaded.jobs[i].job_id, trace.jobs[i].job_id);
+    ASSERT_EQ(loaded.jobs[i].curve.perf.size(), trace.jobs[i].curve.perf.size());
+    for (std::size_t e = 0; e < trace.jobs[i].curve.perf.size(); ++e) {
+      EXPECT_NEAR(loaded.jobs[i].curve.perf[e], trace.jobs[i].curve.perf[e], 1e-6);
+    }
+    EXPECT_NEAR(loaded.jobs[i].curve.epoch_duration.to_seconds(),
+                trace.jobs[i].curve.epoch_duration.to_seconds(), 1e-5);
+  }
+}
+
+TEST(TraceCsvTest, NonConsecutiveEpochsRejected) {
+  std::stringstream bad("job_id,epoch,duration_s,perf\n1,1,60,0.1\n1,3,60,0.2\n");
+  EXPECT_THROW(Trace::load_csv(bad, "x", 0.5, 0.1, 10), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hyperdrive::workload

@@ -1,0 +1,70 @@
+// Development tool: confidence ranking sanity — for one trace, compute the
+// POP confidence (P(reach target within budget)) from each job's first-
+// boundary prefix and compare with the job's true final performance.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/experiment_runner.hpp"
+#include "workload/cifar_model.hpp"
+
+using namespace hyperdrive;
+
+int main() {
+  workload::CifarWorkloadModel model;
+  auto trace = workload::generate_trace(model, 100, 1348);
+  while (!trace.target_reachable()) {
+    trace = workload::generate_trace(model, 100, 1349);
+  }
+  const auto predictor = core::make_default_predictor(0);
+
+  struct Row {
+    std::uint64_t id;
+    double p10;     // prob reached by 120 given 10 epochs
+    double final_perf;
+    double at10;
+  };
+  std::vector<Row> rows;
+  for (const auto& job : trace.jobs) {
+    const std::vector<double> prefix(job.curve.perf.begin(), job.curve.perf.begin() + 10);
+    if (prefix.back() <= 0.15) continue;  // killed anyway
+    std::vector<double> future;
+    for (double e = 11; e <= 120; ++e) future.push_back(e);
+    const auto pred = predictor->predict(prefix, future, 120.0);
+    rows.push_back({job.job_id, pred.prob_reached_by(future.size() - 1, 0.77),
+                    job.curve.final_perf(), prefix.back()});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) { return a.p10 > b.p10; });
+  std::printf("  id   p(reach)  acc@10  final\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(15, rows.size()); ++i) {
+    std::printf("%4llu   %.3f     %.3f   %.3f\n",
+                static_cast<unsigned long long>(rows[i].id), rows[i].p10, rows[i].at10,
+                rows[i].final_perf);
+  }
+
+  // Rotation-churn hypothesis: POP with and without opportunistic rotation.
+  for (const bool rotate : {true, false}) {
+    core::PolicySpec spec;
+    spec.kind = core::PolicyKind::Pop;
+    spec.pop.predictor = predictor;
+    spec.pop.tmax = util::SimTime::hours(48);
+    spec.pop.rotate_opportunistic = rotate;
+    core::RunnerOptions options;
+    options.machines = 5;
+    options.max_experiment_time = util::SimTime::hours(96);
+    const auto r = core::run_experiment(trace, spec, options);
+    std::printf("pop rotate=%d: t=%.0f min suspends=%zu terminations=%zu winner=%llu\n",
+                rotate, r.time_to_target.to_minutes(), r.suspends, r.terminations,
+                static_cast<unsigned long long>(r.winning_job));
+  }
+  {
+    core::PolicySpec spec;
+    spec.kind = core::PolicyKind::Bandit;
+    core::RunnerOptions options;
+    options.machines = 5;
+    options.max_experiment_time = util::SimTime::hours(96);
+    const auto r = core::run_experiment(trace, spec, options);
+    std::printf("bandit: t=%.0f min winner=%llu\n", r.time_to_target.to_minutes(),
+                static_cast<unsigned long long>(r.winning_job));
+  }
+  return 0;
+}

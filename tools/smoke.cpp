@@ -1,0 +1,53 @@
+// Development tool: run one CIFAR experiment per policy on both substrates
+// and print time-to-target, to sanity-check the whole pipeline.
+#include <cstdio>
+
+#include "core/experiment_runner.hpp"
+#include "workload/cifar_model.hpp"
+#include "workload/lunar_model.hpp"
+
+using namespace hyperdrive;
+
+static void run_workload(const workload::WorkloadModel& model, std::size_t machines,
+                         std::uint64_t seed) {
+  auto trace = workload::generate_trace(model, 100, seed);
+  while (!trace.target_reachable()) {
+    trace = workload::generate_trace(model, 100, ++seed);
+  }
+  std::printf("== %s (seed %llu, reachable=%d) ==\n", trace.workload_name.c_str(),
+              static_cast<unsigned long long>(seed), trace.target_reachable());
+
+  for (const auto kind : {core::PolicyKind::Default, core::PolicyKind::Bandit,
+                          core::PolicyKind::EarlyTerm, core::PolicyKind::Pop}) {
+    core::PolicySpec spec;
+    spec.kind = kind;
+    const auto predictor = core::make_default_predictor(seed);
+    spec.earlyterm.predictor = predictor;
+    spec.pop.predictor = predictor;
+    spec.pop.tmax = util::SimTime::hours(48);
+
+    core::RunnerOptions options;
+    options.machines = machines;
+    options.max_experiment_time = util::SimTime::hours(48);
+
+    for (const auto substrate : {core::Substrate::TraceReplay, core::Substrate::Cluster}) {
+      options.substrate = substrate;
+      options.overheads = trace.workload_name == "cifar10"
+                              ? cluster::cifar_overhead_model()
+                              : cluster::lunar_criu_overhead_model();
+      const auto result = core::run_experiment(trace, spec, options);
+      std::printf("  %-10s %-7s reached=%d t=%8.2f min  susp=%zu term=%zu started=%zu best=%.3f\n",
+                  std::string(core::to_string(kind)).c_str(),
+                  substrate == core::Substrate::TraceReplay ? "replay" : "cluster",
+                  result.reached_target, result.time_to_target.to_minutes(),
+                  result.suspends, result.terminations, result.jobs_started,
+                  result.best_perf);
+    }
+  }
+}
+
+int main() {
+  run_workload(workload::CifarWorkloadModel{}, 4, 7);
+  run_workload(workload::LunarWorkloadModel{}, 15, 11);
+  return 0;
+}
