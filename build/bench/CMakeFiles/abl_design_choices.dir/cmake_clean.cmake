@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_design_choices.dir/abl_design_choices.cpp.o"
+  "CMakeFiles/abl_design_choices.dir/abl_design_choices.cpp.o.d"
+  "abl_design_choices"
+  "abl_design_choices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_design_choices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_hyperband.dir/cmp_hyperband.cpp.o"
+  "CMakeFiles/cmp_hyperband.dir/cmp_hyperband.cpp.o.d"
+  "cmp_hyperband"
+  "cmp_hyperband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_hyperband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_lstm_sparsity.dir/ext_lstm_sparsity.cpp.o"
+  "CMakeFiles/ext_lstm_sparsity.dir/ext_lstm_sparsity.cpp.o.d"
+  "ext_lstm_sparsity"
+  "ext_lstm_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_lstm_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_overlap_prediction.dir/ext_overlap_prediction.cpp.o"
+  "CMakeFiles/ext_overlap_prediction.dir/ext_overlap_prediction.cpp.o.d"
+  "ext_overlap_prediction"
+  "ext_overlap_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_overlap_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_scale_imagenet.dir/ext_scale_imagenet.cpp.o"
+  "CMakeFiles/ext_scale_imagenet.dir/ext_scale_imagenet.cpp.o.d"
+  "ext_scale_imagenet"
+  "ext_scale_imagenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scale_imagenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_scale_imagenet.
+# This may be replaced when dependencies are built.

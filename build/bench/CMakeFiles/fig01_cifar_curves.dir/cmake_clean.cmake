@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_cifar_curves.dir/fig01_cifar_curves.cpp.o"
+  "CMakeFiles/fig01_cifar_curves.dir/fig01_cifar_curves.cpp.o.d"
+  "fig01_cifar_curves"
+  "fig01_cifar_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_cifar_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02a_final_accuracy_cdf.dir/fig02a_final_accuracy_cdf.cpp.o"
+  "CMakeFiles/fig02a_final_accuracy_cdf.dir/fig02a_final_accuracy_cdf.cpp.o.d"
+  "fig02a_final_accuracy_cdf"
+  "fig02a_final_accuracy_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02a_final_accuracy_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

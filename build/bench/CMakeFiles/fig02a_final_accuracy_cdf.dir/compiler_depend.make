@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig02a_final_accuracy_cdf.
+# This may be replaced when dependencies are built.

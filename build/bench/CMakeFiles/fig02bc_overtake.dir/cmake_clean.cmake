@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02bc_overtake.dir/fig02bc_overtake.cpp.o"
+  "CMakeFiles/fig02bc_overtake.dir/fig02bc_overtake.cpp.o.d"
+  "fig02bc_overtake"
+  "fig02bc_overtake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02bc_overtake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig02bc_overtake.
+# This may be replaced when dependencies are built.

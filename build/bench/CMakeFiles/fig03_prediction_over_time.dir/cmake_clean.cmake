@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_prediction_over_time.dir/fig03_prediction_over_time.cpp.o"
+  "CMakeFiles/fig03_prediction_over_time.dir/fig03_prediction_over_time.cpp.o.d"
+  "fig03_prediction_over_time"
+  "fig03_prediction_over_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_prediction_over_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

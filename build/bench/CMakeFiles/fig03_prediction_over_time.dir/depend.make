@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_prediction_over_time.
+# This may be replaced when dependencies are built.

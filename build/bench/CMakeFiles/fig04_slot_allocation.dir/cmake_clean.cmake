@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_slot_allocation.dir/fig04_slot_allocation.cpp.o"
+  "CMakeFiles/fig04_slot_allocation.dir/fig04_slot_allocation.cpp.o.d"
+  "fig04_slot_allocation"
+  "fig04_slot_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_slot_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_job_duration_cdf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_time_to_target_cifar.dir/fig07_time_to_target_cifar.cpp.o"
+  "CMakeFiles/fig07_time_to_target_cifar.dir/fig07_time_to_target_cifar.cpp.o.d"
+  "fig07_time_to_target_cifar"
+  "fig07_time_to_target_cifar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_time_to_target_cifar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

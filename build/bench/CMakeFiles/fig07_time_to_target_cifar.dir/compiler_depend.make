@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_time_to_target_cifar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_time_to_target_cifar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_lunar_curves.dir/fig08_lunar_curves.cpp.o"
+  "CMakeFiles/fig08_lunar_curves.dir/fig08_lunar_curves.cpp.o.d"
+  "fig08_lunar_curves"
+  "fig08_lunar_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_lunar_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_time_to_target_lunar.dir/fig09_time_to_target_lunar.cpp.o"
+  "CMakeFiles/fig09_time_to_target_lunar.dir/fig09_time_to_target_lunar.cpp.o.d"
+  "fig09_time_to_target_lunar"
+  "fig09_time_to_target_lunar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_time_to_target_lunar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_time_to_target_lunar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_overhead_lunar.dir/fig10_overhead_lunar.cpp.o"
+  "CMakeFiles/fig10_overhead_lunar.dir/fig10_overhead_lunar.cpp.o.d"
+  "fig10_overhead_lunar"
+  "fig10_overhead_lunar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_overhead_lunar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

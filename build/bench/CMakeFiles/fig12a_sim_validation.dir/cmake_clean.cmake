@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12a_sim_validation.dir/fig12a_sim_validation.cpp.o"
+  "CMakeFiles/fig12a_sim_validation.dir/fig12a_sim_validation.cpp.o.d"
+  "fig12a_sim_validation"
+  "fig12a_sim_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12a_sim_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12b_resource_capacity.dir/fig12b_resource_capacity.cpp.o"
+  "CMakeFiles/fig12b_resource_capacity.dir/fig12b_resource_capacity.cpp.o.d"
+  "fig12b_resource_capacity"
+  "fig12b_resource_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12b_resource_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

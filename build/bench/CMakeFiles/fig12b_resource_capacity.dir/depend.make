@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12b_resource_capacity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12c_config_order.dir/fig12c_config_order.cpp.o"
+  "CMakeFiles/fig12c_config_order.dir/fig12c_config_order.cpp.o.d"
+  "fig12c_config_order"
+  "fig12c_config_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12c_config_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12c_config_order.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_mcmc_samples.dir/tab_mcmc_samples.cpp.o"
+  "CMakeFiles/tab_mcmc_samples.dir/tab_mcmc_samples.cpp.o.d"
+  "tab_mcmc_samples"
+  "tab_mcmc_samples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_mcmc_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab_overhead_cifar.cpp" "bench/CMakeFiles/tab_overhead_cifar.dir/tab_overhead_cifar.cpp.o" "gcc" "bench/CMakeFiles/tab_overhead_cifar.dir/tab_overhead_cifar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/curve/CMakeFiles/hd_curve.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hd_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hd_sap.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hd_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

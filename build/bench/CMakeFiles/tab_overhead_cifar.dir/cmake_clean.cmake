@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_overhead_cifar.dir/tab_overhead_cifar.cpp.o"
+  "CMakeFiles/tab_overhead_cifar.dir/tab_overhead_cifar.cpp.o.d"
+  "tab_overhead_cifar"
+  "tab_overhead_cifar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_overhead_cifar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperdrive_cli.dir/hyperdrive_cli.cpp.o"
+  "CMakeFiles/hyperdrive_cli.dir/hyperdrive_cli.cpp.o.d"
+  "hyperdrive_cli"
+  "hyperdrive_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperdrive_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

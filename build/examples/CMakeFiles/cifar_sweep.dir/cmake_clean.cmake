@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cifar_sweep.dir/cifar_sweep.cpp.o"
+  "CMakeFiles/cifar_sweep.dir/cifar_sweep.cpp.o.d"
+  "cifar_sweep"
+  "cifar_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cifar_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

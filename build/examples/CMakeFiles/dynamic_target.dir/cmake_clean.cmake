@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_target.dir/dynamic_target.cpp.o"
+  "CMakeFiles/dynamic_target.dir/dynamic_target.cpp.o.d"
+  "dynamic_target"
+  "dynamic_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lstm_sparsity.dir/lstm_sparsity.cpp.o"
+  "CMakeFiles/lstm_sparsity.dir/lstm_sparsity.cpp.o.d"
+  "lstm_sparsity"
+  "lstm_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lstm_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lunar_rl.dir/lunar_rl.cpp.o"
+  "CMakeFiles/lunar_rl.dir/lunar_rl.cpp.o.d"
+  "lunar_rl"
+  "lunar_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lunar_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/app_stat_db.cpp" "src/cluster/CMakeFiles/hd_cluster.dir/app_stat_db.cpp.o" "gcc" "src/cluster/CMakeFiles/hd_cluster.dir/app_stat_db.cpp.o.d"
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/hd_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/hd_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/job_manager.cpp" "src/cluster/CMakeFiles/hd_cluster.dir/job_manager.cpp.o" "gcc" "src/cluster/CMakeFiles/hd_cluster.dir/job_manager.cpp.o.d"
+  "/root/repo/src/cluster/messaging.cpp" "src/cluster/CMakeFiles/hd_cluster.dir/messaging.cpp.o" "gcc" "src/cluster/CMakeFiles/hd_cluster.dir/messaging.cpp.o.d"
+  "/root/repo/src/cluster/node_agent.cpp" "src/cluster/CMakeFiles/hd_cluster.dir/node_agent.cpp.o" "gcc" "src/cluster/CMakeFiles/hd_cluster.dir/node_agent.cpp.o.d"
+  "/root/repo/src/cluster/overhead_model.cpp" "src/cluster/CMakeFiles/hd_cluster.dir/overhead_model.cpp.o" "gcc" "src/cluster/CMakeFiles/hd_cluster.dir/overhead_model.cpp.o.d"
+  "/root/repo/src/cluster/resource_manager.cpp" "src/cluster/CMakeFiles/hd_cluster.dir/resource_manager.cpp.o" "gcc" "src/cluster/CMakeFiles/hd_cluster.dir/resource_manager.cpp.o.d"
+  "/root/repo/src/cluster/snapshot_codec.cpp" "src/cluster/CMakeFiles/hd_cluster.dir/snapshot_codec.cpp.o" "gcc" "src/cluster/CMakeFiles/hd_cluster.dir/snapshot_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hd_sap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hd_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

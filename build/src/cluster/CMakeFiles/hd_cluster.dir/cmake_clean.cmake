@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_cluster.dir/app_stat_db.cpp.o"
+  "CMakeFiles/hd_cluster.dir/app_stat_db.cpp.o.d"
+  "CMakeFiles/hd_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/hd_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/hd_cluster.dir/job_manager.cpp.o"
+  "CMakeFiles/hd_cluster.dir/job_manager.cpp.o.d"
+  "CMakeFiles/hd_cluster.dir/messaging.cpp.o"
+  "CMakeFiles/hd_cluster.dir/messaging.cpp.o.d"
+  "CMakeFiles/hd_cluster.dir/node_agent.cpp.o"
+  "CMakeFiles/hd_cluster.dir/node_agent.cpp.o.d"
+  "CMakeFiles/hd_cluster.dir/overhead_model.cpp.o"
+  "CMakeFiles/hd_cluster.dir/overhead_model.cpp.o.d"
+  "CMakeFiles/hd_cluster.dir/resource_manager.cpp.o"
+  "CMakeFiles/hd_cluster.dir/resource_manager.cpp.o.d"
+  "CMakeFiles/hd_cluster.dir/snapshot_codec.cpp.o"
+  "CMakeFiles/hd_cluster.dir/snapshot_codec.cpp.o.d"
+  "libhd_cluster.a"
+  "libhd_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment_runner.cpp" "src/core/CMakeFiles/hd_core.dir/experiment_runner.cpp.o" "gcc" "src/core/CMakeFiles/hd_core.dir/experiment_runner.cpp.o.d"
+  "/root/repo/src/core/generators/hyperparameter_generator.cpp" "src/core/CMakeFiles/hd_core.dir/generators/hyperparameter_generator.cpp.o" "gcc" "src/core/CMakeFiles/hd_core.dir/generators/hyperparameter_generator.cpp.o.d"
+  "/root/repo/src/core/policies/bandit_policy.cpp" "src/core/CMakeFiles/hd_core.dir/policies/bandit_policy.cpp.o" "gcc" "src/core/CMakeFiles/hd_core.dir/policies/bandit_policy.cpp.o.d"
+  "/root/repo/src/core/policies/barrier_policy.cpp" "src/core/CMakeFiles/hd_core.dir/policies/barrier_policy.cpp.o" "gcc" "src/core/CMakeFiles/hd_core.dir/policies/barrier_policy.cpp.o.d"
+  "/root/repo/src/core/policies/default_policy.cpp" "src/core/CMakeFiles/hd_core.dir/policies/default_policy.cpp.o" "gcc" "src/core/CMakeFiles/hd_core.dir/policies/default_policy.cpp.o.d"
+  "/root/repo/src/core/policies/earlyterm_policy.cpp" "src/core/CMakeFiles/hd_core.dir/policies/earlyterm_policy.cpp.o" "gcc" "src/core/CMakeFiles/hd_core.dir/policies/earlyterm_policy.cpp.o.d"
+  "/root/repo/src/core/policies/hyperband_policy.cpp" "src/core/CMakeFiles/hd_core.dir/policies/hyperband_policy.cpp.o" "gcc" "src/core/CMakeFiles/hd_core.dir/policies/hyperband_policy.cpp.o.d"
+  "/root/repo/src/core/policies/pop_policy.cpp" "src/core/CMakeFiles/hd_core.dir/policies/pop_policy.cpp.o" "gcc" "src/core/CMakeFiles/hd_core.dir/policies/pop_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hd_sap.dir/DependInfo.cmake"
+  "/root/repo/build/src/curve/CMakeFiles/hd_curve.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hd_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hd_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_core.dir/experiment_runner.cpp.o"
+  "CMakeFiles/hd_core.dir/experiment_runner.cpp.o.d"
+  "CMakeFiles/hd_core.dir/generators/hyperparameter_generator.cpp.o"
+  "CMakeFiles/hd_core.dir/generators/hyperparameter_generator.cpp.o.d"
+  "CMakeFiles/hd_core.dir/policies/bandit_policy.cpp.o"
+  "CMakeFiles/hd_core.dir/policies/bandit_policy.cpp.o.d"
+  "CMakeFiles/hd_core.dir/policies/barrier_policy.cpp.o"
+  "CMakeFiles/hd_core.dir/policies/barrier_policy.cpp.o.d"
+  "CMakeFiles/hd_core.dir/policies/default_policy.cpp.o"
+  "CMakeFiles/hd_core.dir/policies/default_policy.cpp.o.d"
+  "CMakeFiles/hd_core.dir/policies/earlyterm_policy.cpp.o"
+  "CMakeFiles/hd_core.dir/policies/earlyterm_policy.cpp.o.d"
+  "CMakeFiles/hd_core.dir/policies/hyperband_policy.cpp.o"
+  "CMakeFiles/hd_core.dir/policies/hyperband_policy.cpp.o.d"
+  "CMakeFiles/hd_core.dir/policies/pop_policy.cpp.o"
+  "CMakeFiles/hd_core.dir/policies/pop_policy.cpp.o.d"
+  "libhd_core.a"
+  "libhd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

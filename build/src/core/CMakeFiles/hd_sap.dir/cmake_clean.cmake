@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_sap.dir/sap.cpp.o"
+  "CMakeFiles/hd_sap.dir/sap.cpp.o.d"
+  "libhd_sap.a"
+  "libhd_sap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_sap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

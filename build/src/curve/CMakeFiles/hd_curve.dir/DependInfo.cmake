@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/curve/caching_predictor.cpp" "src/curve/CMakeFiles/hd_curve.dir/caching_predictor.cpp.o" "gcc" "src/curve/CMakeFiles/hd_curve.dir/caching_predictor.cpp.o.d"
+  "/root/repo/src/curve/ensemble.cpp" "src/curve/CMakeFiles/hd_curve.dir/ensemble.cpp.o" "gcc" "src/curve/CMakeFiles/hd_curve.dir/ensemble.cpp.o.d"
+  "/root/repo/src/curve/mcmc.cpp" "src/curve/CMakeFiles/hd_curve.dir/mcmc.cpp.o" "gcc" "src/curve/CMakeFiles/hd_curve.dir/mcmc.cpp.o.d"
+  "/root/repo/src/curve/nelder_mead.cpp" "src/curve/CMakeFiles/hd_curve.dir/nelder_mead.cpp.o" "gcc" "src/curve/CMakeFiles/hd_curve.dir/nelder_mead.cpp.o.d"
+  "/root/repo/src/curve/parametric_models.cpp" "src/curve/CMakeFiles/hd_curve.dir/parametric_models.cpp.o" "gcc" "src/curve/CMakeFiles/hd_curve.dir/parametric_models.cpp.o.d"
+  "/root/repo/src/curve/predictor.cpp" "src/curve/CMakeFiles/hd_curve.dir/predictor.cpp.o" "gcc" "src/curve/CMakeFiles/hd_curve.dir/predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

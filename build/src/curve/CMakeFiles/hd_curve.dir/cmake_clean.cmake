@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_curve.dir/caching_predictor.cpp.o"
+  "CMakeFiles/hd_curve.dir/caching_predictor.cpp.o.d"
+  "CMakeFiles/hd_curve.dir/ensemble.cpp.o"
+  "CMakeFiles/hd_curve.dir/ensemble.cpp.o.d"
+  "CMakeFiles/hd_curve.dir/mcmc.cpp.o"
+  "CMakeFiles/hd_curve.dir/mcmc.cpp.o.d"
+  "CMakeFiles/hd_curve.dir/nelder_mead.cpp.o"
+  "CMakeFiles/hd_curve.dir/nelder_mead.cpp.o.d"
+  "CMakeFiles/hd_curve.dir/parametric_models.cpp.o"
+  "CMakeFiles/hd_curve.dir/parametric_models.cpp.o.d"
+  "CMakeFiles/hd_curve.dir/predictor.cpp.o"
+  "CMakeFiles/hd_curve.dir/predictor.cpp.o.d"
+  "libhd_curve.a"
+  "libhd_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_sim.dir/simulation.cpp.o"
+  "CMakeFiles/hd_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/hd_sim.dir/trace_replay.cpp.o"
+  "CMakeFiles/hd_sim.dir/trace_replay.cpp.o.d"
+  "libhd_sim.a"
+  "libhd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_util.dir/csv.cpp.o"
+  "CMakeFiles/hd_util.dir/csv.cpp.o.d"
+  "CMakeFiles/hd_util.dir/log.cpp.o"
+  "CMakeFiles/hd_util.dir/log.cpp.o.d"
+  "CMakeFiles/hd_util.dir/rng.cpp.o"
+  "CMakeFiles/hd_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hd_util.dir/sim_time.cpp.o"
+  "CMakeFiles/hd_util.dir/sim_time.cpp.o.d"
+  "CMakeFiles/hd_util.dir/stats.cpp.o"
+  "CMakeFiles/hd_util.dir/stats.cpp.o.d"
+  "CMakeFiles/hd_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/hd_util.dir/thread_pool.cpp.o.d"
+  "libhd_util.a"
+  "libhd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

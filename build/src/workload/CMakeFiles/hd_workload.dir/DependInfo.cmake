@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/cifar_model.cpp" "src/workload/CMakeFiles/hd_workload.dir/cifar_model.cpp.o" "gcc" "src/workload/CMakeFiles/hd_workload.dir/cifar_model.cpp.o.d"
+  "/root/repo/src/workload/hyperparameters.cpp" "src/workload/CMakeFiles/hd_workload.dir/hyperparameters.cpp.o" "gcc" "src/workload/CMakeFiles/hd_workload.dir/hyperparameters.cpp.o.d"
+  "/root/repo/src/workload/imagenet_model.cpp" "src/workload/CMakeFiles/hd_workload.dir/imagenet_model.cpp.o" "gcc" "src/workload/CMakeFiles/hd_workload.dir/imagenet_model.cpp.o.d"
+  "/root/repo/src/workload/lunar_model.cpp" "src/workload/CMakeFiles/hd_workload.dir/lunar_model.cpp.o" "gcc" "src/workload/CMakeFiles/hd_workload.dir/lunar_model.cpp.o.d"
+  "/root/repo/src/workload/ptb_lstm_model.cpp" "src/workload/CMakeFiles/hd_workload.dir/ptb_lstm_model.cpp.o" "gcc" "src/workload/CMakeFiles/hd_workload.dir/ptb_lstm_model.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/hd_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/hd_workload.dir/trace.cpp.o.d"
+  "/root/repo/src/workload/workload_model.cpp" "src/workload/CMakeFiles/hd_workload.dir/workload_model.cpp.o" "gcc" "src/workload/CMakeFiles/hd_workload.dir/workload_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

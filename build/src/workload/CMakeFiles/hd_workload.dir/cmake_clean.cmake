@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_workload.dir/cifar_model.cpp.o"
+  "CMakeFiles/hd_workload.dir/cifar_model.cpp.o.d"
+  "CMakeFiles/hd_workload.dir/hyperparameters.cpp.o"
+  "CMakeFiles/hd_workload.dir/hyperparameters.cpp.o.d"
+  "CMakeFiles/hd_workload.dir/imagenet_model.cpp.o"
+  "CMakeFiles/hd_workload.dir/imagenet_model.cpp.o.d"
+  "CMakeFiles/hd_workload.dir/lunar_model.cpp.o"
+  "CMakeFiles/hd_workload.dir/lunar_model.cpp.o.d"
+  "CMakeFiles/hd_workload.dir/ptb_lstm_model.cpp.o"
+  "CMakeFiles/hd_workload.dir/ptb_lstm_model.cpp.o.d"
+  "CMakeFiles/hd_workload.dir/trace.cpp.o"
+  "CMakeFiles/hd_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/hd_workload.dir/workload_model.cpp.o"
+  "CMakeFiles/hd_workload.dir/workload_model.cpp.o.d"
+  "libhd_workload.a"
+  "libhd_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/barrier_policy_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/barrier_policy_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/extensions_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/extensions_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/generators_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/generators_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/integration_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/integration_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/policies_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/policies_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/properties_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/properties_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

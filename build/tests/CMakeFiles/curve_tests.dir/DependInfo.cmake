@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/curve/caching_predictor_test.cpp" "tests/CMakeFiles/curve_tests.dir/curve/caching_predictor_test.cpp.o" "gcc" "tests/CMakeFiles/curve_tests.dir/curve/caching_predictor_test.cpp.o.d"
+  "/root/repo/tests/curve/ensemble_test.cpp" "tests/CMakeFiles/curve_tests.dir/curve/ensemble_test.cpp.o" "gcc" "tests/CMakeFiles/curve_tests.dir/curve/ensemble_test.cpp.o.d"
+  "/root/repo/tests/curve/mcmc_test.cpp" "tests/CMakeFiles/curve_tests.dir/curve/mcmc_test.cpp.o" "gcc" "tests/CMakeFiles/curve_tests.dir/curve/mcmc_test.cpp.o.d"
+  "/root/repo/tests/curve/nelder_mead_test.cpp" "tests/CMakeFiles/curve_tests.dir/curve/nelder_mead_test.cpp.o" "gcc" "tests/CMakeFiles/curve_tests.dir/curve/nelder_mead_test.cpp.o.d"
+  "/root/repo/tests/curve/parametric_models_test.cpp" "tests/CMakeFiles/curve_tests.dir/curve/parametric_models_test.cpp.o" "gcc" "tests/CMakeFiles/curve_tests.dir/curve/parametric_models_test.cpp.o.d"
+  "/root/repo/tests/curve/predictor_test.cpp" "tests/CMakeFiles/curve_tests.dir/curve/predictor_test.cpp.o" "gcc" "tests/CMakeFiles/curve_tests.dir/curve/predictor_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/curve/CMakeFiles/hd_curve.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hd_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hd_sap.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hd_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

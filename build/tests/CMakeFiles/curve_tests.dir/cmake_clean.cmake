@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curve_tests.dir/curve/caching_predictor_test.cpp.o"
+  "CMakeFiles/curve_tests.dir/curve/caching_predictor_test.cpp.o.d"
+  "CMakeFiles/curve_tests.dir/curve/ensemble_test.cpp.o"
+  "CMakeFiles/curve_tests.dir/curve/ensemble_test.cpp.o.d"
+  "CMakeFiles/curve_tests.dir/curve/mcmc_test.cpp.o"
+  "CMakeFiles/curve_tests.dir/curve/mcmc_test.cpp.o.d"
+  "CMakeFiles/curve_tests.dir/curve/nelder_mead_test.cpp.o"
+  "CMakeFiles/curve_tests.dir/curve/nelder_mead_test.cpp.o.d"
+  "CMakeFiles/curve_tests.dir/curve/parametric_models_test.cpp.o"
+  "CMakeFiles/curve_tests.dir/curve/parametric_models_test.cpp.o.d"
+  "CMakeFiles/curve_tests.dir/curve/predictor_test.cpp.o"
+  "CMakeFiles/curve_tests.dir/curve/predictor_test.cpp.o.d"
+  "curve_tests"
+  "curve_tests.pdb"
+  "curve_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curve_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

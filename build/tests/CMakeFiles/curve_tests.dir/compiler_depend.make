@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for curve_tests.
+# This may be replaced when dependencies are built.

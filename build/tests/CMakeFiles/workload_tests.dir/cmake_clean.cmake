@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_tests.dir/workload/hyperparameters_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/hyperparameters_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/ptb_lstm_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/ptb_lstm_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/trace_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/trace_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/workload_model_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/workload_model_test.cpp.o.d"
+  "workload_tests"
+  "workload_tests.pdb"
+  "workload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/belief_probe.dir/belief_probe.cpp.o"
+  "CMakeFiles/belief_probe.dir/belief_probe.cpp.o.d"
+  "belief_probe"
+  "belief_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/belief_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoke.dir/smoke.cpp.o"
+  "CMakeFiles/smoke.dir/smoke.cpp.o.d"
+  "smoke"
+  "smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

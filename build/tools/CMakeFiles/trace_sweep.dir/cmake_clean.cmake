@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_sweep.dir/trace_sweep.cpp.o"
+  "CMakeFiles/trace_sweep.dir/trace_sweep.cpp.o.d"
+  "trace_sweep"
+  "trace_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
