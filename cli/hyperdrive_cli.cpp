@@ -38,6 +38,8 @@ struct CliOptions {
   bool stop_on_target = true;
   bool barrier = false;
   bool verbose = false;
+  /// Fault profile (cluster substrate only; see DESIGN.md "Fault model").
+  cluster::FaultPlan fault_plan;
 };
 
 void print_usage() {
@@ -57,7 +59,16 @@ void print_usage() {
       "  --barrier     (barrier-like breadth-first epoch scheduling)\n"
       "  --save-trace FILE  (write the trace CSV)\n"
       "  --verbose\n"
-      "  --help\n");
+      "  --help\n"
+      "fault injection (cluster substrate only; deterministic per seed):\n"
+      "  --fault-drop P             drop each message with probability P\n"
+      "  --fault-dup P              duplicate each message with probability P\n"
+      "  --fault-delay P            delay messages with probability P (exp, 0.2s mean)\n"
+      "  --fault-crash M:T[:R]      crash machine M at T hours; restart after R hours\n"
+      "                             (omit R for a permanent loss; repeatable)\n"
+      "  --fault-snapshot-fail P    snapshot capture/upload aborts with probability P\n"
+      "  --fault-snapshot-corrupt P stored snapshot gets a flipped bit with prob. P\n"
+      "  --fault-seed S             seed of the fault decision stream    [0]\n");
 }
 
 bool parse_args(int argc, char** argv, CliOptions& options) {
@@ -95,6 +106,35 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.stop_on_target = false;
     } else if (arg == "--barrier") {
       options.barrier = true;
+    } else if (arg == "--fault-drop") {
+      options.fault_plan.default_message_faults.drop_prob = std::strtod(next(), nullptr);
+    } else if (arg == "--fault-dup") {
+      options.fault_plan.default_message_faults.duplicate_prob =
+          std::strtod(next(), nullptr);
+    } else if (arg == "--fault-delay") {
+      options.fault_plan.default_message_faults.delay_prob = std::strtod(next(), nullptr);
+    } else if (arg == "--fault-crash") {
+      // M:T[:R] — machine, crash time in hours, optional restart delay hours.
+      const std::string spec = next();
+      cluster::NodeCrashEvent crash;
+      char* rest = nullptr;
+      crash.machine =
+          static_cast<cluster::MachineId>(std::strtoull(spec.c_str(), &rest, 10));
+      if (rest == nullptr || *rest != ':') {
+        std::fprintf(stderr, "bad --fault-crash spec '%s' (want M:T[:R])\n", spec.c_str());
+        return false;
+      }
+      crash.at = util::SimTime::hours(std::strtod(rest + 1, &rest));
+      if (rest != nullptr && *rest == ':') {
+        crash.restart_after = util::SimTime::hours(std::strtod(rest + 1, nullptr));
+      }
+      options.fault_plan.crashes.push_back(crash);
+    } else if (arg == "--fault-snapshot-fail") {
+      options.fault_plan.snapshot_upload_fail_prob = std::strtod(next(), nullptr);
+    } else if (arg == "--fault-snapshot-corrupt") {
+      options.fault_plan.snapshot_corrupt_prob = std::strtod(next(), nullptr);
+    } else if (arg == "--fault-seed") {
+      options.fault_plan.seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--save-trace") {
       options.save_trace = next();
     } else if (arg == "--verbose") {
@@ -168,6 +208,10 @@ std::unique_ptr<core::SchedulingPolicy> make_base_policy(const CliOptions& optio
 int main(int argc, char** argv) {
   CliOptions options;
   if (!parse_args(argc, argv, options)) return 2;
+  if (options.fault_plan.any() && options.substrate != "cluster") {
+    std::fprintf(stderr, "fault injection requires --substrate cluster\n");
+    return 2;
+  }
 
   const auto model = make_workload(options.workload);
   const auto generator =
@@ -208,6 +252,7 @@ int main(int argc, char** argv) {
       copts.overheads = options.workload == "lunarlander"
                             ? cluster::lunar_criu_overhead_model()
                             : cluster::cifar_overhead_model();
+      copts.fault_plan = options.fault_plan;
       result = cluster::run_cluster_experiment(trace, *policy, copts);
     } else {
       sim::ReplayOptions ropts;
@@ -227,6 +272,15 @@ int main(int argc, char** argv) {
                     : "",
                 result.best_perf, result.jobs_started, result.terminations,
                 result.suspends, util::format_duration(result.total_machine_time).c_str());
+    if (options.fault_plan.any()) {
+      const auto& rec = result.recovery;
+      std::printf("  recovery: crashes=%zu restarts=%zu requeued=%zu epochs-lost=%zu "
+                  "snapshots-lost=%zu restore-failures=%zu stats-lost=%zu "
+                  "dup-stats-ignored=%zu\n",
+                  rec.node_crashes, rec.node_restarts, rec.jobs_requeued, rec.epochs_lost,
+                  rec.snapshots_lost, rec.snapshot_restore_failures, rec.stat_reports_lost,
+                  rec.duplicate_stats_ignored);
+    }
     if (options.verbose) {
       for (const auto& js : result.job_stats) {
         if (js.epochs_completed == 0) continue;

@@ -4,10 +4,22 @@ namespace hyperdrive::cluster {
 
 const std::vector<AppStat> AppStatDb::kEmptyStats{};
 const std::vector<double> AppStatDb::kEmptyPerf{};
+const std::vector<ModelSnapshot> AppStatDb::kEmptySnapshots{};
 
-void AppStatDb::record_stat(const AppStat& stat) {
+bool AppStatDb::record_stat(const AppStat& stat) {
+  if (stat.epoch == 0) return false;  // epochs are 1-based completion counts
+  auto& epochs = by_epoch_[stat.job_id];
+  if (!epochs.emplace(stat.epoch, stat.perf).second) return false;  // duplicate
   stats_[stat.job_id].push_back(stat);
-  perf_[stat.job_id].push_back(stat.perf);
+  // Extend the contiguous prefix as far as the buffered epochs allow; a gap
+  // (an out-of-order arrival whose predecessor is still in flight) holds the
+  // history back until the missing epoch lands.
+  auto& perf = perf_[stat.job_id];
+  for (auto it = epochs.find(perf.size() + 1); it != epochs.end();
+       it = epochs.find(perf.size() + 1)) {
+    perf.push_back(it->second);
+  }
+  return true;
 }
 
 const std::vector<AppStat>& AppStatDb::stats(core::JobId job) const {
@@ -28,6 +40,11 @@ std::optional<ModelSnapshot> AppStatDb::latest_snapshot(core::JobId job) const {
   const auto it = snapshots_.find(job);
   if (it == snapshots_.end() || it->second.empty()) return std::nullopt;
   return it->second.back();
+}
+
+const std::vector<ModelSnapshot>& AppStatDb::snapshots(core::JobId job) const {
+  const auto it = snapshots_.find(job);
+  return it == snapshots_.end() ? kEmptySnapshots : it->second;
 }
 
 void AppStatDb::record_suspend_sample(core::SuspendSample sample) {

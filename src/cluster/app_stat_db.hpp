@@ -43,13 +43,22 @@ struct ModelSnapshot {
 
 class AppStatDb {
  public:
-  void record_stat(const AppStat& stat);
+  /// Record one application stat. Stats are keyed by (job, epoch): a stat for
+  /// an already-recorded epoch — a retransmitted/duplicated RPC, or an epoch
+  /// re-trained after a crash rollback — is ignored and `false` is returned.
+  /// Out-of-order arrivals are buffered; perf_history() only ever exposes the
+  /// contiguous epoch prefix so the curve predictor never sees holes.
+  bool record_stat(const AppStat& stat);
   [[nodiscard]] const std::vector<AppStat>& stats(core::JobId job) const;
-  /// Performance values only, in epoch order — what the SAP consumes.
+  /// Performance values only, in contiguous epoch order (entry i = epoch
+  /// i+1) — what the SAP consumes.
   [[nodiscard]] const std::vector<double>& perf_history(core::JobId job) const;
 
   void store_snapshot(ModelSnapshot snapshot);
   [[nodiscard]] std::optional<ModelSnapshot> latest_snapshot(core::JobId job) const;
+  /// Every stored snapshot of a job, oldest first. Recovery walks this list
+  /// newest-to-oldest when the latest image fails to decode.
+  [[nodiscard]] const std::vector<ModelSnapshot>& snapshots(core::JobId job) const;
 
   /// Suspend overhead accounting (§6.2.3 study).
   void record_suspend_sample(core::SuspendSample sample);
@@ -60,10 +69,13 @@ class AppStatDb {
  private:
   std::map<core::JobId, std::vector<AppStat>> stats_;
   std::map<core::JobId, std::vector<double>> perf_;
+  /// Per-job epoch -> perf, the dedup/reorder buffer behind perf_.
+  std::map<core::JobId, std::map<std::size_t, double>> by_epoch_;
   std::map<core::JobId, std::vector<ModelSnapshot>> snapshots_;
   std::vector<core::SuspendSample> suspend_samples_;
   static const std::vector<AppStat> kEmptyStats;
   static const std::vector<double> kEmptyPerf;
+  static const std::vector<ModelSnapshot> kEmptySnapshots;
 };
 
 }  // namespace hyperdrive::cluster

@@ -1,6 +1,8 @@
 #include "cluster/cluster.hpp"
 
 #include <algorithm>
+#include <iomanip>
+#include <sstream>
 #include <stdexcept>
 
 #include "util/log.hpp"
@@ -9,14 +11,19 @@ namespace hyperdrive::cluster {
 
 namespace {
 /// The RPC fabric inherits its latency model from the overhead model so the
-/// calibrated stat-report timings (§6.2.3) are preserved.
-MessageBusOptions bus_options_from(const OverheadModel& overheads) {
+/// calibrated stat-report timings (§6.2.3) are preserved. The reliability
+/// layer turns on automatically as soon as any fault is injected — an
+/// unreliable fabric under faults would silently lose experiment results.
+MessageBusOptions bus_options_from(const ClusterOptions& cluster_options) {
+  const OverheadModel& overheads = cluster_options.overheads;
   MessageBusOptions options;
   options.latency_mu = overheads.stat_latency_s.mu;
   options.latency_sigma = overheads.stat_latency_s.sigma;
   options.latency_min_s = overheads.stat_latency_s.lo;
   options.latency_max_s = overheads.stat_latency_s.hi;
   options.bandwidth_bps = overheads.resume_bandwidth_bps;
+  options.reliability = cluster_options.reliability;
+  if (cluster_options.fault_plan.any()) options.reliability.enabled = true;
   return options;
 }
 
@@ -30,11 +37,17 @@ HyperDriveCluster::HyperDriveCluster(const workload::Trace& trace, ClusterOption
       rm_(options_.machines),
       jm_(trace),
       rng_(util::derive_seed(options_.seed, 0xC105)),
-      bus_(simulation_, bus_options_from(options_.overheads), options_.seed) {
+      injector_(options_.fault_plan, options_.seed),
+      bus_(simulation_, bus_options_from(options_), options_.seed) {
   agents_.reserve(options_.machines);
   for (std::size_t i = 0; i < options_.machines; ++i) {
     agents_.emplace_back(static_cast<MachineId>(i));
   }
+  if (injector_.active()) bus_.set_fault_injector(&injector_);
+  // The last event of a run is often the final stat report's ack settling
+  // inside the bus; re-check quiescence then so a scheduled far-future crash
+  // can be cancelled instead of keeping the clock alive.
+  bus_.set_drain_handler([this] { maybe_finish(); });
   // The scheduler receives application stats; the AppStatDB storage service
   // receives snapshot uploads (it enqueues the suspended job once stored).
   scheduler_endpoint_ = bus_.register_endpoint("scheduler", [this](const Message& m) {
@@ -45,7 +58,17 @@ HyperDriveCluster::HyperDriveCluster(const workload::Trace& trace, ClusterOption
     const auto snapshot = std::static_pointer_cast<const ModelSnapshot>(m.payload);
     if (!snapshot) return;
     const core::JobId id = snapshot->job_id;
+    auto& job = jm_.job(id);
+    // A duplicate upload (injected, on the fire-and-forget fabric) or one
+    // that raced a crash requeue must not double-release the machine or
+    // store an image newer than the job's rolled-back epoch.
+    if (job.idle || job.status != core::JobStatus::Suspended ||
+        snapshot->epoch != job.epochs_done) {
+      return;
+    }
     db_.store_snapshot(*snapshot);
+    log_event("snapshot-stored job=" + std::to_string(id) +
+              " epoch=" + std::to_string(snapshot->epoch));
     jm_.enqueue_idle(id);
     release_and_allocate(id);
   });
@@ -70,26 +93,58 @@ bool HyperDriveCluster::start_job(core::JobId id) {
   if (job.status == core::JobStatus::Pending) {
     startup_cost = options_.overheads.job_start_cost;
     ++result_.jobs_started;
+    log_event("start job=" + std::to_string(id) + " machine=" + std::to_string(*machine));
   } else {
-    // Resume: ship the snapshot to the new host, restore (decode) the
-    // process state, and hand over the learning-curve history (§5.2).
+    // Resume: ship the snapshot to the new host, restore (decode) the model
+    // state, and hand over the learning-curve history (§5.2). A snapshot
+    // that fails to decode (bit-flipped in storage) is skipped in favour of
+    // the next older one; with no usable snapshot at all the model state is
+    // lost — training restarts from epoch 0 and only the curve history
+    // survives, replayed from the AppStatDb records.
     SuspendOverheadSample snapshot_info;
-    if (const auto snapshot = db_.latest_snapshot(id)) {
-      snapshot_info.snapshot_bytes = snapshot->size_bytes;
-      const auto state = SnapshotCodec::decode(snapshot->image);
-      if (!state || state->job_id != id || state->epoch != job.epochs_done) {
-        throw std::logic_error("corrupt or mismatched job snapshot on resume");
+    const auto& snaps = db_.snapshots(id);
+    if (!snaps.empty()) snapshot_info.snapshot_bytes = snaps.back().size_bytes;
+    bool restored = false;
+    bool decode_failed = false;
+    for (auto it = snaps.rbegin(); it != snaps.rend(); ++it) {
+      if (it->epoch > job.epochs_done) continue;  // newer than the rolled-back state
+      const auto state = SnapshotCodec::decode(it->image);
+      if (!state || state->job_id != id || state->epoch != it->epoch) {
+        decode_failed = true;
+        continue;
+      }
+      if (it->epoch < job.epochs_done) {
+        result_.recovery.epochs_lost += job.epochs_done - it->epoch;
+        job.epochs_done = it->epoch;
       }
       agent.install_history(id, state->history);
-    } else {
+      restored = true;
+      break;
+    }
+    if (decode_failed) {
+      ++result_.recovery.snapshot_restore_failures;
+      log_event("snapshot-restore-failed job=" + std::to_string(id));
+    }
+    if (!restored) {
+      if (!snaps.empty()) {
+        // Every stored image was unusable: restart from scratch.
+        result_.recovery.epochs_lost += job.epochs_done;
+        job.epochs_done = 0;
+        ++job.incarnation;
+      }
       agent.install_history(id, db_.perf_history(id));
     }
     startup_cost = options_.overheads.resume_cost(snapshot_info, rng_);
+    log_event("resume job=" + std::to_string(id) + " machine=" + std::to_string(*machine) +
+              " epoch=" + std::to_string(job.epochs_done));
   }
   job.status = core::JobStatus::Running;
   job.execution_time += startup_cost;
   agent.note_busy(startup_cost);
-  simulation_.schedule_after(startup_cost, [this, id] { begin_epoch(id); });
+  simulation_.schedule_after(startup_cost, [this, id, inc = job.incarnation] {
+    if (jm_.job(id).incarnation != inc) return;  // crashed during startup
+    begin_epoch(id);
+  });
   return true;
 }
 
@@ -147,6 +202,7 @@ void HyperDriveCluster::complete_epoch(core::JobId id) {
   const double perf = job.spec->curve.perf.at(job.epochs_done);
   ++job.epochs_done;
   agent.append_history(id, perf);
+  log_event("epoch job=" + std::to_string(id) + " epoch=" + std::to_string(job.epochs_done));
 
   AppStat stat;
   stat.job_id = id;
@@ -162,7 +218,9 @@ void HyperDriveCluster::complete_epoch(core::JobId id) {
   // The stat report must be in flight before the machine can be released,
   // otherwise a completing job could end the experiment with its final
   // (possibly target-reaching) report undelivered. It travels as an RPC
-  // from the Node Agent to the scheduler (§5).
+  // from the Node Agent to the scheduler (§5). Under the reliability layer
+  // it is retransmitted until acked; if every attempt is lost the epoch's
+  // stat is gone for good (training went on regardless — §5.2 overlap).
   Message report;
   report.type = MessageType::ReportStat;
   report.from = static_cast<EndpointId>(*job.machine);
@@ -170,10 +228,12 @@ void HyperDriveCluster::complete_epoch(core::JobId id) {
   report.job_id = id;
   report.payload_bytes = kStatRpcBytes;
   report.payload = std::make_shared<const AppStat>(stat);
-  bus_.send(std::move(report));
+  bus_.send(std::move(report),
+            [this](const Message&) { ++result_.recovery.stat_reports_lost; });
 
   if (job.epochs_done >= job.spec->curve.perf.size()) {
     job.status = core::JobStatus::Completed;
+    log_event("complete job=" + std::to_string(id));
     release_and_allocate(id);
   } else if (!options_.overlap_decisions && options_.decision_latency &&
              trace_.evaluation_boundary > 0 &&
@@ -192,7 +252,14 @@ void HyperDriveCluster::complete_epoch(core::JobId id) {
 
 void HyperDriveCluster::deliver_stat(const AppStat& stat) {
   if (done_) return;
-  db_.record_stat(stat);
+  // (job, epoch) dedup: a retransmitted/duplicated RPC or an epoch re-trained
+  // after a crash rollback reports nothing new — recording it again would
+  // double-count history, and re-running the policy on it could double-fire
+  // decisions that were already taken.
+  if (!db_.record_stat(stat)) {
+    ++result_.recovery.duplicate_stats_ignored;
+    return;
+  }
 
   core::JobEvent event;
   event.job_id = stat.job_id;
@@ -211,6 +278,8 @@ void HyperDriveCluster::deliver_stat(const AppStat& stat) {
     result_.reached_target = true;
     result_.time_to_target = simulation_.now();
     result_.winning_job = stat.job_id;
+    log_event("target job=" + std::to_string(stat.job_id) +
+              " epoch=" + std::to_string(stat.epoch));
     finish();
     return;
   }
@@ -218,7 +287,8 @@ void HyperDriveCluster::deliver_stat(const AppStat& stat) {
   // A decision is only worth computing for a job that is still running; a
   // completed/terminated job's pending stat must not spawn a prediction that
   // would needlessly extend the experiment.
-  if (jm_.job(stat.job_id).status != core::JobStatus::Running) return;
+  const auto& job = jm_.job(stat.job_id);
+  if (job.status != core::JobStatus::Running) return;
 
   // Decision latency models the learning-curve prediction cost at
   // evaluation-boundary epochs; elsewhere decisions are immediate.
@@ -229,18 +299,23 @@ void HyperDriveCluster::deliver_stat(const AppStat& stat) {
     if (stat.node < agents_.size()) agents_[stat.node].note_prediction();
   }
   if (decision_delay <= util::SimTime::zero()) {
-    decide(stat.job_id, event);
+    decide(stat.job_id, event, job.incarnation);
   } else {
-    simulation_.schedule_after(decision_delay,
-                               [this, id = stat.job_id, event] { decide(id, event); });
+    simulation_.schedule_after(
+        decision_delay, [this, id = stat.job_id, event, inc = job.incarnation] {
+          decide(id, event, inc);
+        });
   }
 }
 
-void HyperDriveCluster::decide(core::JobId id, core::JobEvent event) {
+void HyperDriveCluster::decide(core::JobId id, core::JobEvent event,
+                               std::uint64_t incarnation) {
   if (done_) return;
   auto& job = jm_.job(id);
   // The job may have completed, been suspended, or been terminated by a
-  // decision for a later epoch while this one was in flight.
+  // decision for a later epoch while this one was in flight — or crashed and
+  // restarted as a new incarnation, for which this decision is stale.
+  if (job.incarnation != incarnation) return;
   if (job.status != core::JobStatus::Running) return;
 
   // Blocking mode: charge the machine-held wait time before acting.
@@ -262,9 +337,13 @@ void HyperDriveCluster::decide(core::JobId id, core::JobEvent event) {
       return;
     case core::JobDecision::Suspend:
       if (job.epochs_done >= job.spec->curve.perf.size()) return;  // done anyway
+      log_event("suspend job=" + std::to_string(id) +
+                " epoch=" + std::to_string(job.epochs_done));
       do_suspend(id);
       return;
     case core::JobDecision::Terminate:
+      log_event("terminate job=" + std::to_string(id) +
+                " epoch=" + std::to_string(job.epochs_done));
       do_terminate(id);
       return;
   }
@@ -302,30 +381,68 @@ void HyperDriveCluster::do_suspend(core::JobId id) {
   // The machine is occupied until the snapshot has been captured; the image
   // is then shipped to the AppStatDB over the RPC fabric (§5.1: "captured
   // model state ... sent to HyperDrive for storage"), whose handler stores
-  // it and releases the machine.
-  simulation_.schedule_after(overhead.latency, [this, id, overhead] {
-    auto& j = jm_.job(id);
-    auto snapshot = std::make_shared<ModelSnapshot>();
-    snapshot->job_id = id;
-    snapshot->epoch = j.epochs_done;
-    snapshot->size_bytes = overhead.snapshot_bytes;
-    // Serialize the actual schedulable state (§5.1): resume decodes this.
-    JobSnapshotState state;
-    state.job_id = id;
-    state.epoch = j.epochs_done;
-    state.config = j.spec->config;
-    state.history = db_.perf_history(id);
-    snapshot->image = SnapshotCodec::encode(state);
-    snapshot->stored_at = simulation_.now();
+  // it and releases the machine. The capture is cancelled if the node
+  // crashes inside this window.
+  job.suspend_in_flight = true;
+  job.pending_suspend = simulation_.schedule_after(
+      overhead.latency, [this, id, overhead] { finish_suspend(id, overhead); });
+}
 
-    Message upload;
-    upload.type = MessageType::SnapshotUpload;
-    upload.from = j.machine ? static_cast<EndpointId>(*j.machine) : 0;
-    upload.to = storage_endpoint_;
-    upload.job_id = id;
-    upload.payload_bytes = overhead.snapshot_bytes;
-    upload.payload = std::move(snapshot);
-    bus_.send(std::move(upload));
+void HyperDriveCluster::finish_suspend(core::JobId id, SuspendOverheadSample overhead) {
+  if (done_) return;
+  auto& j = jm_.job(id);
+  j.suspend_in_flight = false;
+
+  // Agent-side capture/upload failure: nothing durable was produced, so the
+  // suspended state is gone — roll back to the previous snapshot (or
+  // scratch) and requeue.
+  if (injector_.active() && injector_.should_fail_upload()) {
+    ++result_.recovery.snapshots_lost;
+    log_event("snapshot-upload-failed job=" + std::to_string(id));
+    rollback_to_durable(j);
+    jm_.enqueue_idle(id);
+    release_and_allocate(id);
+    return;
+  }
+
+  auto snapshot = std::make_shared<ModelSnapshot>();
+  snapshot->job_id = id;
+  snapshot->epoch = j.epochs_done;
+  snapshot->size_bytes = overhead.snapshot_bytes;
+  // Serialize the actual schedulable state (§5.1): resume decodes this.
+  JobSnapshotState state;
+  state.job_id = id;
+  state.epoch = j.epochs_done;
+  state.config = j.spec->config;
+  state.history = db_.perf_history(id);
+  snapshot->image = SnapshotCodec::encode(state);
+  snapshot->stored_at = simulation_.now();
+  // Storage-level corruption: the upload arrives but a bit flips. Detected
+  // only when a resume tries to decode it (the codec's CRC rejects it) —
+  // recovery then falls back to an older snapshot or an AppStatDb replay.
+  if (injector_.active() && injector_.should_corrupt_snapshot()) {
+    injector_.corrupt(snapshot->image);
+    log_event("snapshot-corrupted job=" + std::to_string(id));
+  }
+
+  Message upload;
+  upload.type = MessageType::SnapshotUpload;
+  upload.from = j.machine ? static_cast<EndpointId>(*j.machine) : 0;
+  upload.to = storage_endpoint_;
+  upload.job_id = id;
+  upload.payload_bytes = overhead.snapshot_bytes;
+  upload.payload = std::move(snapshot);
+  bus_.send(std::move(upload), [this, id](const Message&) {
+    // Every retransmission was lost: the snapshot never reached storage and
+    // the machine is still held — recover exactly like a capture failure.
+    if (done_) return;
+    auto& job = jm_.job(id);
+    if (job.idle || job.status != core::JobStatus::Suspended) return;
+    ++result_.recovery.snapshots_lost;
+    log_event("snapshot-upload-lost job=" + std::to_string(id));
+    rollback_to_durable(job);
+    jm_.enqueue_idle(id);
+    release_and_allocate(id);
   });
 }
 
@@ -335,6 +452,104 @@ void HyperDriveCluster::do_terminate(core::JobId id) {
   job.status = core::JobStatus::Terminated;
   ++result_.terminations;
   release_and_allocate(id);
+}
+
+void HyperDriveCluster::rollback_to_durable(ManagedJob& job) {
+  std::size_t durable = 0;
+  if (const auto snap = db_.latest_snapshot(job.id)) {
+    durable = std::min(snap->epoch, job.epochs_done);
+  }
+  result_.recovery.epochs_lost += job.epochs_done - durable;
+  job.epochs_done = durable;
+  job.status = durable > 0 ? core::JobStatus::Suspended : core::JobStatus::Pending;
+  ++job.incarnation;
+  ++result_.recovery.jobs_requeued;
+  log_event("requeue job=" + std::to_string(job.id) + " epoch=" + std::to_string(durable));
+}
+
+void HyperDriveCluster::fail_job_on_crash(ManagedJob& job) {
+  // The machine did the partial work even though its result is lost.
+  if (job.epoch_in_flight) {
+    simulation_.cancel(job.pending_epoch);
+    const util::SimTime partial = simulation_.now() - job.epoch_started_at;
+    job.execution_time += partial;
+    agents_[*job.machine].note_busy(partial);
+    job.epoch_in_flight = false;
+  }
+  if (job.waiting_decision) {
+    const util::SimTime wait = simulation_.now() - job.wait_started_at;
+    job.execution_time += wait;
+    agents_[*job.machine].note_busy(wait);
+    job.waiting_decision = false;
+  }
+  if (job.suspend_in_flight) {
+    // The snapshot capture died with the node.
+    simulation_.cancel(job.pending_suspend);
+    job.suspend_in_flight = false;
+    ++result_.recovery.snapshots_lost;
+  }
+  rollback_to_durable(job);
+  rm_.release_machine(*job.machine);
+  job.machine.reset();
+  jm_.enqueue_idle(job.id);
+}
+
+void HyperDriveCluster::crash_node(const NodeCrashEvent& crash) {
+  if (done_) return;
+  const MachineId m = crash.machine;
+  if (m >= agents_.size() || !rm_.is_online(m)) return;
+
+  injector_.note_crash();
+  ++result_.recovery.node_crashes;
+  log_event("crash machine=" + std::to_string(m));
+
+  // Fail whatever occupies the machine: a running job, or one whose snapshot
+  // capture / upload is still holding it.
+  for (auto& [id, job] : jm_.all()) {
+    if (job.machine && *job.machine == m) {
+      fail_job_on_crash(job);
+      break;  // one job per machine
+    }
+  }
+  rm_.set_offline(m);
+  // The node's local §5.2 curve caches die with it; resumes re-install them
+  // from snapshots or AppStatDb replay.
+  agents_[m].clear_histories();
+  policy_->on_capacity_change(*this);
+
+  if (crash.restart_after < util::SimTime::infinity()) {
+    auto handle_box = std::make_shared<sim::EventHandle>(0);
+    *handle_box = simulation_.schedule_after(crash.restart_after, [this, m, handle_box] {
+      fault_events_.erase(*handle_box);
+      restart_node(m);
+    });
+    fault_events_.emplace(*handle_box, true);
+  }
+
+  policy_->on_allocate(*this);
+  maybe_finish();
+}
+
+void HyperDriveCluster::restart_node(MachineId m) {
+  if (done_) return;
+  if (rm_.is_online(m)) return;
+  rm_.set_online(m);
+  ++result_.recovery.node_restarts;
+  log_event("restart machine=" + std::to_string(m));
+  policy_->on_capacity_change(*this);
+  policy_->on_allocate(*this);
+  maybe_finish();
+}
+
+void HyperDriveCluster::schedule_crashes() {
+  for (const auto& crash : options_.fault_plan.crashes) {
+    auto handle_box = std::make_shared<sim::EventHandle>(0);
+    *handle_box = simulation_.schedule_at(crash.at, [this, crash, handle_box] {
+      fault_events_.erase(*handle_box);
+      crash_node(crash);
+    });
+    fault_events_.emplace(*handle_box, false);
+  }
 }
 
 void HyperDriveCluster::release_and_allocate(core::JobId id) {
@@ -349,13 +564,35 @@ void HyperDriveCluster::release_and_allocate(core::JobId id) {
 }
 
 void HyperDriveCluster::maybe_finish() {
-  if (rm_.idle() == rm_.total() && simulation_.events_pending() == 0) finish();
+  if (rm_.idle() != rm_.total()) return;
+  const std::size_t pending = simulation_.events_pending();
+  if (pending > fault_events_.size()) return;  // real work still in flight
+  if (pending > 0) {
+    // Only scheduled fault events remain. A pending node restart can still
+    // revive progress if jobs are waiting for capacity; a bare future crash
+    // (or a restart with nothing left to run) cannot affect the outcome and
+    // must not keep the clock running — cancel and finish.
+    const bool restart_pending = std::any_of(fault_events_.begin(), fault_events_.end(),
+                                             [](const auto& e) { return e.second; });
+    if (restart_pending && !jm_.active_jobs().empty()) return;
+    for (const auto& [handle, is_restart] : fault_events_) simulation_.cancel(handle);
+    fault_events_.clear();
+  }
+  finish();
 }
 
 void HyperDriveCluster::finish() {
   if (done_) return;
   done_ = true;
   simulation_.stop();
+}
+
+void HyperDriveCluster::log_event(const std::string& text) {
+  if (!options_.record_event_log) return;
+  std::ostringstream os;
+  os << "t=" << std::fixed << std::setprecision(9) << simulation_.now().to_seconds() << ' '
+     << text;
+  event_log_.push_back(os.str());
 }
 
 core::ExperimentResult HyperDriveCluster::run(core::SchedulingPolicy& policy) {
@@ -369,6 +606,7 @@ core::ExperimentResult HyperDriveCluster::run(core::SchedulingPolicy& policy) {
     result_.total_time = util::SimTime::zero();
     return result_;
   }
+  schedule_crashes();
   simulation_.run_until(options_.max_experiment_time);
 
   result_.total_time = done_ ? simulation_.now()

@@ -12,12 +12,36 @@
 //     learning-curve prediction cost; training continues while the decision
 //     is pending (the §5.2 "overlap training and prediction" strategy), and
 //     a suspend/terminate that lands mid-epoch discards the partial epoch.
+//
+// Fault tolerance: a ClusterOptions::fault_plan turns on the FaultInjector
+// (node crashes with optional restart, message drop/duplication/delay,
+// snapshot upload failure and corruption) and auto-enables the MessageBus
+// reliability layer. The cluster survives the plan by:
+//   * requeueing jobs that were running (or mid-suspend) on a crashed node,
+//     rolled back to their last durable snapshot — epochs since then are
+//     lost and re-trained (RecoveryStats::epochs_lost);
+//   * shrinking/growing the Resource Manager membership so the policy's
+//     slot math (S_deserved = S * p) tracks live capacity, with an
+//     on_capacity_change upcall so policies can invalidate cached sets;
+//   * falling back, when a snapshot fails to decode on resume, to the next
+//     older snapshot and ultimately to a from-scratch restart with the curve
+//     history replayed from AppStatDb records;
+//   * deduplicating stat reports by (job, epoch) in the AppStatDb so
+//     retransmissions, injected duplicates, and re-trained epochs never
+//     double-count.
+// Every fault decision is drawn from the plan's seeded RNG, so a run is a
+// pure function of (trace, seed, plan) — the golden-trace determinism tests
+// replay the optional event_log() byte-for-byte.
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "cluster/app_stat_db.hpp"
+#include "cluster/fault_injector.hpp"
 #include "cluster/messaging.hpp"
 #include "cluster/snapshot_codec.hpp"
 #include "cluster/job_manager.hpp"
@@ -51,6 +75,17 @@ struct ClusterOptions {
   /// Model-owner-defined global termination criterion (§9); when set it
   /// replaces the perf >= target check (stop_on_target still gates it).
   core::GlobalStopCriterion stop_criterion;
+  /// Faults to inject (default: none — a perfect cluster, byte-identical to
+  /// the pre-fault-subsystem behavior).
+  FaultPlan fault_plan;
+  /// Ack/retransmit parameters for the RPC fabric. Auto-enabled whenever the
+  /// fault plan injects anything; leave `enabled` false for the fault-free
+  /// fire-and-forget fabric.
+  ReliabilityOptions reliability;
+  /// Record a human-readable, fully deterministic event log (crashes,
+  /// restarts, starts/resumes, decisions, recoveries) — the golden-trace
+  /// determinism tests compare it byte-for-byte across runs.
+  bool record_event_log = false;
 };
 
 class HyperDriveCluster final : public core::SchedulerOps {
@@ -68,6 +103,15 @@ class HyperDriveCluster final : public core::SchedulerOps {
   /// RPC traffic accounting (§5: scheduler <-> node-agent communication).
   [[nodiscard]] const MessageBusStats& message_stats() const noexcept {
     return bus_.stats();
+  }
+  /// Injected-fault accounting (what went wrong; RecoveryStats in the result
+  /// says what the system did about it).
+  [[nodiscard]] const FaultStats& fault_stats() const noexcept {
+    return injector_.stats();
+  }
+  /// Deterministic event log (empty unless ClusterOptions::record_event_log).
+  [[nodiscard]] const std::vector<std::string>& event_log() const noexcept {
+    return event_log_;
   }
 
   // --- SchedulerOps -------------------------------------------------------
@@ -95,13 +139,26 @@ class HyperDriveCluster final : public core::SchedulerOps {
   void begin_epoch(core::JobId job);
   void complete_epoch(core::JobId job);
   void deliver_stat(const AppStat& stat);
-  void decide(core::JobId job, core::JobEvent event);
+  void decide(core::JobId job, core::JobEvent event, std::uint64_t incarnation);
   void interrupt_training(ManagedJob& job);
   void do_suspend(core::JobId job);
   void do_terminate(core::JobId job);
+  void finish_suspend(core::JobId job, SuspendOverheadSample overhead);
   void release_and_allocate(core::JobId job);
   void maybe_finish();
   void finish();
+
+  // --- fault handling & recovery -----------------------------------------
+  void schedule_crashes();
+  void crash_node(const NodeCrashEvent& crash);
+  void restart_node(MachineId machine);
+  /// Pull a job off its (crashed) machine: abandon in-flight work, roll back
+  /// to the last durable snapshot, requeue, release the machine.
+  void fail_job_on_crash(ManagedJob& job);
+  /// Roll a job's progress back to its newest durable snapshot (or scratch)
+  /// and requeue it; epochs since then count as lost and are re-trained.
+  void rollback_to_durable(ManagedJob& job);
+  void log_event(const std::string& text);
 
   const workload::Trace& trace_;
   ClusterOptions options_;
@@ -111,11 +168,18 @@ class HyperDriveCluster final : public core::SchedulerOps {
   AppStatDb db_;
   std::vector<NodeAgent> agents_;
   util::Rng rng_;
+  FaultInjector injector_;
   MessageBus bus_;
   EndpointId scheduler_endpoint_ = 0;
   EndpointId storage_endpoint_ = 0;
   core::SchedulingPolicy* policy_ = nullptr;
   core::ExperimentResult result_;
+  /// Pending injected fault events (crash / restart), handle -> is_restart.
+  /// When these are the only events left and nothing can make progress they
+  /// are cancelled so a scheduled far-future crash never extends a finished
+  /// experiment.
+  std::map<sim::EventHandle, bool> fault_events_;
+  std::vector<std::string> event_log_;
   bool done_ = false;
 };
 

@@ -1,0 +1,76 @@
+#include "cluster/fault_injector.hpp"
+
+#include "cluster/messaging.hpp"
+
+namespace hyperdrive::cluster {
+
+namespace {
+bool profile_any(const MessageFaultProfile& p) {
+  return p.drop_prob > 0.0 || p.duplicate_prob > 0.0 || p.delay_prob > 0.0;
+}
+}  // namespace
+
+bool FaultPlan::any() const noexcept {
+  if (profile_any(default_message_faults)) return true;
+  for (const auto& [type, profile] : message_faults) {
+    if (profile_any(profile)) return true;
+  }
+  return !crashes.empty() || snapshot_upload_fail_prob > 0.0 ||
+         snapshot_corrupt_prob > 0.0;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t run_seed)
+    : plan_(std::move(plan)),
+      rng_(util::derive_seed(plan_.seed ^ run_seed, 0xFA17)) {}
+
+const MessageFaultProfile& FaultInjector::profile(MessageType type) const {
+  const auto it = plan_.message_faults.find(type);
+  return it == plan_.message_faults.end() ? plan_.default_message_faults : it->second;
+}
+
+bool FaultInjector::should_drop(MessageType type) {
+  const auto& p = profile(type);
+  if (p.drop_prob <= 0.0) return false;
+  const bool drop = rng_.bernoulli(p.drop_prob);
+  if (drop) ++stats_.messages_dropped;
+  return drop;
+}
+
+bool FaultInjector::should_duplicate(MessageType type) {
+  const auto& p = profile(type);
+  if (p.duplicate_prob <= 0.0) return false;
+  const bool dup = rng_.bernoulli(p.duplicate_prob);
+  if (dup) ++stats_.messages_duplicated;
+  return dup;
+}
+
+util::SimTime FaultInjector::extra_delay(MessageType type) {
+  const auto& p = profile(type);
+  if (p.delay_prob <= 0.0 || !rng_.bernoulli(p.delay_prob)) return util::SimTime::zero();
+  ++stats_.messages_delayed;
+  return util::SimTime::seconds(rng_.exponential(1.0 / p.delay_mean_s));
+}
+
+bool FaultInjector::should_fail_upload() {
+  if (plan_.snapshot_upload_fail_prob <= 0.0) return false;
+  const bool fail = rng_.bernoulli(plan_.snapshot_upload_fail_prob);
+  if (fail) ++stats_.snapshot_uploads_failed;
+  return fail;
+}
+
+bool FaultInjector::should_corrupt_snapshot() {
+  if (plan_.snapshot_corrupt_prob <= 0.0) return false;
+  const bool corrupt = rng_.bernoulli(plan_.snapshot_corrupt_prob);
+  if (corrupt) ++stats_.snapshots_corrupted;
+  return corrupt;
+}
+
+void FaultInjector::corrupt(std::vector<std::uint8_t>& image) {
+  if (image.empty()) return;
+  const auto byte = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(image.size()) - 1));
+  const auto bit = static_cast<int>(rng_.uniform_int(0, 7));
+  image[byte] ^= static_cast<std::uint8_t>(1u << bit);
+}
+
+}  // namespace hyperdrive::cluster

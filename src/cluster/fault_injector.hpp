@@ -1,0 +1,114 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// The ROADMAP's production target treats failure as the common case: agents
+// crash mid-epoch, RPCs are dropped/duplicated/delayed, snapshot uploads fail
+// or arrive corrupted. A FaultPlan describes *which* faults a run should
+// experience; the FaultInjector turns that plan plus a seed into a stream of
+// per-event fault decisions. Every decision is drawn from an Rng derived from
+// the plan's seed, so a fault scenario is a pure function of
+// (trace, cluster seed, fault plan) and any run is exactly replayable —
+// the property the golden-trace determinism test enforces.
+//
+// The injector itself is policy-free: it only answers "does this message get
+// dropped / duplicated / delayed?" and "does this snapshot survive?". The
+// recovery machinery that makes the system survive those answers lives in
+// MessageBus (ack/retry/dedup) and HyperDriveCluster (crash requeue, history
+// re-install, capacity tracking).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cluster/resource_manager.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace hyperdrive::cluster {
+
+enum class MessageType;  // messaging.hpp
+
+/// Per-message-type fault probabilities. All default to "no fault".
+struct MessageFaultProfile {
+  double drop_prob = 0.0;       ///< message vanishes in flight
+  double duplicate_prob = 0.0;  ///< message is delivered twice
+  double delay_prob = 0.0;      ///< message suffers extra latency
+  double delay_mean_s = 0.2;    ///< mean of the exponential extra delay
+};
+
+/// One scheduled node failure. `restart_after` = infinity means the node
+/// never comes back (permanent capacity loss).
+struct NodeCrashEvent {
+  MachineId machine = 0;
+  util::SimTime at = util::SimTime::zero();
+  util::SimTime restart_after = util::SimTime::infinity();
+};
+
+/// Everything that can go wrong in one run, as data. Defaults are a perfect
+/// world, so a default-constructed plan reproduces the fault-free cluster.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// Fallback profile for message types without an explicit entry.
+  MessageFaultProfile default_message_faults;
+  std::map<MessageType, MessageFaultProfile> message_faults;
+  std::vector<NodeCrashEvent> crashes;
+  /// A suspend's snapshot capture/upload aborts before transmission (the
+  /// agent-side failure mode; the in-flight loss mode is drop_prob on
+  /// SnapshotUpload messages).
+  double snapshot_upload_fail_prob = 0.0;
+  /// A stored snapshot image has a random bit flipped (exercises the codec's
+  /// corruption rejection and the AppStatDb-replay recovery path).
+  double snapshot_corrupt_prob = 0.0;
+
+  /// Does this plan inject anything at all?
+  [[nodiscard]] bool any() const noexcept;
+
+  /// Uniform message-fault shorthand: apply `profile` to every data message
+  /// type (acks keep the default profile unless set explicitly).
+  void set_uniform_message_faults(const MessageFaultProfile& profile) {
+    default_message_faults = profile;
+  }
+};
+
+/// Counters of injected faults (what went wrong, as opposed to the recovery
+/// counters in core::RecoveryStats which say what the system did about it).
+struct FaultStats {
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t messages_delayed = 0;
+  std::uint64_t snapshot_uploads_failed = 0;
+  std::uint64_t snapshots_corrupted = 0;
+  std::uint64_t node_crashes = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, std::uint64_t run_seed);
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] bool active() const noexcept { return plan_.any(); }
+
+  // Each query consumes RNG state only when the corresponding probability is
+  // non-zero, so enabling one fault class does not perturb the decision
+  // stream of another.
+  [[nodiscard]] bool should_drop(MessageType type);
+  [[nodiscard]] bool should_duplicate(MessageType type);
+  /// Zero when no extra delay is injected for this message.
+  [[nodiscard]] util::SimTime extra_delay(MessageType type);
+  [[nodiscard]] bool should_fail_upload();
+  [[nodiscard]] bool should_corrupt_snapshot();
+  /// Flip one random bit of a stored snapshot image (no-op on empty images).
+  void corrupt(std::vector<std::uint8_t>& image);
+
+  void note_crash() noexcept { ++stats_.node_crashes; }
+
+ private:
+  [[nodiscard]] const MessageFaultProfile& profile(MessageType type) const;
+
+  FaultPlan plan_;
+  util::Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace hyperdrive::cluster

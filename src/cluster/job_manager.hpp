@@ -42,6 +42,16 @@ struct ManagedJob {
   // while the prediction-based decision is computed.
   bool waiting_decision = false;
   util::SimTime wait_started_at = util::SimTime::zero();
+
+  // Suspend in progress: the snapshot-capture event that will ship the image
+  // to storage (cancelled if the node crashes during the capture window).
+  sim::EventHandle pending_suspend = 0;
+  bool suspend_in_flight = false;
+
+  // Bumped every time the job is forcibly rolled back/requeued (crash, lost
+  // snapshot). Events scheduled against an older incarnation — a startup
+  // completion, a pending policy decision — are stale and must not act.
+  std::uint64_t incarnation = 0;
 };
 
 class JobManager {

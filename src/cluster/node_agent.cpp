@@ -1,8 +1,8 @@
 #include "cluster/node_agent.hpp"
 
-namespace hyperdrive::cluster {
+#include <stdexcept>
 
-const std::vector<double> NodeAgent::kEmpty{};
+namespace hyperdrive::cluster {
 
 void NodeAgent::append_history(core::JobId job, double perf) {
   histories_[job].push_back(perf);
@@ -14,7 +14,9 @@ void NodeAgent::install_history(core::JobId job, std::vector<double> history) {
 
 std::vector<double> NodeAgent::take_history(core::JobId job) {
   const auto it = histories_.find(job);
-  if (it == histories_.end()) return {};
+  if (it == histories_.end()) {
+    throw std::out_of_range("NodeAgent::take_history: job not hosted on this agent");
+  }
   std::vector<double> out = std::move(it->second);
   histories_.erase(it);
   return out;
@@ -22,7 +24,10 @@ std::vector<double> NodeAgent::take_history(core::JobId job) {
 
 const std::vector<double>& NodeAgent::history(core::JobId job) const {
   const auto it = histories_.find(job);
-  return it == histories_.end() ? kEmpty : it->second;
+  if (it == histories_.end()) {
+    throw std::out_of_range("NodeAgent::history: job not hosted on this agent");
+  }
+  return it->second;
 }
 
 bool NodeAgent::hosts_history(core::JobId job) const noexcept {

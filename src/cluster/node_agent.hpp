@@ -40,9 +40,16 @@ class NodeAgent {
   /// Install a full history (sent over when a job resumes on this machine).
   void install_history(core::JobId job, std::vector<double> history);
   /// Drop and return the history (handed to the next host on migration).
+  /// Throws std::out_of_range if this agent does not host the job — a silent
+  /// empty return here would hand an empty curve history to the new host and
+  /// quietly wreck its predictions; callers must check hosts_history() first.
   [[nodiscard]] std::vector<double> take_history(core::JobId job);
+  /// Throws std::out_of_range for a job this agent does not host.
   [[nodiscard]] const std::vector<double>& history(core::JobId job) const;
   [[nodiscard]] bool hosts_history(core::JobId job) const noexcept;
+  /// Drop every cached history (the node crashed; its local §5.2 state is
+  /// gone and must be re-installed from a snapshot or AppStatDb replay).
+  void clear_histories() noexcept { histories_.clear(); }
 
  private:
   MachineId id_;
@@ -50,7 +57,6 @@ class NodeAgent {
   std::size_t epochs_run_ = 0;
   std::size_t predictions_run_ = 0;
   std::map<core::JobId, std::vector<double>> histories_;
-  static const std::vector<double> kEmpty;
 };
 
 }  // namespace hyperdrive::cluster

@@ -5,13 +5,16 @@
 namespace hyperdrive::cluster {
 
 ResourceManager::ResourceManager(std::size_t machines)
-    : busy_(machines, false), idle_count_(machines) {
+    : busy_(machines, false),
+      online_(machines, true),
+      idle_count_(machines),
+      online_count_(machines) {
   if (machines == 0) throw std::invalid_argument("ResourceManager needs >= 1 machine");
 }
 
 std::optional<MachineId> ResourceManager::reserve_idle_machine() {
   for (std::size_t i = 0; i < busy_.size(); ++i) {
-    if (!busy_[i]) {
+    if (!busy_[i] && online_[i]) {
       busy_[i] = true;
       --idle_count_;
       return static_cast<MachineId>(i);
@@ -24,7 +27,29 @@ void ResourceManager::release_machine(MachineId machine) {
   if (machine >= busy_.size()) throw std::out_of_range("unknown machine id");
   if (!busy_[machine]) throw std::logic_error("double release of machine");
   busy_[machine] = false;
-  ++idle_count_;
+  if (online_[machine]) ++idle_count_;
+}
+
+void ResourceManager::set_offline(MachineId machine) {
+  if (machine >= busy_.size()) throw std::out_of_range("unknown machine id");
+  if (!online_[machine]) return;
+  if (busy_[machine]) throw std::logic_error("cannot take a busy machine offline");
+  online_[machine] = false;
+  --online_count_;
+  --idle_count_;
+}
+
+void ResourceManager::set_online(MachineId machine) {
+  if (machine >= busy_.size()) throw std::out_of_range("unknown machine id");
+  if (online_[machine]) return;
+  online_[machine] = true;
+  ++online_count_;
+  if (!busy_[machine]) ++idle_count_;
+}
+
+bool ResourceManager::is_online(MachineId machine) const {
+  if (machine >= busy_.size()) throw std::out_of_range("unknown machine id");
+  return online_[machine];
 }
 
 bool ResourceManager::is_busy(MachineId machine) const {

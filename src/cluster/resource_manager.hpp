@@ -1,6 +1,11 @@
 // Resource Management component (§4.2 ➄): tracks allocated and idle
 // machines. In a cloud deployment this is where instance reservation would
 // live; here machines are slots in the simulated cluster.
+//
+// Machines can also go offline (node crash) and come back (restart): offline
+// machines are excluded from reservation and from total()/idle(), so POP's
+// deserved-slot computation — S_deserved(p) = S * p — automatically shrinks
+// and grows with cluster membership.
 #pragma once
 
 #include <cstdint>
@@ -15,19 +20,34 @@ class ResourceManager {
  public:
   explicit ResourceManager(std::size_t machines);
 
-  /// reserveIdleMachine() -> machineId (§4.2). Lowest-numbered idle machine
-  /// first, for determinism.
+  /// reserveIdleMachine() -> machineId (§4.2). Lowest-numbered idle online
+  /// machine first, for determinism.
   [[nodiscard]] std::optional<MachineId> reserve_idle_machine();
   /// releaseMachine(machineId). Throws std::logic_error on double release.
   void release_machine(MachineId machine);
 
-  [[nodiscard]] std::size_t total() const noexcept { return busy_.size(); }
+  /// Take a machine out of the membership (node crash). The machine must be
+  /// idle — the cluster requeues its job first; throws std::logic_error if
+  /// it is still busy, std::out_of_range for an unknown id.
+  void set_offline(MachineId machine);
+  /// Bring a crashed machine back (restart-after-delay).
+  void set_online(MachineId machine);
+  [[nodiscard]] bool is_online(MachineId machine) const;
+
+  /// Machines currently in the membership (online), the capacity the
+  /// scheduler sees.
+  [[nodiscard]] std::size_t total() const noexcept { return online_count_; }
+  /// Online machines not running a job.
   [[nodiscard]] std::size_t idle() const noexcept { return idle_count_; }
+  /// Machines the cluster was configured with, dead or alive.
+  [[nodiscard]] std::size_t configured() const noexcept { return busy_.size(); }
   [[nodiscard]] bool is_busy(MachineId machine) const;
 
  private:
   std::vector<bool> busy_;
+  std::vector<bool> online_;
   std::size_t idle_count_ = 0;
+  std::size_t online_count_ = 0;
 };
 
 }  // namespace hyperdrive::cluster

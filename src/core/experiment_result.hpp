@@ -31,6 +31,33 @@ struct SuspendSample {
   double snapshot_bytes = 0.0;
 };
 
+/// What the reliability protocol did to survive an injected fault plan: node
+/// membership churn, job requeues, training rolled back to the last durable
+/// snapshot, and degraded-mode fallbacks. All zero on a fault-free run.
+/// Message-level recovery (retries, retransmitted/ack bytes, dedup hits) is
+/// accounted in cluster::MessageBusStats.
+struct RecoveryStats {
+  std::size_t node_crashes = 0;
+  std::size_t node_restarts = 0;
+  /// Jobs pulled off a dead machine and put back in the idle queue.
+  std::size_t jobs_requeued = 0;
+  /// Completed epochs whose training state was lost (crash or lost snapshot)
+  /// and had to be re-trained from the last good snapshot.
+  std::size_t epochs_lost = 0;
+  /// Snapshot captures/uploads that never made it to the AppStatDb.
+  std::size_t snapshots_lost = 0;
+  /// Resumes whose snapshot failed to decode (corruption) and fell back to
+  /// replaying AppStatDb records.
+  std::size_t snapshot_restore_failures = 0;
+  /// Stat-report RPCs abandoned after exhausting every retransmission.
+  std::size_t stat_reports_lost = 0;
+  /// Re-trained epochs whose (duplicate) stat report was absorbed by the
+  /// AppStatDb's epoch dedup.
+  std::size_t duplicate_stats_ignored = 0;
+
+  [[nodiscard]] bool operator==(const RecoveryStats&) const = default;
+};
+
 struct ExperimentResult {
   std::string policy_name;
   bool reached_target = false;
@@ -48,6 +75,8 @@ struct ExperimentResult {
   std::size_t jobs_started = 0;
   std::vector<JobRunStats> job_stats;
   std::vector<SuspendSample> suspend_samples;
+  /// Fault-recovery accounting (all zero when no faults were injected).
+  RecoveryStats recovery;
 };
 
 }  // namespace hyperdrive::core

@@ -199,6 +199,16 @@ bool PopPolicy::classify_and_label(SchedulerOps& ops, JobId job) {
   return promising_.count(job) > 0;
 }
 
+void PopPolicy::on_capacity_change(SchedulerOps& ops) {
+  ++capacity_changes_;
+  // The promising set was sized against the old S via S_deserved(p) = S * p
+  // (§3.2); with a different machine count those slot counts are stale.
+  // Drop the set and re-derive labels — the next boundary classification
+  // rebuilds it against the new capacity.
+  promising_.clear();
+  for (const JobId id : ops.active_jobs()) ops.label_job(id, 0.0);
+}
+
 JobDecision PopPolicy::on_iteration_finish(SchedulerOps& ops, const JobEvent& event) {
   // Step 0: the model owner's rule sees every iteration first (§9); it can
   // veto POP entirely (e.g. kill on a secondary-metric constraint).

@@ -115,11 +115,14 @@ class PopPolicy final : public DefaultPolicy {
 
   void on_experiment_start(SchedulerOps& ops) override;
   JobDecision on_iteration_finish(SchedulerOps& ops, const JobEvent& event) override;
+  void on_capacity_change(SchedulerOps& ops) override;
 
   [[nodiscard]] const std::vector<PopSnapshot>& snapshots() const noexcept {
     return snapshots_;
   }
   [[nodiscard]] std::size_t predictions_made() const noexcept { return predictions_; }
+  /// Current promising set (the P of P/O/P). Exposed for invariant tests.
+  [[nodiscard]] const std::set<JobId>& promising_jobs() const noexcept { return promising_; }
   /// Latest confidence for a job (NaN if never predicted). Exposed for tests.
   [[nodiscard]] double confidence(JobId job) const;
   /// Latest expected remaining time for a job (infinity if unknown).
@@ -128,6 +131,8 @@ class PopPolicy final : public DefaultPolicy {
   [[nodiscard]] double current_target() const noexcept { return target_; }
   /// Times the dynamic target was raised.
   [[nodiscard]] std::size_t target_raises() const noexcept { return target_raises_; }
+  /// Times cluster membership changed under this policy (crash/restart).
+  [[nodiscard]] std::size_t capacity_changes() const noexcept { return capacity_changes_; }
 
  private:
   struct JobBelief {
@@ -153,6 +158,7 @@ class PopPolicy final : public DefaultPolicy {
   std::vector<PopSnapshot> snapshots_;
   std::size_t predictions_ = 0;
   std::size_t target_raises_ = 0;
+  std::size_t capacity_changes_ = 0;
 };
 
 }  // namespace hyperdrive::core

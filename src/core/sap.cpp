@@ -6,4 +6,6 @@ void SchedulingPolicy::on_application_stat(SchedulerOps& /*ops*/, const JobEvent
 
 void SchedulingPolicy::on_experiment_start(SchedulerOps& /*ops*/) {}
 
+void SchedulingPolicy::on_capacity_change(SchedulerOps& /*ops*/) {}
+
 }  // namespace hyperdrive::core

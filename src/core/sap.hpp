@@ -119,6 +119,11 @@ class SchedulingPolicy {
 
   /// Experiment-start hook (before any allocation). Default: no-op.
   virtual void on_experiment_start(SchedulerOps& ops);
+
+  /// Cluster-membership hook: total_machines() just changed (a node crashed
+  /// or came back). Policies that cache slot allocations derived from S
+  /// should invalidate them here. Default: no-op.
+  virtual void on_capacity_change(SchedulerOps& ops);
 };
 
 /// Model-owner-defined global termination criterion (§9 "Ongoing Work"):

@@ -178,8 +178,24 @@ TEST(NodeAgentTest, HistoryHandoffAcrossMachines) {
   EXPECT_FALSE(a.hosts_history(7));
   b.install_history(7, std::move(history));
   EXPECT_EQ(b.history(7), (std::vector<double>{0.1, 0.2}));
-  EXPECT_TRUE(b.history(99).empty());
-  EXPECT_TRUE(a.take_history(99).empty());
+}
+
+// A silent empty history for an unhosted job would quietly wreck the new
+// host's curve predictions after a migration; the agent must fail loudly.
+TEST(NodeAgentTest, HistoryAccessForUnhostedJobThrows) {
+  NodeAgent a(0);
+  a.append_history(7, 0.1);
+  EXPECT_FALSE(a.hosts_history(99));
+  EXPECT_THROW((void)a.history(99), std::out_of_range);
+  EXPECT_THROW((void)a.take_history(99), std::out_of_range);
+  // A taken-away history is gone: a second take must also fail loudly.
+  (void)a.take_history(7);
+  EXPECT_THROW((void)a.take_history(7), std::out_of_range);
+  // Crash cleanup drops everything the agent hosted.
+  a.install_history(7, {0.1, 0.2});
+  a.clear_histories();
+  EXPECT_FALSE(a.hosts_history(7));
+  EXPECT_THROW((void)a.history(7), std::out_of_range);
 }
 
 TEST(ClampedLognormalTest, RespectsClamp) {

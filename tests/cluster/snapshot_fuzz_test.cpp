@@ -1,0 +1,130 @@
+// Fuzz / round-trip battery for the snapshot codec (§5.1 byte-level
+// suspend/resume). Three properties, each over many random seeds:
+//   * any randomly generated snapshot state encodes and decodes back to
+//     equality (round-trip);
+//   * truncating the image anywhere yields a clean nullopt, never UB;
+//   * flipping any single bit yields either nullopt (the CRC catches it) or
+//     — never — a silently different state. The cluster's crash-recovery
+//     path relies on this: a corrupt stored snapshot must be *rejected* so
+//     resume can fall back to an older snapshot or an AppStatDb replay.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/snapshot_codec.hpp"
+#include "util/rng.hpp"
+
+namespace hyperdrive::cluster {
+namespace {
+
+JobSnapshotState random_state(util::Rng& rng) {
+  JobSnapshotState state;
+  state.job_id = rng.next();
+  state.epoch = static_cast<std::size_t>(rng.uniform_int(0, 500));
+
+  const auto n_params = static_cast<std::size_t>(rng.uniform_int(0, 6));
+  for (std::size_t i = 0; i < n_params; ++i) {
+    const std::string name = "param_" + std::to_string(i);
+    switch (rng.uniform_int(0, 2)) {
+      case 0: state.config.set(name, rng.uniform(-10.0, 10.0)); break;
+      case 1: state.config.set(name, rng.uniform_int(-1000, 1000)); break;
+      default: {
+        std::string value;
+        const auto len = static_cast<std::size_t>(rng.uniform_int(0, 12));
+        for (std::size_t c = 0; c < len; ++c) {
+          value.push_back(static_cast<char>('a' + rng.uniform_int(0, 25)));
+        }
+        state.config.set(name, value);
+      }
+    }
+  }
+
+  const auto n_history = static_cast<std::size_t>(rng.uniform_int(0, 64));
+  for (std::size_t i = 0; i < n_history; ++i) state.history.push_back(rng.uniform());
+  if (rng.bernoulli(0.3)) {
+    const auto n_secondary = static_cast<std::size_t>(rng.uniform_int(1, 16));
+    for (std::size_t i = 0; i < n_secondary; ++i) state.secondary.push_back(rng.uniform());
+  }
+  return state;
+}
+
+void expect_equal(const JobSnapshotState& a, const JobSnapshotState& b,
+                  std::uint64_t seed) {
+  EXPECT_EQ(a.job_id, b.job_id) << "seed " << seed;
+  EXPECT_EQ(a.epoch, b.epoch) << "seed " << seed;
+  EXPECT_EQ(a.history, b.history) << "seed " << seed;
+  EXPECT_EQ(a.secondary, b.secondary) << "seed " << seed;
+  EXPECT_EQ(a.config.values(), b.config.values()) << "seed " << seed;
+}
+
+TEST(SnapshotFuzzTest, RandomStatesRoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    util::Rng rng(seed);
+    const JobSnapshotState state = random_state(rng);
+    const std::size_t min_bytes =
+        rng.bernoulli(0.5) ? static_cast<std::size_t>(rng.uniform_int(0, 4096)) : 0;
+    const auto image = SnapshotCodec::encode(state, min_bytes);
+    EXPECT_GE(image.size(), min_bytes) << "seed " << seed;
+    const auto decoded = SnapshotCodec::decode(image);
+    ASSERT_TRUE(decoded.has_value()) << "seed " << seed;
+    expect_equal(state, *decoded, seed);
+  }
+}
+
+TEST(SnapshotFuzzTest, TruncatedImagesAreRejectedCleanly) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    util::Rng rng(seed);
+    const auto image = SnapshotCodec::encode(random_state(rng));
+    // Every possible truncation point for small images; a random sample of
+    // points for large ones (padding makes some images span kilobytes).
+    const std::size_t step = image.size() > 512 ? image.size() / 256 : 1;
+    for (std::size_t len = 0; len < image.size(); len += step) {
+      const std::vector<std::uint8_t> truncated(image.begin(),
+                                                image.begin() + static_cast<long>(len));
+      EXPECT_FALSE(SnapshotCodec::decode(truncated).has_value())
+          << "seed " << seed << " truncated to " << len << "/" << image.size();
+    }
+  }
+}
+
+TEST(SnapshotFuzzTest, BitFlipsNeverYieldSilentlyWrongState) {
+  std::size_t rejected = 0, total = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    util::Rng rng(seed);
+    const JobSnapshotState state = random_state(rng);
+    const auto image = SnapshotCodec::encode(state);
+    // Flip a random bit in each of many random positions.
+    for (int trial = 0; trial < 64; ++trial) {
+      auto corrupted = image;
+      const auto byte = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(image.size()) - 1));
+      const auto bit = static_cast<int>(rng.uniform_int(0, 7));
+      corrupted[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      ++total;
+      const auto decoded = SnapshotCodec::decode(corrupted);
+      if (!decoded.has_value()) {
+        ++rejected;
+        continue;
+      }
+      // A decode that "succeeds" on a corrupted image would be a CRC bug.
+      ADD_FAILURE() << "seed " << seed << ": single-bit flip at byte " << byte << " bit "
+                    << bit << " decoded successfully";
+    }
+  }
+  EXPECT_EQ(rejected, total);
+}
+
+TEST(SnapshotFuzzTest, EmptyAndGarbageBuffersAreRejected) {
+  EXPECT_FALSE(SnapshotCodec::decode({}).has_value());
+  util::Rng rng(42);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint8_t> garbage(static_cast<std::size_t>(rng.uniform_int(1, 256)));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    EXPECT_FALSE(SnapshotCodec::decode(garbage).has_value()) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace hyperdrive::cluster

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Configure, build and run the full test suite under sanitizers.
+#
+#   tools/run_sanitized_tests.sh [sanitizers] [build-dir]
+#
+#   sanitizers  comma-separated -fsanitize= list (default: address,undefined)
+#   build-dir   out-of-source build directory (default: build-san)
+#
+# The suite must pass clean: any sanitizer report is turned into a hard
+# failure via halt_on_error / exitcode options.
+set -euo pipefail
+
+SANITIZERS="${1:-address,undefined}"
+BUILD_DIR="${2:-build-san}"
+SOURCE_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1:abort_on_error=0}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+echo ">>> configuring ${BUILD_DIR} with HD_SANITIZE=${SANITIZERS}"
+cmake -B "${BUILD_DIR}" -S "${SOURCE_DIR}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHD_SANITIZE="${SANITIZERS}"
+
+echo ">>> building"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+echo ">>> running ctest under ${SANITIZERS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+echo ">>> sanitized test run passed (${SANITIZERS})"
