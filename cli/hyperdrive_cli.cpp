@@ -40,6 +40,8 @@ struct CliOptions {
   bool verbose = false;
   /// Fault profile (cluster substrate only; see DESIGN.md "Fault model").
   cluster::FaultPlan fault_plan;
+  /// Gray-failure detection & mitigation (cluster substrate only; §7).
+  bool health = false;
 };
 
 void print_usage() {
@@ -61,6 +63,10 @@ void print_usage() {
       "  --verbose\n"
       "  --help\n"
       "fault injection (cluster substrate only; deterministic per seed):\n"
+      "  --fault-plan FILE          load a full fault plan from FILE (see\n"
+      "                             DESIGN.md; combines with the flags below)\n"
+      "  --health                   enable gray-failure detection & mitigation\n"
+      "                             (heartbeats, quarantine, straggler migration)\n"
       "  --fault-drop P             drop each message with probability P\n"
       "  --fault-dup P              duplicate each message with probability P\n"
       "  --fault-delay P            delay messages with probability P (exp, 0.2s mean)\n"
@@ -106,6 +112,21 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.stop_on_target = false;
     } else if (arg == "--barrier") {
       options.barrier = true;
+    } else if (arg == "--fault-plan") {
+      const char* path = next();
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "cannot open fault plan '%s'\n", path);
+        return false;
+      }
+      try {
+        options.fault_plan = cluster::load_fault_plan(in);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bad fault plan '%s': %s\n", path, e.what());
+        return false;
+      }
+    } else if (arg == "--health") {
+      options.health = true;
     } else if (arg == "--fault-drop") {
       options.fault_plan.default_message_faults.drop_prob = std::strtod(next(), nullptr);
     } else if (arg == "--fault-dup") {
@@ -212,6 +233,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "fault injection requires --substrate cluster\n");
     return 2;
   }
+  if (options.health && options.substrate != "cluster") {
+    std::fprintf(stderr, "--health requires --substrate cluster\n");
+    return 2;
+  }
 
   const auto model = make_workload(options.workload);
   const auto generator =
@@ -253,6 +278,7 @@ int main(int argc, char** argv) {
                             ? cluster::lunar_criu_overhead_model()
                             : cluster::cifar_overhead_model();
       copts.fault_plan = options.fault_plan;
+      copts.health.enabled = options.health;
       result = cluster::run_cluster_experiment(trace, *policy, copts);
     } else {
       sim::ReplayOptions ropts;
@@ -280,6 +306,13 @@ int main(int argc, char** argv) {
                   rec.node_crashes, rec.node_restarts, rec.jobs_requeued, rec.epochs_lost,
                   rec.snapshots_lost, rec.snapshot_restore_failures, rec.stat_reports_lost,
                   rec.duplicate_stats_ignored);
+    }
+    if (options.health) {
+      const auto& rec = result.recovery;
+      std::printf("  health: migrated=%zu quarantined=%zu reinstated=%zu hung=%zu "
+                  "wrong-kills=%zu\n",
+                  rec.jobs_migrated, rec.nodes_quarantined, rec.nodes_reinstated,
+                  rec.hung_jobs_detected, rec.wrong_kills);
     }
     if (options.verbose) {
       for (const auto& js : result.job_stats) {

@@ -29,6 +29,8 @@ MessageBusOptions bus_options_from(const ClusterOptions& cluster_options) {
 
 /// Approximate serialized size of one application-stat RPC.
 constexpr double kStatRpcBytes = 256.0;
+/// Approximate serialized size of one heartbeat probe.
+constexpr double kHeartbeatRpcBytes = 64.0;
 }  // namespace
 
 HyperDriveCluster::HyperDriveCluster(const workload::Trace& trace, ClusterOptions options)
@@ -38,6 +40,7 @@ HyperDriveCluster::HyperDriveCluster(const workload::Trace& trace, ClusterOption
       jm_(trace),
       rng_(util::derive_seed(options_.seed, 0xC105)),
       injector_(options_.fault_plan, options_.seed),
+      health_(options_.machines, options_.health),
       bus_(simulation_, bus_options_from(options_), options_.seed) {
   agents_.reserve(options_.machines);
   for (std::size_t i = 0; i < options_.machines; ++i) {
@@ -51,6 +54,11 @@ HyperDriveCluster::HyperDriveCluster(const workload::Trace& trace, ClusterOption
   // The scheduler receives application stats; the AppStatDB storage service
   // receives snapshot uploads (it enqueues the suspended job once stored).
   scheduler_endpoint_ = bus_.register_endpoint("scheduler", [this](const Message& m) {
+    if (m.type == MessageType::Heartbeat) {
+      const auto beat = std::static_pointer_cast<const Heartbeat>(m.payload);
+      if (beat) handle_heartbeat(*beat);
+      return;
+    }
     const auto stat = std::static_pointer_cast<const AppStat>(m.payload);
     if (stat) deliver_stat(*stat);
   });
@@ -82,7 +90,14 @@ bool HyperDriveCluster::start_job(core::JobId id) {
   if (job.status != core::JobStatus::Pending && job.status != core::JobStatus::Suspended) {
     return false;
   }
-  const auto machine = rm_.reserve_idle_machine();
+  // With the health layer on, prefer the fastest-scoring idle machine (ties
+  // to the lowest id, so a uniformly healthy cluster places identically to
+  // the unscored path). Degraded-but-not-yet-quarantined nodes are avoided
+  // whenever a better host is free.
+  const auto machine =
+      options_.health.enabled
+          ? rm_.reserve_idle_machine([this](MachineId m) { return health_.speed_score(m); })
+          : rm_.reserve_idle_machine();
   if (!machine) return false;
 
   jm_.dequeue_idle(id);
@@ -172,6 +187,19 @@ std::size_t HyperDriveCluster::epochs_done(core::JobId job) const {
   return jm_.job(job).epochs_done;
 }
 
+double HyperDriveCluster::host_speed(core::JobId job) const {
+  if (!options_.health.enabled) return 1.0;
+  const auto& j = jm_.job(job);
+  return j.machine ? health_.speed_score(*j.machine) : 1.0;
+}
+
+util::SimTime HyperDriveCluster::normalized_epoch_duration(core::JobId job) const {
+  if (!options_.health.enabled) return avg_epoch_duration(job);
+  const auto& j = jm_.job(job);
+  if (j.epochs_done == 0) return util::SimTime::zero();
+  return j.normalized_training_time / static_cast<double>(j.epochs_done);
+}
+
 void HyperDriveCluster::begin_epoch(core::JobId id) {
   if (done_) return;
   auto& job = jm_.job(id);
@@ -179,11 +207,39 @@ void HyperDriveCluster::begin_epoch(core::JobId id) {
   const double jitter =
       options_.epoch_jitter_sigma > 0.0 ? rng_.lognormal(0.0, options_.epoch_jitter_sigma)
                                         : 1.0;
-  const util::SimTime duration = job.spec->curve.epoch_duration * jitter;
+  util::SimTime duration = job.spec->curve.epoch_duration * jitter;
+  job.epoch_expected = duration;
   job.epoch_started_at = simulation_.now();
   job.epoch_in_flight = true;
+
+  // Gray faults stretch (or freeze) the epoch. Both queries are RNG-free, so
+  // a plan without them leaves the jitter/fault decision streams untouched.
+  if (injector_.active() && job.machine) {
+    const double slow = injector_.slowdown_factor(*job.machine, simulation_.now());
+    if (slow > 1.0) {
+      duration = duration * slow;
+      injector_.note_slow_epoch();
+    }
+    const util::SimTime stall =
+        injector_.hang_stall(*job.machine, simulation_.now(), duration);
+    if (stall == util::SimTime::infinity()) {
+      // The epoch never completes: no completion event is scheduled, the
+      // machine is wedged. Only the progress deadline (below) or the
+      // missed-heartbeat watchdog can recover the job.
+      injector_.note_hung_epoch();
+      job.pending_epoch = 0;
+      arm_progress_deadline(job);
+      return;
+    }
+    if (stall > util::SimTime::zero()) {
+      duration += stall;
+      injector_.note_stalled_epoch();
+    }
+  }
+
   job.pending_epoch =
       simulation_.schedule_after(duration, [this, id] { complete_epoch(id); });
+  arm_progress_deadline(job);
 }
 
 void HyperDriveCluster::complete_epoch(core::JobId id) {
@@ -192,12 +248,26 @@ void HyperDriveCluster::complete_epoch(core::JobId id) {
   if (job.status != core::JobStatus::Running || !job.machine) return;
   const util::SimTime duration = simulation_.now() - job.epoch_started_at;
   job.epoch_in_flight = false;
+  disarm_progress_deadline(job);
   job.execution_time += duration;
   job.training_time += duration;
 
   auto& agent = agents_[*job.machine];
   agent.note_busy(duration);
   agent.note_epoch();
+
+  // Feed the health layer: update the host's EWMA speed score and charge the
+  // job's normalized training time (what the epoch would have cost at
+  // nominal speed) for SchedulerOps::normalized_epoch_duration.
+  auto transition = HealthMonitor::Transition::None;
+  if (options_.health.enabled) {
+    transition = health_.note_epoch(*job.machine, job.epoch_expected, duration,
+                                    simulation_.now());
+    job.normalized_training_time +=
+        duration * std::min(1.0, health_.speed_score(*job.machine));
+  } else {
+    job.normalized_training_time += duration;
+  }
 
   const double perf = job.spec->curve.perf.at(job.epochs_done);
   ++job.epochs_done;
@@ -231,10 +301,27 @@ void HyperDriveCluster::complete_epoch(core::JobId id) {
   bus_.send(std::move(report),
             [this](const Message&) { ++result_.recovery.stat_reports_lost; });
 
+  const MachineId host = *job.machine;
+  if (transition == HealthMonitor::Transition::Quarantine) {
+    // The monitor condemned the host for persistent slowness. The machine
+    // goes offline as soon as it is free; its job (if unfinished) is cleanly
+    // suspended — snapshot at the boundary it just reached, zero epochs
+    // lost — and resumes on a healthy node.
+    pending_quarantine_.insert(host);
+  } else if (transition == HealthMonitor::Transition::Reinstate) {
+    ++result_.recovery.nodes_reinstated;
+    log_event("reinstate machine=" + std::to_string(host));
+  }
+
   if (job.epochs_done >= job.spec->curve.perf.size()) {
     job.status = core::JobStatus::Completed;
     log_event("complete job=" + std::to_string(id));
     release_and_allocate(id);
+  } else if (transition == HealthMonitor::Transition::Quarantine) {
+    ++result_.recovery.jobs_migrated;
+    log_event("migrate job=" + std::to_string(id) + " machine=" + std::to_string(host) +
+              " reason=slow");
+    do_suspend(id);
   } else if (!options_.overlap_decisions && options_.decision_latency &&
              trace_.evaluation_boundary > 0 &&
              job.epochs_done % trace_.evaluation_boundary == 0) {
@@ -353,6 +440,7 @@ void HyperDriveCluster::interrupt_training(ManagedJob& job) {
   if (!job.epoch_in_flight) return;
   // Abandon the partial epoch: it produced no validation point and its
   // progress is not in the snapshot (which was taken at the last boundary).
+  disarm_progress_deadline(job);
   simulation_.cancel(job.pending_epoch);
   const util::SimTime partial = simulation_.now() - job.epoch_started_at;
   job.execution_time += partial;
@@ -448,6 +536,22 @@ void HyperDriveCluster::finish_suspend(core::JobId id, SuspendOverheadSample ove
 
 void HyperDriveCluster::do_terminate(core::JobId id) {
   auto& job = jm_.job(id);
+  // Wrong-kill oracle (ground truth the scheduler cannot see): this config's
+  // curve does reach the target, yet it is being killed while hosted on a
+  // node the fault plan has degraded — the decision was corrupted by the
+  // gray failure. Benchmarked by bench/ext_straggler; speed-aware POP is
+  // expected to drive this to zero.
+  if (injector_.active() && job.machine) {
+    const bool degraded_host =
+        injector_.slowdown_factor(*job.machine, simulation_.now()) > 1.0 ||
+        injector_.is_hung(*job.machine, simulation_.now());
+    if (degraded_host &&
+        job.spec->curve.first_epoch_reaching(trace_.target_performance) != 0) {
+      ++result_.recovery.wrong_kills;
+      log_event("wrong-kill job=" + std::to_string(id) +
+                " machine=" + std::to_string(*job.machine));
+    }
+  }
   interrupt_training(job);
   job.status = core::JobStatus::Terminated;
   ++result_.terminations;
@@ -470,6 +574,7 @@ void HyperDriveCluster::rollback_to_durable(ManagedJob& job) {
 void HyperDriveCluster::fail_job_on_crash(ManagedJob& job) {
   // The machine did the partial work even though its result is lost.
   if (job.epoch_in_flight) {
+    disarm_progress_deadline(job);
     simulation_.cancel(job.pending_epoch);
     const util::SimTime partial = simulation_.now() - job.epoch_started_at;
     job.execution_time += partial;
@@ -515,6 +620,9 @@ void HyperDriveCluster::crash_node(const NodeCrashEvent& crash) {
   // The node's local §5.2 curve caches die with it; resumes re-install them
   // from snapshots or AppStatDb replay.
   agents_[m].clear_histories();
+  // A dead node is the fail-stop machinery's problem: exclude it from
+  // heartbeat scrutiny so the watchdog doesn't also quarantine the corpse.
+  health_.set_excluded(m, true, simulation_.now());
   policy_->on_capacity_change(*this);
 
   if (crash.restart_after < util::SimTime::infinity()) {
@@ -535,6 +643,9 @@ void HyperDriveCluster::restart_node(MachineId m) {
   if (rm_.is_online(m)) return;
   rm_.set_online(m);
   ++result_.recovery.node_restarts;
+  // Re-admit to health scrutiny with a fresh liveness clock (a node must not
+  // be Suspect the instant it restarts).
+  health_.set_excluded(m, false, simulation_.now());
   log_event("restart machine=" + std::to_string(m));
   policy_->on_capacity_change(*this);
   policy_->on_allocate(*this);
@@ -552,13 +663,177 @@ void HyperDriveCluster::schedule_crashes() {
   }
 }
 
+// --- gray-failure detection & mitigation (DESIGN.md §7) ----------------------
+
+void HyperDriveCluster::schedule_health() {
+  if (!options_.health.enabled) return;
+  const util::SimTime interval = options_.health.heartbeat_interval;
+  for (std::size_t m = 0; m < agents_.size(); ++m) {
+    auto handle_box = std::make_shared<sim::EventHandle>(0);
+    *handle_box = simulation_.schedule_after(
+        interval, [this, m, handle_box] {
+          heartbeat_tick(static_cast<MachineId>(m), *handle_box);
+        });
+    infra_events_.emplace(*handle_box, false);
+  }
+  auto handle_box = std::make_shared<sim::EventHandle>(0);
+  *handle_box =
+      simulation_.schedule_after(interval, [this, handle_box] { watchdog_tick(*handle_box); });
+  infra_events_.emplace(*handle_box, false);
+}
+
+void HyperDriveCluster::heartbeat_tick(MachineId m, sim::EventHandle self) {
+  infra_events_.erase(self);
+  if (done_) return;
+  // A crashed node is silent because it is dead (the fail-stop machinery's
+  // problem); a hung node is silent because it is wedged (exactly the signal
+  // the watchdog exists to catch). Everyone else probes on schedule —
+  // including quarantined and probation nodes, whose liveness still matters.
+  if (!health_.is_excluded(m) && !injector_.is_hung(m, simulation_.now())) {
+    auto beat = std::make_shared<Heartbeat>();
+    beat->machine = m;
+    beat->seq = agents_[m].next_heartbeat_seq();
+    beat->epochs_run = agents_[m].epochs_run();
+    beat->sent_at = simulation_.now();
+    Message probe;
+    probe.type = MessageType::Heartbeat;
+    probe.from = static_cast<EndpointId>(m);
+    probe.to = scheduler_endpoint_;
+    probe.payload_bytes = kHeartbeatRpcBytes;
+    probe.payload = std::move(beat);
+    bus_.send(std::move(probe));
+  }
+  auto handle_box = std::make_shared<sim::EventHandle>(0);
+  *handle_box = simulation_.schedule_after(
+      options_.health.heartbeat_interval,
+      [this, m, handle_box] { heartbeat_tick(m, *handle_box); });
+  infra_events_.emplace(*handle_box, false);
+}
+
+void HyperDriveCluster::handle_heartbeat(const Heartbeat& beat) {
+  if (done_) return;
+  const bool was_suspect = health_.health(beat.machine) == NodeHealth::Suspect;
+  health_.note_heartbeat(beat, simulation_.now());
+  if (was_suspect) {
+    log_event("suspect-cleared machine=" + std::to_string(beat.machine));
+  }
+  maybe_finish();
+}
+
+void HyperDriveCluster::watchdog_tick(sim::EventHandle self) {
+  infra_events_.erase(self);
+  if (done_) return;
+  const auto report = health_.watchdog_scan(simulation_.now());
+  for (const MachineId m : report.newly_suspect) {
+    log_event("suspect machine=" + std::to_string(m));
+  }
+  for (const MachineId m : report.to_quarantine) {
+    // Silent past the escalation deadline: treat the node as wedged. Its job
+    // cannot be cleanly suspended (the node does not respond), so it is
+    // rolled back to its last durable snapshot and requeued — the same
+    // recovery a crash uses — and the node goes offline pending probation.
+    health_.force_quarantine(m);
+    log_event("quarantine machine=" + std::to_string(m) + " reason=silent");
+    for (auto& [id, job] : jm_.all()) {
+      if (job.machine && *job.machine == m) {
+        ++result_.recovery.jobs_migrated;
+        log_event("migrate job=" + std::to_string(id) + " machine=" + std::to_string(m) +
+                  " reason=silent");
+        fail_job_on_crash(job);
+        break;  // one job per machine
+      }
+    }
+    finalize_quarantine(m);
+    policy_->on_allocate(*this);
+  }
+  auto handle_box = std::make_shared<sim::EventHandle>(0);
+  *handle_box = simulation_.schedule_after(
+      options_.health.heartbeat_interval,
+      [this, handle_box] { watchdog_tick(*handle_box); });
+  infra_events_.emplace(*handle_box, false);
+  maybe_finish();
+}
+
+void HyperDriveCluster::arm_progress_deadline(ManagedJob& job) {
+  if (!options_.health.enabled || options_.health.hang_deadline_factor <= 0.0) return;
+  const util::SimTime deadline = job.epoch_expected * options_.health.hang_deadline_factor;
+  job.deadline_armed = true;
+  job.progress_deadline = simulation_.schedule_after(
+      deadline, [this, id = job.id, inc = job.incarnation] { on_progress_deadline(id, inc); });
+}
+
+void HyperDriveCluster::disarm_progress_deadline(ManagedJob& job) {
+  if (!job.deadline_armed) return;
+  simulation_.cancel(job.progress_deadline);
+  job.deadline_armed = false;
+}
+
+void HyperDriveCluster::on_progress_deadline(core::JobId id, std::uint64_t incarnation) {
+  if (done_) return;
+  auto& job = jm_.job(id);
+  // Stale if the epoch completed, the job migrated/crashed (new incarnation),
+  // or a policy decision already pulled it off the machine.
+  if (job.incarnation != incarnation || !job.epoch_in_flight || !job.machine) return;
+  job.deadline_armed = false;
+  const MachineId m = *job.machine;
+  ++result_.recovery.hung_jobs_detected;
+  log_event("hang-detected job=" + std::to_string(id) + " machine=" + std::to_string(m));
+  // The epoch made no observable progress for hang_deadline_factor x its
+  // expected duration: presume the node wedged. Snapshot-rollback migration
+  // (the PR-1 crash path — the hung node cannot serve a clean suspend) plus
+  // quarantine of the host.
+  health_.force_quarantine(m);
+  ++result_.recovery.jobs_migrated;
+  log_event("migrate job=" + std::to_string(id) + " machine=" + std::to_string(m) +
+            " reason=hung");
+  fail_job_on_crash(job);
+  finalize_quarantine(m);
+  policy_->on_allocate(*this);
+  maybe_finish();
+}
+
+void HyperDriveCluster::finalize_quarantine(MachineId m) {
+  rm_.set_offline(m);
+  ++result_.recovery.nodes_quarantined;
+  log_event("quarantine machine=" + std::to_string(m));
+  auto handle_box = std::make_shared<sim::EventHandle>(0);
+  // Probation re-admission restores capacity exactly like a crash restart,
+  // so it registers as a restart-flavoured fault event: maybe_finish keeps
+  // the experiment alive while jobs wait for the node to come back.
+  *handle_box = simulation_.schedule_after(
+      options_.health.probation_after, [this, m, handle_box] {
+        fault_events_.erase(*handle_box);
+        begin_probation_for(m);
+      });
+  fault_events_.emplace(*handle_box, true);
+  policy_->on_capacity_change(*this);
+}
+
+void HyperDriveCluster::begin_probation_for(MachineId m) {
+  if (done_) return;
+  if (rm_.is_online(m)) return;
+  health_.begin_probation(m, simulation_.now());
+  rm_.set_online(m);
+  log_event("probation machine=" + std::to_string(m));
+  policy_->on_capacity_change(*this);
+  policy_->on_allocate(*this);
+  maybe_finish();
+}
+
 void HyperDriveCluster::release_and_allocate(core::JobId id) {
   auto& job = jm_.job(id);
+  std::optional<MachineId> released;
   if (job.machine) {
+    released = *job.machine;
     rm_.release_machine(*job.machine);
     job.machine.reset();
   }
   if (done_) return;
+  // A machine condemned while its job was being suspended off it goes
+  // offline the moment it is free (set_offline requires an idle machine).
+  if (released && pending_quarantine_.erase(*released) > 0) {
+    finalize_quarantine(*released);
+  }
   policy_->on_allocate(*this);
   maybe_finish();
 }
@@ -566,17 +841,25 @@ void HyperDriveCluster::release_and_allocate(core::JobId id) {
 void HyperDriveCluster::maybe_finish() {
   if (rm_.idle() != rm_.total()) return;
   const std::size_t pending = simulation_.events_pending();
-  if (pending > fault_events_.size()) return;  // real work still in flight
+  // Health-infrastructure ticks (heartbeats, watchdog) are bookkeeping, not
+  // work: like scheduled fault events they must never keep a finished
+  // experiment's clock alive.
+  if (pending > fault_events_.size() + infra_events_.size()) {
+    return;  // real work still in flight
+  }
   if (pending > 0) {
-    // Only scheduled fault events remain. A pending node restart can still
-    // revive progress if jobs are waiting for capacity; a bare future crash
-    // (or a restart with nothing left to run) cannot affect the outcome and
-    // must not keep the clock running — cancel and finish.
+    // Only scheduled fault/infra events remain. A pending node restart — or
+    // a quarantined node's probation re-admission, which restores capacity
+    // the same way — can still revive progress if jobs are waiting; a bare
+    // future crash (or a restart with nothing left to run) cannot affect the
+    // outcome and must not keep the clock running — cancel and finish.
     const bool restart_pending = std::any_of(fault_events_.begin(), fault_events_.end(),
                                              [](const auto& e) { return e.second; });
     if (restart_pending && !jm_.active_jobs().empty()) return;
     for (const auto& [handle, is_restart] : fault_events_) simulation_.cancel(handle);
     fault_events_.clear();
+    for (const auto& [handle, unused] : infra_events_) simulation_.cancel(handle);
+    infra_events_.clear();
   }
   finish();
 }
@@ -607,6 +890,7 @@ core::ExperimentResult HyperDriveCluster::run(core::SchedulingPolicy& policy) {
     return result_;
   }
   schedule_crashes();
+  schedule_health();
   simulation_.run_until(options_.max_experiment_time);
 
   result_.total_time = done_ ? simulation_.now()

@@ -37,11 +37,13 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "cluster/app_stat_db.hpp"
 #include "cluster/fault_injector.hpp"
+#include "cluster/health_monitor.hpp"
 #include "cluster/messaging.hpp"
 #include "cluster/snapshot_codec.hpp"
 #include "cluster/job_manager.hpp"
@@ -82,6 +84,11 @@ struct ClusterOptions {
   /// fault plan injects anything; leave `enabled` false for the fault-free
   /// fire-and-forget fabric.
   ReliabilityOptions reliability;
+  /// Gray-failure detection & mitigation (heartbeats, EWMA speed scores,
+  /// quarantine/probation, straggler migration, speed-aware placement).
+  /// Off by default: the cluster is then byte-identical to the health-less
+  /// behavior (no heartbeat traffic, no extra events).
+  HealthOptions health;
   /// Record a human-readable, fully deterministic event log (crashes,
   /// restarts, starts/resumes, decisions, recoveries) — the golden-trace
   /// determinism tests compare it byte-for-byte across runs.
@@ -109,6 +116,8 @@ class HyperDriveCluster final : public core::SchedulerOps {
   [[nodiscard]] const FaultStats& fault_stats() const noexcept {
     return injector_.stats();
   }
+  /// Node-health verdicts and detection counters (gray-failure layer).
+  [[nodiscard]] const HealthMonitor& health_monitor() const noexcept { return health_; }
   /// Deterministic event log (empty unless ClusterOptions::record_event_log).
   [[nodiscard]] const std::vector<std::string>& event_log() const noexcept {
     return event_log_;
@@ -126,6 +135,8 @@ class HyperDriveCluster final : public core::SchedulerOps {
   [[nodiscard]] const std::vector<double>& perf_history(core::JobId job) const override;
   [[nodiscard]] util::SimTime avg_epoch_duration(core::JobId job) const override;
   [[nodiscard]] std::size_t epochs_done(core::JobId job) const override;
+  [[nodiscard]] double host_speed(core::JobId job) const override;
+  [[nodiscard]] util::SimTime normalized_epoch_duration(core::JobId job) const override;
   [[nodiscard]] std::size_t max_epochs() const override { return trace_.max_epochs; }
   [[nodiscard]] double target_performance() const override {
     return trace_.target_performance;
@@ -160,6 +171,20 @@ class HyperDriveCluster final : public core::SchedulerOps {
   void rollback_to_durable(ManagedJob& job);
   void log_event(const std::string& text);
 
+  // --- gray-failure detection & mitigation (DESIGN.md §7) ------------------
+  void schedule_health();
+  void heartbeat_tick(MachineId machine, sim::EventHandle self);
+  void watchdog_tick(sim::EventHandle self);
+  void handle_heartbeat(const Heartbeat& beat);
+  /// Arm/cancel the per-epoch progress deadline (hung-epoch watchdog).
+  void arm_progress_deadline(ManagedJob& job);
+  void disarm_progress_deadline(ManagedJob& job);
+  void on_progress_deadline(core::JobId job, std::uint64_t incarnation);
+  /// Take a (now idle) machine out of the membership and start its probation
+  /// clock. The HealthMonitor must already hold it Quarantined.
+  void finalize_quarantine(MachineId machine);
+  void begin_probation_for(MachineId machine);
+
   const workload::Trace& trace_;
   ClusterOptions options_;
   sim::Simulation simulation_;
@@ -169,6 +194,7 @@ class HyperDriveCluster final : public core::SchedulerOps {
   std::vector<NodeAgent> agents_;
   util::Rng rng_;
   FaultInjector injector_;
+  HealthMonitor health_;
   MessageBus bus_;
   EndpointId scheduler_endpoint_ = 0;
   EndpointId storage_endpoint_ = 0;
@@ -179,6 +205,13 @@ class HyperDriveCluster final : public core::SchedulerOps {
   /// are cancelled so a scheduled far-future crash never extends a finished
   /// experiment.
   std::map<sim::EventHandle, bool> fault_events_;
+  /// Pending health-infrastructure ticks (per-machine heartbeats, the
+  /// watchdog sweep). Like fault_events_ they must never keep a finished
+  /// experiment's clock alive, so maybe_finish treats them as cancellable.
+  std::map<sim::EventHandle, bool> infra_events_;
+  /// Machines whose slow-quarantine is decided but whose job is still being
+  /// cleanly suspended off them; finalized when the machine is released.
+  std::set<MachineId> pending_quarantine_;
   std::vector<std::string> event_log_;
   bool done_ = false;
 };

@@ -1,5 +1,15 @@
 #include "cluster/fault_injector.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
 #include "cluster/messaging.hpp"
 
 namespace hyperdrive::cluster {
@@ -15,8 +25,12 @@ bool FaultPlan::any() const noexcept {
   for (const auto& [type, profile] : message_faults) {
     if (profile_any(profile)) return true;
   }
-  return !crashes.empty() || snapshot_upload_fail_prob > 0.0 ||
+  return !crashes.empty() || any_gray() || snapshot_upload_fail_prob > 0.0 ||
          snapshot_corrupt_prob > 0.0;
+}
+
+bool FaultPlan::any_gray() const noexcept {
+  return !slowdowns.empty() || !hangs.empty();
 }
 
 FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t run_seed)
@@ -71,6 +85,234 @@ void FaultInjector::corrupt(std::vector<std::uint8_t>& image) {
       rng_.uniform_int(0, static_cast<std::int64_t>(image.size()) - 1));
   const auto bit = static_cast<int>(rng_.uniform_int(0, 7));
   image[byte] ^= static_cast<std::uint8_t>(1u << bit);
+}
+
+double FaultInjector::slowdown_factor(MachineId machine, util::SimTime now) const {
+  double factor = 1.0;
+  for (const NodeSlowdownEvent& w : plan_.slowdowns) {
+    if (w.machine != machine || w.factor == 1.0) continue;
+    if (now < w.from || now >= w.until) continue;
+    if (w.period > util::SimTime::zero()) {
+      const double phase = std::fmod((now - w.from).to_seconds(), w.period.to_seconds());
+      if (phase >= w.duty * w.period.to_seconds()) continue;
+    }
+    factor *= w.factor;
+  }
+  return factor;
+}
+
+bool FaultInjector::is_hung(MachineId machine, util::SimTime now) const {
+  for (const HungJobEvent& h : plan_.hangs) {
+    if (h.machine != machine) continue;
+    if (now >= h.at && now < h.at + h.clear_after) return true;
+  }
+  return false;
+}
+
+util::SimTime FaultInjector::hang_stall(MachineId machine, util::SimTime start,
+                                        util::SimTime duration) const {
+  // Progress runs at rate 1 outside hang windows and 0 inside, so the epoch
+  // completes at the earliest t with `duration` of un-hung time in [start, t).
+  std::vector<const HungJobEvent*> windows;
+  for (const HungJobEvent& h : plan_.hangs) {
+    if (h.machine == machine) windows.push_back(&h);
+  }
+  if (windows.empty()) return util::SimTime::zero();
+  std::sort(windows.begin(), windows.end(),
+            [](const HungJobEvent* a, const HungJobEvent* b) { return a->at < b->at; });
+
+  util::SimTime cursor = start;
+  util::SimTime remaining = duration;
+  for (const HungJobEvent* h : windows) {
+    const util::SimTime end = h->at + h->clear_after;
+    if (end <= cursor) continue;                 // window already past
+    if (h->at >= cursor + remaining) break;      // epoch done before it opens
+    if (h->at > cursor) remaining -= h->at - cursor;
+    if (end == util::SimTime::infinity()) return util::SimTime::infinity();
+    cursor = end;
+  }
+  const util::SimTime completion = cursor + remaining;
+  return completion - (start + duration);
+}
+
+// --- fault-plan file format --------------------------------------------------
+//
+// One directive per line, '#' starts a comment, times in seconds with "inf"
+// accepted where a duration may be unbounded. `*` as a message type names the
+// default profile. See README.md "Fault-plan files".
+
+namespace {
+
+constexpr MessageType kDataTypes[] = {
+    MessageType::StartJob,       MessageType::SuspendJob,
+    MessageType::TerminateJob,   MessageType::ReportStat,
+    MessageType::SnapshotUpload, MessageType::SnapshotDownload,
+    MessageType::Ack,
+};
+
+[[noreturn]] void plan_error(int line, const std::string& what) {
+  throw std::invalid_argument("fault plan line " + std::to_string(line) + ": " + what);
+}
+
+MessageType parse_message_type(const std::string& token, int line) {
+  for (MessageType type : kDataTypes) {
+    if (token == to_string(type)) return type;
+  }
+  plan_error(line, "unknown message type '" + token + "'");
+}
+
+double number_from_token(const std::string& token, const char* what, int line) {
+  if (token == "inf") return std::numeric_limits<double>::infinity();
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(token, &used);
+    if (used != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    plan_error(line, std::string("bad ") + what + " '" + token + "'");
+  }
+}
+
+double parse_number(std::istringstream& in, const char* what, int line) {
+  std::string token;
+  if (!(in >> token)) plan_error(line, std::string("missing ") + what);
+  return number_from_token(token, what, line);
+}
+
+std::optional<double> parse_optional_number(std::istringstream& in, const char* what,
+                                            int line) {
+  std::string token;
+  if (!(in >> token)) return std::nullopt;
+  return number_from_token(token, what, line);
+}
+
+/// Writes `inf` for unbounded durations, otherwise plain seconds with enough
+/// digits that load(save(p)) == p.
+void write_time(std::ostream& out, util::SimTime t) {
+  if (t == util::SimTime::infinity()) {
+    out << "inf";
+  } else {
+    out << t.to_seconds();
+  }
+}
+
+void write_profile(std::ostream& out, const std::string& type,
+                   const MessageFaultProfile& p) {
+  if (p.drop_prob > 0.0) out << "drop " << type << ' ' << p.drop_prob << '\n';
+  if (p.duplicate_prob > 0.0) out << "dup " << type << ' ' << p.duplicate_prob << '\n';
+  if (p.delay_prob > 0.0) {
+    out << "delay " << type << ' ' << p.delay_prob << ' ' << p.delay_mean_s << '\n';
+  }
+}
+
+}  // namespace
+
+FaultPlan load_fault_plan(std::istream& in) {
+  FaultPlan plan;
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    if (const auto hash = raw.find('#'); hash != std::string::npos) raw.erase(hash);
+    std::istringstream line(raw);
+    std::string directive;
+    if (!(line >> directive)) continue;  // blank / comment-only line
+
+    if (directive == "seed") {
+      plan.seed = static_cast<std::uint64_t>(parse_number(line, "seed", line_no));
+    } else if (directive == "drop" || directive == "dup" || directive == "delay") {
+      std::string type_token;
+      if (!(line >> type_token)) plan_error(line_no, "missing message type");
+      MessageFaultProfile* profile =
+          type_token == "*"
+              ? &plan.default_message_faults
+              : &plan.message_faults[parse_message_type(type_token, line_no)];
+      if (directive == "drop") {
+        profile->drop_prob = parse_number(line, "probability", line_no);
+      } else if (directive == "dup") {
+        profile->duplicate_prob = parse_number(line, "probability", line_no);
+      } else {
+        profile->delay_prob = parse_number(line, "probability", line_no);
+        profile->delay_mean_s = parse_number(line, "mean delay", line_no);
+      }
+    } else if (directive == "crash") {
+      NodeCrashEvent crash;
+      crash.machine = static_cast<MachineId>(parse_number(line, "machine", line_no));
+      crash.at = util::SimTime::seconds(parse_number(line, "crash time", line_no));
+      if (const auto restart = parse_optional_number(line, "restart delay", line_no)) {
+        crash.restart_after = util::SimTime::seconds(*restart);
+      }
+      plan.crashes.push_back(crash);
+    } else if (directive == "slowdown") {
+      NodeSlowdownEvent slow;
+      slow.machine = static_cast<MachineId>(parse_number(line, "machine", line_no));
+      slow.from = util::SimTime::seconds(parse_number(line, "window start", line_no));
+      slow.until = util::SimTime::seconds(parse_number(line, "window end", line_no));
+      slow.factor = parse_number(line, "factor", line_no);
+      if (const auto period = parse_optional_number(line, "flap period", line_no)) {
+        slow.period = util::SimTime::seconds(*period);
+        slow.duty = parse_number(line, "duty", line_no);
+      }
+      plan.slowdowns.push_back(slow);
+    } else if (directive == "hang") {
+      HungJobEvent hang;
+      hang.machine = static_cast<MachineId>(parse_number(line, "machine", line_no));
+      hang.at = util::SimTime::seconds(parse_number(line, "hang time", line_no));
+      if (const auto clear = parse_optional_number(line, "clear delay", line_no)) {
+        hang.clear_after = util::SimTime::seconds(*clear);
+      }
+      plan.hangs.push_back(hang);
+    } else if (directive == "snapshot-fail") {
+      plan.snapshot_upload_fail_prob = parse_number(line, "probability", line_no);
+    } else if (directive == "snapshot-corrupt") {
+      plan.snapshot_corrupt_prob = parse_number(line, "probability", line_no);
+    } else {
+      plan_error(line_no, "unknown directive '" + directive + "'");
+    }
+    std::string trailing;
+    if (line >> trailing) plan_error(line_no, "trailing token '" + trailing + "'");
+  }
+  return plan;
+}
+
+void save_fault_plan(const FaultPlan& plan, std::ostream& out) {
+  const auto precision = out.precision(17);
+  out << "# HyperDrive fault plan\n";
+  if (plan.seed != 0) out << "seed " << plan.seed << '\n';
+  write_profile(out, "*", plan.default_message_faults);
+  for (const auto& [type, profile] : plan.message_faults) {
+    write_profile(out, std::string(to_string(type)), profile);
+  }
+  for (const NodeCrashEvent& crash : plan.crashes) {
+    out << "crash " << crash.machine << ' ' << crash.at.to_seconds();
+    if (crash.restart_after != util::SimTime::infinity()) {
+      out << ' ' << crash.restart_after.to_seconds();
+    }
+    out << '\n';
+  }
+  for (const NodeSlowdownEvent& slow : plan.slowdowns) {
+    out << "slowdown " << slow.machine << ' ' << slow.from.to_seconds() << ' ';
+    write_time(out, slow.until);
+    out << ' ' << slow.factor;
+    if (slow.period > util::SimTime::zero()) {
+      out << ' ' << slow.period.to_seconds() << ' ' << slow.duty;
+    }
+    out << '\n';
+  }
+  for (const HungJobEvent& hang : plan.hangs) {
+    out << "hang " << hang.machine << ' ' << hang.at.to_seconds();
+    if (hang.clear_after != util::SimTime::infinity()) {
+      out << ' ' << hang.clear_after.to_seconds();
+    }
+    out << '\n';
+  }
+  if (plan.snapshot_upload_fail_prob > 0.0) {
+    out << "snapshot-fail " << plan.snapshot_upload_fail_prob << '\n';
+  }
+  if (plan.snapshot_corrupt_prob > 0.0) {
+    out << "snapshot-corrupt " << plan.snapshot_corrupt_prob << '\n';
+  }
+  out.precision(precision);
 }
 
 }  // namespace hyperdrive::cluster

@@ -14,9 +14,18 @@
 // recovery machinery that makes the system survive those answers lives in
 // MessageBus (ack/retry/dedup) and HyperDriveCluster (crash requeue, history
 // re-install, capacity tracking).
+//
+// Beyond fail-stop faults the plan also describes *gray* (fail-slow)
+// failures: per-node slowdown windows (optionally flapping), and hung-job
+// events where an in-flight epoch stalls or never completes. These are pure
+// functions of the plan and the queried time — no RNG state is consumed — so
+// they compose with the seeded fault classes without perturbing their
+// decision streams. Detection and mitigation (heartbeats, EWMA speed scores,
+// quarantine, straggler migration) live in HealthMonitor + HyperDriveCluster.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <vector>
 
@@ -44,6 +53,32 @@ struct NodeCrashEvent {
   util::SimTime restart_after = util::SimTime::infinity();
 };
 
+/// A fail-slow window: epochs begun on `machine` inside [from, until) take
+/// `factor`x their nominal duration. With `period` > 0 the degradation
+/// *flaps*: within each period the node is slow for the first `duty`
+/// fraction and nominal for the rest — the intermittent gray failure that
+/// defeats naive one-shot health probes. Overlapping windows multiply.
+struct NodeSlowdownEvent {
+  MachineId machine = 0;
+  util::SimTime from = util::SimTime::zero();
+  util::SimTime until = util::SimTime::infinity();
+  double factor = 1.0;
+  util::SimTime period = util::SimTime::zero();
+  double duty = 0.5;
+};
+
+/// A hung-job event: training on `machine` makes no progress during
+/// [at, at + clear_after). An epoch in flight across that window stalls for
+/// the overlap; with `clear_after` = infinity the epoch never completes and
+/// only straggler mitigation (progress deadline -> migration) can save the
+/// job. Heartbeats from the machine go silent while it is hung, so the
+/// missed-heartbeat watchdog fires too.
+struct HungJobEvent {
+  MachineId machine = 0;
+  util::SimTime at = util::SimTime::zero();
+  util::SimTime clear_after = util::SimTime::infinity();
+};
+
 /// Everything that can go wrong in one run, as data. Defaults are a perfect
 /// world, so a default-constructed plan reproduces the fault-free cluster.
 struct FaultPlan {
@@ -52,6 +87,9 @@ struct FaultPlan {
   MessageFaultProfile default_message_faults;
   std::map<MessageType, MessageFaultProfile> message_faults;
   std::vector<NodeCrashEvent> crashes;
+  /// Gray (fail-slow) faults: deterministic, time-indexed, RNG-free.
+  std::vector<NodeSlowdownEvent> slowdowns;
+  std::vector<HungJobEvent> hangs;
   /// A suspend's snapshot capture/upload aborts before transmission (the
   /// agent-side failure mode; the in-flight loss mode is drop_prob on
   /// SnapshotUpload messages).
@@ -62,6 +100,8 @@ struct FaultPlan {
 
   /// Does this plan inject anything at all?
   [[nodiscard]] bool any() const noexcept;
+  /// Does this plan contain gray (fail-slow / hang) faults?
+  [[nodiscard]] bool any_gray() const noexcept;
 
   /// Uniform message-fault shorthand: apply `profile` to every data message
   /// type (acks keep the default profile unless set explicitly).
@@ -69,6 +109,14 @@ struct FaultPlan {
     default_message_faults = profile;
   }
 };
+
+/// Parse a FaultPlan from the small key-value text format documented in
+/// README.md ("Fault-plan files"): one directive per line, `#` comments.
+/// Throws std::invalid_argument with a line number on malformed input.
+[[nodiscard]] FaultPlan load_fault_plan(std::istream& in);
+/// Serialize a plan in the same format; load_fault_plan(save_fault_plan(p))
+/// reproduces `p` exactly (round-trip tested).
+void save_fault_plan(const FaultPlan& plan, std::ostream& out);
 
 /// Counters of injected faults (what went wrong, as opposed to the recovery
 /// counters in core::RecoveryStats which say what the system did about it).
@@ -79,6 +127,10 @@ struct FaultStats {
   std::uint64_t snapshot_uploads_failed = 0;
   std::uint64_t snapshots_corrupted = 0;
   std::uint64_t node_crashes = 0;
+  // --- gray failures -------------------------------------------------------
+  std::uint64_t epochs_slowed = 0;  ///< epochs begun inside a slowdown window
+  std::uint64_t epochs_stalled = 0; ///< epochs stretched by a finite hang
+  std::uint64_t epochs_hung = 0;    ///< epochs that will never complete
 };
 
 class FaultInjector {
@@ -101,7 +153,26 @@ class FaultInjector {
   /// Flip one random bit of a stored snapshot image (no-op on empty images).
   void corrupt(std::vector<std::uint8_t>& image);
 
+  // Gray-failure queries: pure functions of (plan, machine, time) — they
+  // consume no RNG state, so adding slowdowns/hangs to a plan leaves every
+  // seeded decision stream untouched.
+  /// Combined epoch-duration multiplier for an epoch begun at `now` (>= 1;
+  /// 1 = healthy). Flapping windows contribute their factor only during the
+  /// duty fraction of each period.
+  [[nodiscard]] double slowdown_factor(MachineId machine, util::SimTime now) const;
+  /// Is the machine inside a hang window at `now`? (Its heartbeats and
+  /// training are both stalled.)
+  [[nodiscard]] bool is_hung(MachineId machine, util::SimTime now) const;
+  /// Total stall injected into an epoch spanning [start, start + duration)
+  /// by hang windows, pushing its completion back; infinity = the epoch
+  /// never completes.
+  [[nodiscard]] util::SimTime hang_stall(MachineId machine, util::SimTime start,
+                                         util::SimTime duration) const;
+
   void note_crash() noexcept { ++stats_.node_crashes; }
+  void note_slow_epoch() noexcept { ++stats_.epochs_slowed; }
+  void note_stalled_epoch() noexcept { ++stats_.epochs_stalled; }
+  void note_hung_epoch() noexcept { ++stats_.epochs_hung; }
 
  private:
   [[nodiscard]] const MessageFaultProfile& profile(MessageType type) const;

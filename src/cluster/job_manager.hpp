@@ -48,6 +48,19 @@ struct ManagedJob {
   sim::EventHandle pending_suspend = 0;
   bool suspend_in_flight = false;
 
+  // Gray-failure mitigation (DESIGN.md §7).
+  /// Expected (pre-degradation) duration of the epoch in flight; baseline for
+  /// the speed score and the progress deadline.
+  util::SimTime epoch_expected = util::SimTime::zero();
+  /// Straggler watchdog: fires when an epoch runs hang_deadline_factor x its
+  /// expected duration without completing; cancelled on completion/interrupt.
+  sim::EventHandle progress_deadline = 0;
+  bool deadline_armed = false;
+  /// training_time with each epoch scaled by the host's speed score — the
+  /// cost the epochs would have had on healthy nodes (feeds
+  /// SchedulerOps::normalized_epoch_duration).
+  util::SimTime normalized_training_time = util::SimTime::zero();
+
   // Bumped every time the job is forcibly rolled back/requeued (crash, lost
   // snapshot). Events scheduled against an older incarnation — a startup
   // completion, a pending policy decision — are stale and must not act.

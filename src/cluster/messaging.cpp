@@ -18,6 +18,7 @@ std::string_view to_string(MessageType type) noexcept {
     case MessageType::ReportStat: return "ReportStat";
     case MessageType::SnapshotUpload: return "SnapshotUpload";
     case MessageType::SnapshotDownload: return "SnapshotDownload";
+    case MessageType::Heartbeat: return "Heartbeat";
     case MessageType::Ack: return "Ack";
   }
   return "?";
@@ -48,6 +49,12 @@ const std::string& MessageBus::endpoint_name(EndpointId id) const {
   const auto it = endpoints_.find(id);
   if (it == endpoints_.end()) throw std::out_of_range("unknown endpoint");
   return it->second.name;
+}
+
+std::size_t MessageBus::dedup_entries(EndpointId id) const {
+  const auto it = endpoints_.find(id);
+  if (it == endpoints_.end()) throw std::out_of_range("unknown endpoint");
+  return it->second.seen.size();
 }
 
 util::SimTime MessageBus::transit_time(const Message& message) {
@@ -81,7 +88,11 @@ std::uint64_t MessageBus::send(Message message, FailureHandler on_failure) {
   stats_.bytes += message.payload_bytes;
   ++stats_.per_type[message.type];
 
-  if (options_.reliability.enabled && message.type != MessageType::Ack) {
+  // Heartbeats ride the fire-and-forget path even in reliability mode: a
+  // liveness probe that the bus retransmitted on the node's behalf would mask
+  // exactly the silence the watchdog exists to detect.
+  if (options_.reliability.enabled && message.type != MessageType::Ack &&
+      message.type != MessageType::Heartbeat) {
     Transmission tx;
     tx.message = std::move(message);
     tx.on_failure = std::move(on_failure);

@@ -48,6 +48,7 @@ enum class MessageType {
   ReportStat,        // agent -> scheduler (ApplicationStat upcall payload)
   SnapshotUpload,    // agent -> scheduler/storage
   SnapshotDownload,  // storage -> agent (resume)
+  Heartbeat,         // agent -> scheduler (liveness probe; never retried)
   Ack,
 };
 
@@ -146,6 +147,10 @@ class MessageBus {
   [[nodiscard]] const std::string& endpoint_name(EndpointId id) const;
   /// Messages sent but neither acked nor given up (reliability mode).
   [[nodiscard]] std::size_t in_flight() const noexcept { return transmissions_.size(); }
+  /// Size of an endpoint's receiver-side dedup table (diagnostics: a message
+  /// that exhausts its retries must leave no entry behind). Throws
+  /// std::out_of_range for unknown endpoints.
+  [[nodiscard]] std::size_t dedup_entries(EndpointId id) const;
 
  private:
   struct Endpoint {

@@ -34,6 +34,11 @@ class NodeAgent {
   [[nodiscard]] std::size_t epochs_run() const noexcept { return epochs_run_; }
   [[nodiscard]] std::size_t predictions_run() const noexcept { return predictions_run_; }
 
+  // --- liveness probes (gray-failure detection, DESIGN.md §7) --------------
+  /// Sequence number for the next Heartbeat this agent emits (1-based).
+  [[nodiscard]] std::uint64_t next_heartbeat_seq() noexcept { return ++heartbeats_sent_; }
+  [[nodiscard]] std::uint64_t heartbeats_sent() const noexcept { return heartbeats_sent_; }
+
   // --- local curve-history cache (§5.2) ------------------------------------
   /// Record one observed performance value for a hosted job.
   void append_history(core::JobId job, double perf);
@@ -56,6 +61,7 @@ class NodeAgent {
   util::SimTime busy_time_ = util::SimTime::zero();
   std::size_t epochs_run_ = 0;
   std::size_t predictions_run_ = 0;
+  std::uint64_t heartbeats_sent_ = 0;
   std::map<core::JobId, std::vector<double>> histories_;
 };
 

@@ -23,6 +23,26 @@ std::optional<MachineId> ResourceManager::reserve_idle_machine() {
   return std::nullopt;
 }
 
+std::optional<MachineId> ResourceManager::reserve_idle_machine(
+    const std::function<double(MachineId)>& score) {
+  std::optional<MachineId> best;
+  double best_score = 0.0;
+  for (std::size_t i = 0; i < busy_.size(); ++i) {
+    if (busy_[i] || !online_[i]) continue;
+    const auto m = static_cast<MachineId>(i);
+    const double s = score(m);
+    if (!best || s > best_score) {  // strict '>' keeps ties on the lowest id
+      best = m;
+      best_score = s;
+    }
+  }
+  if (best) {
+    busy_[*best] = true;
+    --idle_count_;
+  }
+  return best;
+}
+
 void ResourceManager::release_machine(MachineId machine) {
   if (machine >= busy_.size()) throw std::out_of_range("unknown machine id");
   if (!busy_[machine]) throw std::logic_error("double release of machine");

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -23,6 +24,12 @@ class ResourceManager {
   /// reserveIdleMachine() -> machineId (§4.2). Lowest-numbered idle online
   /// machine first, for determinism.
   [[nodiscard]] std::optional<MachineId> reserve_idle_machine();
+  /// Health-aware variant: among idle online machines pick the one `score`
+  /// rates highest, ties to the lowest id — so with uniform scores the
+  /// placement is identical to the unscored overload. Used to keep jobs off
+  /// degraded (but not yet quarantined) nodes.
+  [[nodiscard]] std::optional<MachineId> reserve_idle_machine(
+      const std::function<double(MachineId)>& score);
   /// releaseMachine(machineId). Throws std::logic_error on double release.
   void release_machine(MachineId machine);
 

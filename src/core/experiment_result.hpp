@@ -54,6 +54,22 @@ struct RecoveryStats {
   /// Re-trained epochs whose (duplicate) stat report was absorbed by the
   /// AppStatDb's epoch dedup.
   std::size_t duplicate_stats_ignored = 0;
+  // --- gray-failure mitigation (DESIGN.md §7) ------------------------------
+  /// Jobs moved off a degraded node (clean suspend for slow hosts, snapshot
+  /// rollback for hung ones) instead of being killed or left to crawl.
+  std::size_t jobs_migrated = 0;
+  /// Nodes taken out of the membership for persistent slowness or silence.
+  std::size_t nodes_quarantined = 0;
+  /// Quarantined nodes that served probation and rejoined at nominal speed.
+  std::size_t nodes_reinstated = 0;
+  /// Progress-deadline expiries (an epoch ran hang_deadline_factor x longer
+  /// than expected and the job was presumed hung).
+  std::size_t hung_jobs_detected = 0;
+  /// Ground-truth oracle (fault injector knowledge, not observable by the
+  /// scheduler): jobs terminated while hosted on a degraded node although
+  /// their learning curve does reach the target — the exploration-corrupting
+  /// mistake speed-aware POP exists to prevent.
+  std::size_t wrong_kills = 0;
 
   [[nodiscard]] bool operator==(const RecoveryStats&) const = default;
 };

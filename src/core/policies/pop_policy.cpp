@@ -17,6 +17,7 @@ void PopPolicy::on_experiment_start(SchedulerOps& ops) {
       std::isnan(config_.kill_threshold) ? ops.kill_threshold() : config_.kill_threshold;
   boundary_ = config_.boundary != 0 ? config_.boundary : ops.evaluation_boundary();
   if (boundary_ == 0) boundary_ = 10;
+  prune_deferred_.clear();
 }
 
 double PopPolicy::confidence(JobId job) const {
@@ -51,7 +52,14 @@ bool PopPolicy::update_belief(SchedulerOps& ops, JobId job,
     return true;
   }
 
-  util::SimTime epoch_duration = ops.avg_epoch_duration(job);
+  // Speed-aware mode extrapolates from the epoch cost at *nominal* node
+  // speed: a configuration is not slow just because its host is (the
+  // observed average would inflate ERT and depress confidence for jobs that
+  // had the bad luck of a degraded machine). Falls back to the raw average
+  // on substrates without a health layer.
+  util::SimTime epoch_duration = config_.speed_aware
+                                     ? ops.normalized_epoch_duration(job)
+                                     : ops.avg_epoch_duration(job);
   if (epoch_duration <= util::SimTime::zero()) return false;
 
   // M_i = (Tmax - Tpass) / Epoch_i, additionally capped by the epochs the
@@ -237,14 +245,36 @@ JobDecision PopPolicy::on_iteration_finish(SchedulerOps& ops, const JobEvent& ev
   const auto& history = ops.perf_history(event.job_id);
   if (!update_belief(ops, event.job_id, history)) return JobDecision::Continue;
 
-  // Step 3: prune hopeless jobs (confidence lower bound).
+  // Step 3: prune hopeless jobs (confidence lower bound). On a degraded host
+  // the time-based evidence is tainted (even the normalized extrapolation
+  // lags while the EWMA converges), so the benefit of the doubt goes to the
+  // configuration: migrate it to a healthy node instead of killing it — the
+  // wrong-kill a gray failure would otherwise cause. The deferral is one-shot
+  // per job: a second hopeless verdict terminates even on a degraded host,
+  // otherwise a cluster whose every machine is (intermittently) slow could
+  // bounce a doomed job between hosts until it runs to completion.
   if (beliefs_[event.job_id].confidence < config_.prune_confidence) {
+    if (config_.speed_aware && ops.host_speed(event.job_id) < config_.degraded_speed &&
+        prune_deferred_.insert(event.job_id).second) {
+      ++slow_host_migrations_;
+      return JobDecision::Suspend;
+    }
     return JobDecision::Terminate;
   }
 
   // Step 4: dynamic threshold + classification + labelling.
   const bool is_promising = classify_and_label(ops, event.job_id);
-  if (is_promising) return JobDecision::Continue;
+  if (is_promising) {
+    // A promising configuration deserves a healthy host: crawling on a
+    // degraded node burns exactly the dedicated slots the classification
+    // granted it. Suspend so it resumes — with its confidence as priority —
+    // on the fastest machine available.
+    if (config_.speed_aware && ops.host_speed(event.job_id) < config_.degraded_speed) {
+      ++slow_host_migrations_;
+      return JobDecision::Suspend;
+    }
+    return JobDecision::Continue;
+  }
 
   // Step 5: opportunistic -> rotate, but only if someone is waiting.
   if (config_.rotate_opportunistic && ops.get_idle_job().has_value()) {

@@ -74,6 +74,18 @@ struct PopConfig {
   /// Record the desired/deserved slot curves at every classification
   /// (Fig. 4a/4b); costs memory, off by default.
   bool record_allocation_curves = false;
+  /// Gray-failure awareness (DESIGN.md §7). When true, time-to-accuracy is
+  /// extrapolated from SchedulerOps::normalized_epoch_duration (epoch cost
+  /// at nominal node speed) instead of the raw average, and a job whose host
+  /// speed is below `degraded_speed` is migrated (suspend -> resume on a
+  /// healthier node) where POP would otherwise kill it on time-based
+  /// evidence or leave a promising config crawling. On substrates without a
+  /// health layer the hooks default to "everything nominal", so this flag
+  /// changes nothing there.
+  bool speed_aware = true;
+  /// Host speed score below which a node counts as degraded for the
+  /// migrate-not-kill rules (mirror of HealthOptions::slow_speed).
+  double degraded_speed = 0.6;
   /// Model-owner rule evaluated first at every iteration (§2.1 / §9 "model-
   /// owner-defined metrics and inputs"): may force a decision (e.g. kill a
   /// job whose secondary metric proves it cannot meet a sparsity goal) or
@@ -133,6 +145,11 @@ class PopPolicy final : public DefaultPolicy {
   [[nodiscard]] std::size_t target_raises() const noexcept { return target_raises_; }
   /// Times cluster membership changed under this policy (crash/restart).
   [[nodiscard]] std::size_t capacity_changes() const noexcept { return capacity_changes_; }
+  /// Suspends issued to move a job off a degraded host instead of killing or
+  /// continuing it (speed_aware mode).
+  [[nodiscard]] std::size_t slow_host_migrations() const noexcept {
+    return slow_host_migrations_;
+  }
 
  private:
   struct JobBelief {
@@ -159,6 +176,10 @@ class PopPolicy final : public DefaultPolicy {
   std::size_t predictions_ = 0;
   std::size_t target_raises_ = 0;
   std::size_t capacity_changes_ = 0;
+  std::size_t slow_host_migrations_ = 0;
+  /// Jobs whose hopeless verdict was already deferred once because they sat
+  /// on a degraded host; the next hopeless verdict terminates them.
+  std::set<JobId> prune_deferred_;
 };
 
 }  // namespace hyperdrive::core

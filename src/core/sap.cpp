@@ -2,6 +2,12 @@
 
 namespace hyperdrive::core {
 
+double SchedulerOps::host_speed(JobId /*job*/) const { return 1.0; }
+
+util::SimTime SchedulerOps::normalized_epoch_duration(JobId job) const {
+  return avg_epoch_duration(job);
+}
+
 void SchedulingPolicy::on_application_stat(SchedulerOps& /*ops*/, const JobEvent& /*event*/) {}
 
 void SchedulingPolicy::on_experiment_start(SchedulerOps& /*ops*/) {}

@@ -91,6 +91,19 @@ class SchedulerOps {
   [[nodiscard]] virtual util::SimTime avg_epoch_duration(JobId job) const = 0;
   [[nodiscard]] virtual std::size_t epochs_done(JobId job) const = 0;
 
+  // --- Node health (gray-failure awareness, DESIGN.md §7) -----------------
+  // Substrates without a health layer inherit the defaults (a perfectly
+  // healthy, homogeneous cluster — the paper's testbed assumption), so
+  // existing policies and test fakes compile and behave unchanged.
+  /// EWMA speed score of the job's current host: 1.0 = nominal, below the
+  /// monitor's slow threshold = degraded. 1.0 for jobs not running.
+  [[nodiscard]] virtual double host_speed(JobId job) const;
+  /// avg_epoch_duration with each epoch normalized to nominal node speed —
+  /// what the epoch *would* have cost on a healthy machine. Policies that
+  /// extrapolate time-to-accuracy should prefer this so a slow host does not
+  /// masquerade as a slow configuration.
+  [[nodiscard]] virtual util::SimTime normalized_epoch_duration(JobId job) const;
+
   // --- Experiment metadata ------------------------------------------------
   [[nodiscard]] virtual std::size_t max_epochs() const = 0;
   [[nodiscard]] virtual double target_performance() const = 0;

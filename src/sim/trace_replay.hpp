@@ -52,6 +52,15 @@ class TraceReplaySimulator final : public core::SchedulerOps {
   [[nodiscard]] const std::vector<double>& perf_history(core::JobId job) const override;
   [[nodiscard]] util::SimTime avg_epoch_duration(core::JobId job) const override;
   [[nodiscard]] std::size_t epochs_done(core::JobId job) const override;
+  // Gray-failure hooks (DESIGN.md §7): the idealized simulator models the
+  // paper's testbed — homogeneous, healthy nodes — so every host runs at
+  // nominal speed and the normalized epoch cost equals the observed average.
+  // Spelled out (rather than inherited) so the §7.1 simplification is
+  // explicit and speed-aware policies behave identically here.
+  [[nodiscard]] double host_speed(core::JobId /*job*/) const override { return 1.0; }
+  [[nodiscard]] util::SimTime normalized_epoch_duration(core::JobId job) const override {
+    return avg_epoch_duration(job);
+  }
   [[nodiscard]] std::size_t max_epochs() const override { return trace_.max_epochs; }
   [[nodiscard]] double target_performance() const override {
     return trace_.target_performance;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -124,6 +125,96 @@ TEST(MessageBusTest, MessageTypeNames) {
   EXPECT_EQ(to_string(MessageType::StartJob), "StartJob");
   EXPECT_EQ(to_string(MessageType::SnapshotUpload), "SnapshotUpload");
   EXPECT_EQ(to_string(MessageType::Ack), "Ack");
+}
+
+MessageBusOptions reliable_fixed_latency(double seconds, std::size_t max_attempts) {
+  auto options = fixed_latency(seconds);
+  options.bandwidth_bps = 0.0;
+  options.reliability.enabled = true;
+  options.reliability.ack_timeout_s = 0.2;
+  options.reliability.max_attempts = max_attempts;
+  return options;
+}
+
+TEST(MessageBusTest, RetransmissionExhaustionFailsExactlyOnceWithoutDedupLeak) {
+  // The network eats every ReportStat (data and retries) while StartJob
+  // traffic sails through. Each doomed message must invoke its failure
+  // callback exactly once, and — the leak check — must leave no entry in the
+  // receiver's dedup table, which only ever saw the delivered messages.
+  sim::Simulation simulation;
+  MessageBus bus(simulation, reliable_fixed_latency(0.01, 3), 9);
+  FaultPlan plan;
+  plan.seed = 4;
+  MessageFaultProfile lossy;
+  lossy.drop_prob = 1.0;
+  plan.message_faults[MessageType::ReportStat] = lossy;
+  FaultInjector injector(plan, 9);
+  bus.set_fault_injector(&injector);
+
+  int handled = 0;
+  const auto sink = bus.register_endpoint("sink", [&](const Message&) { ++handled; });
+
+  constexpr std::uint64_t kDoomed = 8, kClean = 8;
+  std::map<std::uint64_t, int> failures;  // job_id -> failure callbacks
+  for (std::uint64_t i = 0; i < kDoomed; ++i) {
+    Message m;
+    m.type = MessageType::ReportStat;
+    m.to = sink;
+    m.job_id = i;
+    bus.send(m, [&failures](const Message& lost) { ++failures[lost.job_id]; });
+  }
+  for (std::uint64_t i = 0; i < kClean; ++i) {
+    Message m;
+    m.type = MessageType::StartJob;
+    m.to = sink;
+    m.job_id = 100 + i;
+    bus.send(m, [&failures](const Message& lost) { ++failures[lost.job_id]; });
+  }
+  simulation.run();
+
+  EXPECT_EQ(handled, static_cast<int>(kClean));
+  ASSERT_EQ(failures.size(), static_cast<std::size_t>(kDoomed));
+  for (const auto& [job, count] : failures) {
+    EXPECT_LT(job, kDoomed) << "a delivered message reported failure";
+    EXPECT_EQ(count, 1) << "message " << job << " failed " << count << " times";
+  }
+  EXPECT_EQ(bus.stats().undeliverable, kDoomed);
+  EXPECT_EQ(bus.stats().retransmissions, kDoomed * 2u);  // attempts 2..3 each
+  EXPECT_EQ(bus.in_flight(), 0u);  // every transmission settled
+  EXPECT_EQ(bus.dedup_entries(sink), static_cast<std::size_t>(kClean));
+  EXPECT_THROW((void)bus.dedup_entries(12345), std::out_of_range);
+}
+
+TEST(MessageBusTest, LostAcksDeliverOnceAndStillReportSenderSideFailure) {
+  // Inverse exhaustion: the data always arrives but every ack dies, so the
+  // sender retries until giving up. The handler must fire exactly once (the
+  // dedup table absorbs the retries — and keeps its one entry, since the
+  // message *was* delivered), while the sender, unable to know, reports the
+  // failure exactly once.
+  sim::Simulation simulation;
+  MessageBus bus(simulation, reliable_fixed_latency(0.01, 4), 10);
+  FaultPlan plan;
+  plan.seed = 5;
+  MessageFaultProfile lossy;
+  lossy.drop_prob = 1.0;
+  plan.message_faults[MessageType::Ack] = lossy;
+  FaultInjector injector(plan, 10);
+  bus.set_fault_injector(&injector);
+
+  int handled = 0, failed = 0;
+  const auto sink = bus.register_endpoint("sink", [&](const Message&) { ++handled; });
+  Message m;
+  m.type = MessageType::ReportStat;
+  m.to = sink;
+  bus.send(m, [&](const Message&) { ++failed; });
+  simulation.run();
+
+  EXPECT_EQ(handled, 1);
+  EXPECT_EQ(failed, 1);
+  EXPECT_EQ(bus.stats().duplicates_suppressed, 3u);  // retries 2..4 deduped
+  EXPECT_EQ(bus.stats().undeliverable, 1u);
+  EXPECT_EQ(bus.dedup_entries(sink), 1u);
+  EXPECT_EQ(bus.in_flight(), 0u);
 }
 
 TEST(MessageBusTest, VariableLatencyStaysInBounds) {
