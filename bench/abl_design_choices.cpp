@@ -10,36 +10,10 @@
 #include "bench_common.hpp"
 
 #include "core/policies/pop_policy.hpp"
-#include "sim/trace_replay.hpp"
 
 using namespace hyperdrive;
 
 namespace {
-
-struct AblResult {
-  double mean_minutes = 0.0;
-  double mean_predictions = 0.0;
-};
-
-AblResult mean_time_to_target(const workload::CifarWorkloadModel& model,
-                              const std::function<core::PopConfig(std::uint64_t)>& make_config) {
-  AblResult out;
-  constexpr int kRepeats = 5;
-  for (std::uint64_t r = 0; r < kRepeats; ++r) {
-    const auto trace = bench::suitable_trace(model, 100, 1500 + r * 41, 25);
-    core::PopPolicy policy(make_config(r));
-    sim::ReplayOptions options;
-    options.machines = 4;
-    options.max_experiment_time = util::SimTime::hours(200);
-    const auto result = sim::replay_experiment(trace, policy, options);
-    out.mean_minutes += result.reached_target ? result.time_to_target.to_minutes()
-                                              : result.total_time.to_minutes();
-    out.mean_predictions += static_cast<double>(policy.predictions_made());
-  }
-  out.mean_minutes /= kRepeats;
-  out.mean_predictions /= kRepeats;
-  return out;
-}
 
 core::PopConfig base_config(std::uint64_t seed) {
   core::PopConfig config;
@@ -48,55 +22,97 @@ core::PopConfig base_config(std::uint64_t seed) {
   return config;
 }
 
+struct Variant {
+  std::string label;
+  std::function<core::PopConfig(std::uint64_t)> make_config;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto bench_options = bench::parse_bench_args(argc, argv);
   bench::print_header("Ablations", "POP design choices (CIFAR-10, 4 machines, 5 repeats)");
 
   workload::CifarWorkloadModel model;
 
-  const auto full = mean_time_to_target(model, base_config);
-  std::printf("  %-38s %8.1f min            (baseline, %.0f predictions)\n",
-              "POP (dynamic threshold, full)", full.mean_minutes, full.mean_predictions);
+  std::vector<Variant> variants;
+  variants.push_back({"POP (dynamic threshold, full)", base_config});
+  for (const double thr : {0.2, 0.5, 0.8}) {
+    variants.push_back({"static p_thred = " + std::to_string(thr).substr(0, 3),
+                        [thr](std::uint64_t seed) {
+                          auto config = base_config(seed);
+                          config.static_threshold = thr;
+                          return config;
+                        }});
+  }
+  variants.push_back({"instantaneous (last-value) predictor", [](std::uint64_t seed) {
+                        auto config = base_config(seed);
+                        curve::PredictorConfig pc;
+                        pc.seed = seed;
+                        config.predictor = std::shared_ptr<const curve::CurvePredictor>(
+                            curve::make_last_value_predictor(pc));
+                        return config;
+                      }});
+  variants.push_back({"no kill-threshold domain knowledge", [](std::uint64_t seed) {
+                        auto config = base_config(seed);
+                        config.use_kill_threshold = false;
+                        return config;
+                      }});
+  variants.push_back({"no opportunistic rotation (no suspend)", [](std::uint64_t seed) {
+                        auto config = base_config(seed);
+                        config.rotate_opportunistic = false;
+                        return config;
+                      }});
 
-  auto report = [&](const std::string& label, const AblResult& r) {
-    std::printf("  %-38s %8.1f min (%+6.1f%%) (%.0f predictions)\n", label.c_str(),
-                r.mean_minutes, 100.0 * (r.mean_minutes - full.mean_minutes) / full.mean_minutes,
-                r.mean_predictions);
+  core::SweepSpec spec;
+  spec.name = "abl_design_choices";
+  std::vector<std::string> variant_labels;
+  for (const auto& v : variants) variant_labels.push_back(v.label);
+  const auto variant_ax = spec.add_axis("variant", variant_labels);
+  const auto repeat_ax = spec.add_repeat_axis(bench_options.repeats(5));
+  spec.trace = [&](const core::SweepCell& cell) {
+    return bench::suitable_trace(model, 100, 1500 + cell.at(repeat_ax) * 41, 25);
+  };
+  spec.policy = [&](const core::SweepCell& cell) {
+    return std::make_unique<core::PopPolicy>(
+        variants[cell.at(variant_ax)].make_config(cell.at(repeat_ax)));
+  };
+  spec.options = [&](const core::SweepCell&) {
+    core::RunnerOptions options;
+    options.substrate = core::Substrate::TraceReplay;
+    options.machines = 4;
+    options.max_experiment_time = util::SimTime::hours(200);
+    return options;
+  };
+  spec.extra_columns = {"predictions"};
+  spec.collect = [](const core::SweepCell&, const core::SchedulingPolicy& policy,
+                    const core::ExperimentResult&) {
+    const auto& pop = dynamic_cast<const core::PopPolicy&>(policy);
+    return std::vector<double>{static_cast<double>(pop.predictions_made())};
   };
 
-  for (const double thr : {0.2, 0.5, 0.8}) {
-    report("static p_thred = " + std::to_string(thr).substr(0, 3),
-           mean_time_to_target(model, [&](std::uint64_t seed) {
-             auto config = base_config(seed);
-             config.static_threshold = thr;
-             return config;
-           }));
+  const auto table = bench::run_bench_sweep(spec, bench_options);
+
+  const auto mean_of = [&](const std::string& label) {
+    const auto rows = table.where("variant", label);
+    double minutes = 0.0, predictions = 0.0;
+    for (const auto* row : rows) {
+      minutes += row->minutes_to_target();
+      predictions += row->extra.at(table.extra_column("predictions"));
+    }
+    const double n = static_cast<double>(rows.size());
+    return std::pair<double, double>{minutes / n, predictions / n};
+  };
+
+  const auto [full_minutes, full_predictions] = mean_of(variants[0].label);
+  std::printf("  %-38s %8.1f min            (baseline, %.0f predictions)\n",
+              variants[0].label.c_str(), full_minutes, full_predictions);
+  for (std::size_t v = 1; v < variants.size(); ++v) {
+    const auto [minutes, predictions] = mean_of(variants[v].label);
+    std::printf("  %-38s %8.1f min (%+6.1f%%) (%.0f predictions)\n",
+                variants[v].label.c_str(), minutes,
+                100.0 * (minutes - full_minutes) / full_minutes, predictions);
   }
-
-  report("instantaneous (last-value) predictor",
-         mean_time_to_target(model, [&](std::uint64_t seed) {
-           auto config = base_config(seed);
-           curve::PredictorConfig pc;
-           pc.seed = seed;
-           config.predictor = std::shared_ptr<const curve::CurvePredictor>(
-               curve::make_last_value_predictor(pc));
-           return config;
-         }));
-
-  report("no kill-threshold domain knowledge",
-         mean_time_to_target(model, [&](std::uint64_t seed) {
-           auto config = base_config(seed);
-           config.use_kill_threshold = false;
-           return config;
-         }));
-
-  report("no opportunistic rotation (no suspend)",
-         mean_time_to_target(model, [&](std::uint64_t seed) {
-           auto config = base_config(seed);
-           config.rotate_opportunistic = false;
-           return config;
-         }));
 
   std::printf("\n(positive %% = slower than full POP; each §2 design choice should cost\n"
               " time when removed)\n");

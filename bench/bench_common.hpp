@@ -1,90 +1,40 @@
 // Shared helpers for the figure-reproduction benches. Each bench binary
 // regenerates the data behind one figure/table of the paper and prints it as
-// labelled text series (the repository's equivalent of the plots).
+// labelled text series (the repository's equivalent of the plots). Every
+// repeated experiment grid runs through the SweepEngine (src/core), so all
+// benches accept:
+//   --jobs N      sweep worker threads (default: hardware concurrency)
+//   --csv PATH    write the SweepTable as CSV (EXPERIMENTS.md schema)
+//   --smoke       tiny-repeat run for the bench_smoke CTest label
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "core/experiment_runner.hpp"
+#include "core/sweep_engine.hpp"
 #include "util/stats.hpp"
 #include "workload/cifar_model.hpp"
 #include "workload/lunar_model.hpp"
 #include "workload/trace.hpp"
+#include "workload/trace_tools.hpp"
 
 namespace hyperdrive::bench {
 
-inline void print_header(const std::string& id, const std::string& what) {
-  std::printf("\n=============================================================\n");
-  std::printf("%s — %s\n", id.c_str(), what.c_str());
-  std::printf("=============================================================\n");
-}
+// Trace helpers live in src/workload (library code with unit tests);
+// re-exported here so the bench sources read naturally.
+using workload::first_winner_index;
+using workload::reachable_trace;
+using workload::renoise;
+using workload::suitable_trace;
 
-/// Generate a trace and re-seed until the target is reachable (the paper's
-/// experiments always contain at least one satisfying configuration).
-inline workload::Trace reachable_trace(const workload::WorkloadModel& model,
-                                       std::size_t configs, std::uint64_t seed) {
-  auto trace = workload::generate_trace(model, configs, seed);
-  while (!trace.target_reachable()) {
-    trace = workload::generate_trace(model, configs, ++seed);
-  }
-  return trace;
-}
-
-/// Position (0-based) of the first job whose curve reaches the target, or
-/// the job count if none does.
-inline std::size_t first_winner_index(const workload::Trace& trace) {
-  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
-    if (trace.jobs[i].curve.first_epoch_reaching(trace.target_performance) != 0) return i;
-  }
-  return trace.jobs.size();
-}
-
-/// A trace suitable for time-to-target studies: the target is reachable with
-/// some margin (so per-repeat noise cannot erase it) and no winner sits in
-/// the very first scheduling wave (which would make every policy trivially
-/// tie). Mirrors §6.1: one hyperparameter set is drawn once and reused.
-inline workload::Trace suitable_trace(const workload::WorkloadModel& model,
-                                      std::size_t configs, std::uint64_t seed,
-                                      std::size_t machines) {
-  for (;; ++seed) {
-    auto trace = workload::generate_trace(model, configs, seed);
-    if (!trace.target_reachable()) continue;
-    if (first_winner_index(trace) < machines) continue;
-    double best = 0.0;
-    for (const auto& job : trace.jobs) best = std::max(best, job.curve.best_perf());
-    if (best < trace.target_performance + 0.01) continue;
-    return trace;
-  }
-}
-
-/// The paper repeats each experiment with the same hyperparameter set and
-/// fresh training noise (§6.1 Non-Determinism). This re-realizes every job's
-/// curve under a new experiment seed while keeping the configurations (and
-/// hence their intrinsic quality and epoch durations) fixed.
-inline workload::Trace renoise(const workload::WorkloadModel& model,
-                               const workload::Trace& base,
-                               std::uint64_t experiment_seed) {
-  workload::Trace out = base;
-  for (auto& job : out.jobs) {
-    job.curve = model.realize(job.config, experiment_seed);
-  }
-  return out;
-}
-
-/// Standard policy spec for one of the four evaluated policies, with the
-/// fast LSQ predictor (the full-MCMC predictor is measured separately by
-/// bench_mcmc_samples).
+/// Standard policy spec with the fast LSQ predictor (core library rule).
 inline core::PolicySpec policy_spec(core::PolicyKind kind, std::uint64_t seed,
                                     util::SimTime tmax = util::SimTime::hours(48)) {
-  core::PolicySpec spec;
-  spec.kind = kind;
-  const auto predictor = core::make_default_predictor(seed);
-  spec.earlyterm.predictor = predictor;
-  spec.pop.predictor = predictor;
-  spec.pop.tmax = tmax;
-  return spec;
+  return core::standard_policy_spec(kind, seed, tmax);
 }
 
 inline const std::vector<core::PolicyKind>& evaluated_policies() {
@@ -98,6 +48,66 @@ inline const std::vector<core::PolicyKind>& all_policies() {
       core::PolicyKind::Pop, core::PolicyKind::Bandit, core::PolicyKind::EarlyTerm,
       core::PolicyKind::Default};
   return kinds;
+}
+
+/// Common bench command line (see header comment).
+struct BenchOptions {
+  std::size_t jobs = 0;  ///< sweep threads; 0 = hardware concurrency
+  std::string csv;       ///< write the sweep table here when non-empty
+  bool smoke = false;    ///< CTest smoke mode: shrink repeat counts
+
+  /// Repeats to run: the figure's count, or at most 2 under --smoke.
+  [[nodiscard]] std::size_t repeats(std::size_t figure_repeats) const {
+    return smoke && figure_repeats > 2 ? 2 : figure_repeats;
+  }
+};
+
+inline BenchOptions parse_bench_args(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--jobs") {
+      options.jobs = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--csv") {
+      options.csv = next();
+    } else if (arg == "--smoke") {
+      options.smoke = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("bench options: [--jobs N] [--csv PATH] [--smoke]\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown bench option: %s (try --help)\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+/// Run the sweep on the requested worker count, print the engine timing
+/// line, and honor --csv. Every bench's grid goes through here.
+inline core::SweepTable run_bench_sweep(const core::SweepSpec& spec,
+                                        const BenchOptions& options) {
+  auto table = core::run_sweep(spec, options.jobs);
+  std::printf("[sweep] %s: %zu cells on %zu threads in %.2f s\n", table.name.c_str(),
+              table.rows.size(), table.threads, table.wall_seconds);
+  if (!options.csv.empty()) {
+    table.save_csv_file(options.csv);
+    std::printf("[sweep] table written to %s\n", options.csv.c_str());
+  }
+  return table;
+}
+
+inline void print_header(const std::string& id, const std::string& what) {
+  std::printf("\n=============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("=============================================================\n");
 }
 
 /// Print a five-number box-plot summary line (what Fig. 7 / Fig. 9 plot).

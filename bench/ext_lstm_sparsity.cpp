@@ -17,12 +17,12 @@
 #include <cmath>
 
 #include "core/policies/pop_policy.hpp"
-#include "sim/trace_replay.hpp"
 #include "workload/ptb_lstm_model.hpp"
 
 using namespace hyperdrive;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto bench_options = bench::parse_bench_args(argc, argv);
   bench::print_header("Extension §9",
                       "LSTM + group-Lasso: perplexity <= 100 AND sparsity >= 0.5");
 
@@ -31,18 +31,18 @@ int main() {
   constexpr double kSparsityGoal = 0.5;
 
   // The combined user-defined global termination criterion (§9).
-  const core::GlobalStopCriterion combined_goal = [&](const core::JobEvent& event) {
+  const core::GlobalStopCriterion combined_goal = [ppl_goal](const core::JobEvent& event) {
     return event.perf >= ppl_goal && !std::isnan(event.secondary) &&
            event.secondary >= kSparsityGoal;
   };
 
-  double plain_total = 0.0, guided_total = 0.0;
-  std::size_t plain_preds = 0, guided_preds = 0;
-  constexpr int kRepeats = 5;
-  int measured = 0;
+  const std::size_t repeats = bench_options.repeats(5);
 
-  for (std::uint64_t r = 0; r < kRepeats; ++r) {
-    // A candidate set where the combined goal is achievable.
+  // Candidate sets where the combined goal is achievable, one per repeat.
+  // Pre-generated (the achievability search is an open-ended seed scan, so
+  // it stays out of the per-cell callbacks).
+  std::vector<workload::Trace> traces;
+  for (std::uint64_t r = 0; r < repeats; ++r) {
     workload::Trace trace;
     for (std::uint64_t seed = 3000 + r * 59;; ++seed) {
       trace = workload::generate_trace(model, 100, seed);
@@ -58,50 +58,70 @@ int main() {
       }
       if (achievable) break;
     }
-
-    for (const bool use_owner_rule : {false, true}) {
-      core::PopConfig config;
-      config.tmax = util::SimTime::hours(96);
-      config.predictor = core::make_default_predictor(r);
-      // POP steers the primary metric toward the perplexity goal.
-      config.target = ppl_goal;
-      if (use_owner_rule) {
-        // Model-owner rule: after 10 epochs the sparsity ramp is well under
-        // way; a job below 40% of the goal will not catch up (the ramp's
-        // logistic midpoint is at ~6-14 epochs) — kill it.
-        config.owner_rule =
-            [&](const core::JobEvent& event) -> std::optional<core::JobDecision> {
-          if (event.epoch >= 10 && !std::isnan(event.secondary) &&
-              event.secondary < 0.4 * kSparsityGoal) {
-            return core::JobDecision::Terminate;
-          }
-          return std::nullopt;
-        };
-      }
-      core::PopPolicy policy(config);
-
-      sim::ReplayOptions options;
-      options.machines = 8;
-      options.max_experiment_time = util::SimTime::hours(96);
-      options.stop_criterion = combined_goal;
-      const auto result = sim::replay_experiment(trace, policy, options);
-      const double minutes = result.reached_target ? result.time_to_target.to_minutes()
-                                                   : result.total_time.to_minutes();
-      if (use_owner_rule) {
-        guided_total += minutes;
-        guided_preds += policy.predictions_made();
-      } else {
-        plain_total += minutes;
-        plain_preds += policy.predictions_made();
-      }
-    }
-    ++measured;
+    traces.push_back(std::move(trace));
   }
 
+  core::SweepSpec spec;
+  spec.name = "ext_lstm_sparsity";
+  // "plain" = POP steering the primary metric only; "guided" adds the
+  // model-owner sparsity rule.
+  const auto mode_ax = spec.add_axis("mode", {"plain", "guided"});
+  const auto repeat_ax = spec.add_repeat_axis(repeats);
+  spec.trace = [&](const core::SweepCell& cell) { return traces[cell.at(repeat_ax)]; };
+  spec.policy = [&](const core::SweepCell& cell) {
+    core::PopConfig config;
+    config.tmax = util::SimTime::hours(96);
+    config.predictor = core::make_default_predictor(cell.at(repeat_ax));
+    // POP steers the primary metric toward the perplexity goal.
+    config.target = ppl_goal;
+    if (cell.at(mode_ax) == 1) {
+      // Model-owner rule: after 10 epochs the sparsity ramp is well under
+      // way; a job below 40% of the goal will not catch up (the ramp's
+      // logistic midpoint is at ~6-14 epochs) — kill it.
+      config.owner_rule =
+          [](const core::JobEvent& event) -> std::optional<core::JobDecision> {
+        if (event.epoch >= 10 && !std::isnan(event.secondary) &&
+            event.secondary < 0.4 * kSparsityGoal) {
+          return core::JobDecision::Terminate;
+        }
+        return std::nullopt;
+      };
+    }
+    return std::make_unique<core::PopPolicy>(config);
+  };
+  spec.options = [&](const core::SweepCell&) {
+    core::RunnerOptions options;
+    options.substrate = core::Substrate::TraceReplay;
+    options.machines = 8;
+    options.max_experiment_time = util::SimTime::hours(96);
+    options.stop_criterion = combined_goal;
+    return options;
+  };
+  spec.extra_columns = {"predictions"};
+  spec.collect = [](const core::SweepCell&, const core::SchedulingPolicy& policy,
+                    const core::ExperimentResult&) {
+    const auto& pop = dynamic_cast<const core::PopPolicy&>(policy);
+    return std::vector<double>{static_cast<double>(pop.predictions_made())};
+  };
+
+  const auto table = bench::run_bench_sweep(spec, bench_options);
+
+  const auto arm_of = [&](const std::string& mode) {
+    double minutes = 0.0;
+    std::size_t predictions = 0;
+    for (const auto* row : table.where("mode", mode)) {
+      minutes += row->minutes_to_target();
+      predictions += static_cast<std::size_t>(row->extra.at(0));
+    }
+    return std::pair<double, std::size_t>{minutes, predictions};
+  };
+
+  const auto [plain_total, plain_preds] = arm_of("plain");
+  const auto [guided_total, guided_preds] = arm_of("guided");
   std::printf("  POP, perplexity-only view:        %8.1f min avg  (%zu predictions)\n",
-              plain_total / measured, plain_preds / kRepeats);
+              plain_total / static_cast<double>(repeats), plain_preds / repeats);
   std::printf("  POP + sparsity owner rule:        %8.1f min avg  (%zu predictions)\n",
-              guided_total / measured, guided_preds / kRepeats);
+              guided_total / static_cast<double>(repeats), guided_preds / repeats);
   std::printf("  speedup from the model-owner rule: %.2fx (paper: 'significantly "
               "reduced training times')\n",
               plain_total / guided_total);

@@ -12,11 +12,11 @@
 
 using namespace hyperdrive;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto bench_options = bench::parse_bench_args(argc, argv);
   bench::print_header("Extension §5.2", "overlapped vs blocking curve prediction (POP)");
 
   workload::CifarWorkloadModel model;
-  constexpr int kRepeats = 5;
 
   // Prediction cost model: the reduced 70k-sample MCMC takes O(10s) per
   // curve on a worker core (see tab_mcmc_samples); spread lognormally.
@@ -24,32 +24,46 @@ int main() {
     return util::SimTime::seconds(std::clamp(rng.lognormal(3.4, 0.4), 10.0, 120.0));
   };
 
-  double overlapped_total = 0.0, blocking_total = 0.0, free_total = 0.0;
-  for (std::uint64_t r = 0; r < kRepeats; ++r) {
-    const auto trace = bench::suitable_trace(model, 100, 2800 + r * 53, 8);
+  core::SweepSpec spec;
+  spec.name = "ext_overlap_prediction";
+  const auto mode_ax = spec.add_axis("mode", {"free", "overlapped", "blocking"});
+  const auto repeat_ax = spec.add_repeat_axis(bench_options.repeats(5));
+  spec.trace = [&](const core::SweepCell& cell) {
+    return bench::suitable_trace(model, 100, 2800 + cell.at(repeat_ax) * 53, 8);
+  };
+  spec.policy = [&](const core::SweepCell& cell) {
+    return core::make_policy(bench::policy_spec(core::PolicyKind::Pop, cell.at(repeat_ax)));
+  };
+  spec.options = [&](const core::SweepCell& cell) {
+    const std::size_t mode = cell.at(mode_ax);
+    core::RunnerOptions options;
+    options.substrate = core::Substrate::Cluster;
+    options.machines = 4;
+    options.max_experiment_time = util::SimTime::hours(96);
+    options.seed = cell.at(repeat_ax);
+    if (mode > 0) options.decision_latency = prediction_cost;
+    options.overlap_decisions = mode != 2;
+    return options;
+  };
 
-    for (int mode = 0; mode < 3; ++mode) {
-      const auto spec = bench::policy_spec(core::PolicyKind::Pop, r);
-      const auto policy = core::make_policy(spec);
-      cluster::ClusterOptions options;
-      options.machines = 4;
-      options.max_experiment_time = util::SimTime::hours(96);
-      options.seed = r;
-      if (mode > 0) options.decision_latency = prediction_cost;
-      options.overlap_decisions = mode != 2;
-      const auto result = cluster::run_cluster_experiment(trace, *policy, options);
-      const double minutes = result.reached_target ? result.time_to_target.to_minutes()
-                                                   : result.total_time.to_minutes();
-      (mode == 0 ? free_total : mode == 1 ? overlapped_total : blocking_total) += minutes;
-    }
-  }
+  const auto table = bench::run_bench_sweep(spec, bench_options);
+  const double repeats = static_cast<double>(table.axes[repeat_ax].values.size());
 
-  std::printf("  free predictions (idealized):   %8.1f min avg\n", free_total / kRepeats);
+  const auto total_of = [&](const std::string& mode) {
+    double minutes = 0.0;
+    for (const auto* row : table.where("mode", mode)) minutes += row->minutes_to_target();
+    return minutes;
+  };
+  const double free_total = total_of("free");
+  const double overlapped_total = total_of("overlapped");
+  const double blocking_total = total_of("blocking");
+
+  std::printf("  free predictions (idealized):   %8.1f min avg\n", free_total / repeats);
   std::printf("  overlapped predictions (§5.2):  %8.1f min avg (+%.1f%% vs free)\n",
-              overlapped_total / kRepeats,
+              overlapped_total / repeats,
               100.0 * (overlapped_total - free_total) / free_total);
   std::printf("  blocking predictions (naive):   %8.1f min avg (+%.1f%% vs free)\n",
-              blocking_total / kRepeats, 100.0 * (blocking_total - free_total) / free_total);
+              blocking_total / repeats, 100.0 * (blocking_total - free_total) / free_total);
   std::printf("\n  overlap saves %.1f%% of end-to-end time vs blocking "
               "(paper: gains outweigh the slowdown)\n",
               100.0 * (blocking_total - overlapped_total) / blocking_total);

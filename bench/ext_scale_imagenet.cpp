@@ -9,7 +9,8 @@
 
 using namespace hyperdrive;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto bench_options = bench::parse_bench_args(argc, argv);
   bench::print_header("Extension scale",
                       "ImageNet22k-scale exploration, 62 machine-partitions");
 
@@ -31,25 +32,38 @@ int main() {
                 best_days);
   }
 
+  core::SweepSpec spec;
+  spec.name = "ext_scale_imagenet";
+  const auto policy_ax = spec.add_policy_axis(bench::all_policies());
+  const auto repeat_ax = spec.add_repeat_axis(bench_options.repeats(3));
+  spec.trace = [&](const core::SweepCell& cell) {
+    return bench::reachable_trace(model, 64, 3100 + cell.at(repeat_ax) * 71);
+  };
+  spec.policy = [&](const core::SweepCell& cell) {
+    return core::make_policy(bench::policy_spec(
+        bench::all_policies()[cell.at(policy_ax)], cell.at(repeat_ax)));
+  };
+  spec.options = [&](const core::SweepCell&) {
+    core::RunnerOptions options;
+    options.substrate = core::Substrate::TraceReplay;
+    options.machines = 62;
+    options.max_experiment_time = util::SimTime::hours(24 * 365);
+    return options;
+  };
+
+  const auto table = bench::run_bench_sweep(spec, bench_options);
+  const double repeats = static_cast<double>(table.axes[repeat_ax].values.size());
+
   std::printf("%-10s %16s %18s\n", "policy", "time-to-35%(days)", "machine-days spent");
   for (const auto kind : bench::all_policies()) {
+    const std::string label(core::to_string(kind));
     double days_total = 0.0, machine_days_total = 0.0;
-    constexpr int kRepeats = 3;
-    for (std::uint64_t r = 0; r < kRepeats; ++r) {
-      const auto trace = bench::reachable_trace(model, 64, 3100 + r * 71);
-      core::RunnerOptions options;
-      options.substrate = core::Substrate::TraceReplay;
-      options.machines = 62;
-      options.max_experiment_time = util::SimTime::hours(24 * 365);
-      const auto result =
-          core::run_experiment(trace, bench::policy_spec(kind, r), options);
-      days_total += (result.reached_target ? result.time_to_target : result.total_time)
-                        .to_hours() /
-                    24.0;
-      machine_days_total += result.total_machine_time.to_hours() / 24.0;
+    for (const auto* row : table.where("policy", label)) {
+      days_total += row->hours_to_target() / 24.0;
+      machine_days_total += row->result.total_machine_time.to_hours() / 24.0;
     }
-    std::printf("%-10s %16.2f %18.1f\n", std::string(core::to_string(kind)).c_str(),
-                days_total / kRepeats, machine_days_total / kRepeats);
+    std::printf("%-10s %16.2f %18.1f\n", label.c_str(), days_total / repeats,
+                machine_days_total / repeats);
   }
   std::printf("\n(at multi-hour epochs the machine-days saved by early termination\n"
               " dwarf all scheduling overheads — the paper's core economic argument)\n");

@@ -30,15 +30,15 @@ struct ArmResult {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto bench_options = bench::parse_bench_args(argc, argv);
   bench::print_header("Extension: straggler mitigation",
                       "CIFAR POP sweep with fail-slow nodes, gray-failure layer off vs on");
 
   workload::CifarWorkloadModel model;
-  constexpr int kRepeats = 5;
   constexpr std::size_t kMachines = 8;
 
-  const Scenario scenarios[] = {
+  const std::vector<Scenario> scenarios = {
       {"fault-free"},
       {"1/8 nodes 2x slow", 1, 2.0},
       {"1/8 nodes 4x slow", 1, 4.0},
@@ -48,56 +48,73 @@ int main() {
       {"4/8 nodes 4x slow", 4, 4.0},
   };
 
-  const auto run_arm = [&](const Scenario& s, bool mitigate) {
-    ArmResult arm;
-    for (std::uint64_t r = 0; r < kRepeats; ++r) {
-      const auto trace = bench::suitable_trace(model, 100, 6200 + r * 31, kMachines * 2);
-      // A budget with little slack over the fault-free time-to-target: this
-      // is where slow-host-inflated epoch estimates turn into budget-driven
-      // wrong kills unless the POP horizon is speed-normalized.
-      const auto spec =
-          bench::policy_spec(core::PolicyKind::Pop, r, util::SimTime::hours(4));
-      const auto policy = core::make_policy(spec);
-
-      cluster::ClusterOptions options;
-      options.machines = kMachines;
-      options.max_experiment_time = util::SimTime::hours(96);
-      options.seed = r + 1;
-      options.fault_plan.seed = 2000 + r;
-      for (std::size_t m = 0; m < s.slow_nodes; ++m) {
-        cluster::NodeSlowdownEvent slow;
-        slow.machine = static_cast<cluster::MachineId>(m);
-        slow.factor = s.factor;
-        options.fault_plan.slowdowns.push_back(slow);
-      }
-      options.health.enabled = mitigate;
-
-      cluster::HyperDriveCluster cluster(trace, options);
-      const auto result = cluster.run(*policy);
-      arm.minutes += result.reached_target ? result.time_to_target.to_minutes()
-                                           : result.total_time.to_minutes();
-      if (result.reached_target) ++arm.reached;
-      arm.wrong_kills += result.recovery.wrong_kills;
-      arm.quarantined += result.recovery.nodes_quarantined;
-      arm.migrated += result.recovery.jobs_migrated;
+  core::SweepSpec spec;
+  spec.name = "ext_straggler";
+  std::vector<std::string> scenario_labels;
+  for (const auto& s : scenarios) scenario_labels.push_back(s.label);
+  const auto scenario_ax = spec.add_axis("scenario", scenario_labels);
+  const auto mitigate_ax = spec.add_axis("mitigate", {"off", "on"});
+  const auto repeat_ax = spec.add_repeat_axis(bench_options.repeats(5));
+  spec.trace = [&](const core::SweepCell& cell) {
+    return bench::suitable_trace(model, 100, 6200 + cell.at(repeat_ax) * 31, kMachines * 2);
+  };
+  spec.policy = [&](const core::SweepCell& cell) {
+    // A budget with little slack over the fault-free time-to-target: this
+    // is where slow-host-inflated epoch estimates turn into budget-driven
+    // wrong kills unless the POP horizon is speed-normalized.
+    return core::make_policy(bench::policy_spec(core::PolicyKind::Pop, cell.at(repeat_ax),
+                                                util::SimTime::hours(4)));
+  };
+  spec.options = [&](const core::SweepCell& cell) {
+    const Scenario& s = scenarios[cell.at(scenario_ax)];
+    const std::uint64_t r = cell.at(repeat_ax);
+    core::RunnerOptions options;
+    options.substrate = core::Substrate::Cluster;
+    options.machines = kMachines;
+    options.max_experiment_time = util::SimTime::hours(96);
+    options.seed = r + 1;
+    options.fault_plan.seed = 2000 + r;
+    for (std::size_t m = 0; m < s.slow_nodes; ++m) {
+      cluster::NodeSlowdownEvent slow;
+      slow.machine = static_cast<cluster::MachineId>(m);
+      slow.factor = s.factor;
+      options.fault_plan.slowdowns.push_back(slow);
     }
-    arm.minutes /= kRepeats;
+    options.health.enabled = cell.at(mitigate_ax) == 1;
+    return options;
+  };
+
+  const auto table = bench::run_bench_sweep(spec, bench_options);
+  const int repeats = static_cast<int>(table.axes[repeat_ax].values.size());
+
+  const auto arm_of = [&](const std::string& scenario, const std::string& mitigate) {
+    ArmResult arm;
+    for (const auto* row : table.where("scenario", scenario)) {
+      if (table.label(*row, "mitigate") != mitigate) continue;
+      arm.minutes += row->minutes_to_target();
+      if (row->result.reached_target) ++arm.reached;
+      arm.wrong_kills += row->result.recovery.wrong_kills;
+      arm.quarantined += row->result.recovery.nodes_quarantined;
+      arm.migrated += row->result.recovery.jobs_migrated;
+    }
+    arm.minutes /= repeats;
     return arm;
   };
 
   std::printf("  %-20s %12s %12s %11s %11s %7s %7s\n", "scenario", "ttt-off[min]",
               "ttt-on[min]", "wrongkill-off", "wrongkill-on", "quarant", "migrate");
   double free_minutes = 0.0;
-  for (const Scenario& s : scenarios) {
-    const ArmResult off = run_arm(s, false);
-    const ArmResult on = run_arm(s, true);
+  for (const auto& label : scenario_labels) {
+    const ArmResult off = arm_of(label, "off");
+    const ArmResult on = arm_of(label, "on");
     if (free_minutes == 0.0) free_minutes = off.minutes;
-    std::printf("  %-20s %12.1f %12.1f %13zu %12zu %7zu %7zu", s.label, off.minutes,
+    std::printf("  %-20s %12.1f %12.1f %13zu %12zu %7zu %7zu", label.c_str(), off.minutes,
                 on.minutes, off.wrong_kills, on.wrong_kills, on.quarantined,
                 on.migrated);
-    if (off.reached < kRepeats || on.reached < kRepeats) {
-      std::printf("  (off %zu/%d, on %zu/%d reached)", off.reached, kRepeats,
-                  on.reached, kRepeats);
+    if (off.reached < static_cast<std::size_t>(repeats) ||
+        on.reached < static_cast<std::size_t>(repeats)) {
+      std::printf("  (off %zu/%d, on %zu/%d reached)", off.reached, repeats,
+                  on.reached, repeats);
     }
     std::printf("\n");
   }

@@ -6,33 +6,49 @@
 
 using namespace hyperdrive;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto bench_options = bench::parse_bench_args(argc, argv);
   bench::print_header("Figure 6", "job execution duration CDF (CIFAR-10, 4 machines)");
 
   workload::CifarWorkloadModel model;
 
+  core::SweepSpec spec;
+  spec.name = "fig06_job_duration_cdf";
+  const auto policy_ax = spec.add_policy_axis(bench::evaluated_policies());
+  const auto repeat_ax = spec.add_repeat_axis(bench_options.repeats(5));
+  spec.trace = [&](const core::SweepCell& cell) {
+    return bench::reachable_trace(model, 100, 600 + cell.at(repeat_ax) * 13);
+  };
+  spec.policy = [&](const core::SweepCell& cell) {
+    return core::make_policy(bench::policy_spec(
+        bench::evaluated_policies()[cell.at(policy_ax)], cell.at(repeat_ax)));
+  };
+  spec.options = [&](const core::SweepCell& cell) {
+    core::RunnerOptions options;
+    options.machines = 4;
+    options.substrate = core::Substrate::Cluster;
+    options.seed = cell.at(repeat_ax);
+    options.max_experiment_time = util::SimTime::hours(48);
+    return options;
+  };
+
+  const auto table = bench::run_bench_sweep(spec, bench_options);
+
   for (const auto kind : bench::evaluated_policies()) {
-    // Aggregate across several experiment repetitions for a smooth CDF.
+    const std::string label(core::to_string(kind));
+    // Aggregate across the experiment repetitions for a smooth CDF. Jobs
+    // never scheduled before the experiment stopped count as zero execution
+    // time: Fig. 6 is a distribution over the whole set.
     std::vector<double> durations_min;
     double over30 = 0.0, total = 0.0;
-    for (std::uint64_t seed = 0; seed < 5; ++seed) {
-      const auto trace = bench::reachable_trace(model, 100, 600 + seed * 13);
-      core::RunnerOptions options;
-      options.machines = 4;
-      options.substrate = core::Substrate::Cluster;
-      options.seed = seed;
-      options.max_experiment_time = util::SimTime::hours(48);
-      const auto result =
-          core::run_experiment(trace, bench::policy_spec(kind, seed), options);
-      for (const auto& js : result.job_stats) {
-        // Jobs never scheduled before the experiment stopped count as zero
-        // execution time: Fig. 6 is a distribution over the whole set.
+    for (const auto* row : table.where("policy", label)) {
+      for (const auto& js : row->result.job_stats) {
         durations_min.push_back(js.execution_time.to_minutes());
         total += 1.0;
         if (js.execution_time >= util::SimTime::minutes(30)) over30 += 1.0;
       }
     }
-    bench::print_ecdf(std::string(core::to_string(kind)), durations_min, "min");
+    bench::print_ecdf(label, durations_min, "min");
     std::printf("             jobs running >= 30 min: %.1f%%\n",
                 total > 0 ? 100.0 * over30 / total : 0.0);
   }

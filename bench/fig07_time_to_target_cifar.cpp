@@ -6,40 +6,54 @@
 
 using namespace hyperdrive;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto bench_options = bench::parse_bench_args(argc, argv);
   bench::print_header("Figure 7", "time to 77% accuracy, CIFAR-10, 4 machines, 10 repeats");
 
   workload::CifarWorkloadModel model;
-  constexpr int kRepeats = 10;
+  const std::size_t repeats = bench_options.repeats(10);
 
   // One hyperparameter set (same random-search HG + seed, §6.1), repeated
-  // ten times with fresh training noise per repeat.
+  // with fresh training noise per repeat.
   const auto base = bench::suitable_trace(model, 100, 2202, /*machines=*/4);
 
-  std::vector<double> means;
+  core::SweepSpec spec;
+  spec.name = "fig07_time_to_target_cifar";
+  const auto policy_ax = spec.add_policy_axis(bench::all_policies());
+  const auto repeat_ax = spec.add_repeat_axis(repeats);
+  spec.trace = [&](const core::SweepCell& cell) {
+    return bench::renoise(model, base, 0xF167 ^ cell.at(repeat_ax));
+  };
+  spec.policy = [&](const core::SweepCell& cell) {
+    return core::make_policy(
+        bench::policy_spec(bench::all_policies()[cell.at(policy_ax)], cell.at(repeat_ax)));
+  };
+  spec.options = [&](const core::SweepCell& cell) {
+    core::RunnerOptions options;
+    options.machines = 4;
+    options.substrate = core::Substrate::Cluster;
+    options.overheads = cluster::cifar_overhead_model();
+    options.seed = cell.at(repeat_ax);
+    options.max_experiment_time = util::SimTime::hours(96);
+    return options;
+  };
+
+  const auto table = bench::run_bench_sweep(spec, bench_options);
+
   for (const auto kind : bench::all_policies()) {
-    std::vector<double> minutes;
-    for (std::uint64_t r = 0; r < kRepeats; ++r) {
-      const auto trace = bench::renoise(model, base, 0xF167 ^ r);
-      core::RunnerOptions options;
-      options.machines = 4;
-      options.substrate = core::Substrate::Cluster;
-      options.overheads = cluster::cifar_overhead_model();
-      options.seed = r;
-      options.max_experiment_time = util::SimTime::hours(96);
-      const auto result = core::run_experiment(trace, bench::policy_spec(kind, r), options);
-      if (result.reached_target) {
-        minutes.push_back(result.time_to_target.to_minutes());
-      } else {
-        minutes.push_back(result.total_time.to_minutes());  // censored at Tmax
-      }
-    }
-    bench::print_box(std::string(core::to_string(kind)), minutes, "min");
-    means.push_back(util::mean(minutes));
+    const std::string label(core::to_string(kind));
+    bench::print_box(label, table.minutes_where("policy", label), "min");
   }
 
+  // Speedups keyed by policy label (never by all_policies() position).
+  const auto mean_of = [&](core::PolicyKind kind) {
+    return util::mean(table.minutes_where("policy", std::string(core::to_string(kind))));
+  };
+  const double pop = mean_of(core::PolicyKind::Pop);
   std::printf("\nspeedups (mean): POP vs Bandit %.2fx (paper 1.6x), "
               "POP vs EarlyTerm %.2fx (paper 2.1x), POP vs Default %.2fx (paper up to 6.7x)\n",
-              means[1] / means[0], means[2] / means[0], means[3] / means[0]);
+              mean_of(core::PolicyKind::Bandit) / pop,
+              mean_of(core::PolicyKind::EarlyTerm) / pop,
+              mean_of(core::PolicyKind::Default) / pop);
   return 0;
 }

@@ -6,42 +6,58 @@
 
 using namespace hyperdrive;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto bench_options = bench::parse_bench_args(argc, argv);
   bench::print_header("Figure 9", "time to solved reward, LunarLander, 15 machines, 5 repeats");
 
   workload::LunarWorkloadModel model;
-  constexpr int kRepeats = 5;
 
   // One hyperparameter set, five repeats with fresh training noise (§6.1).
   const auto base = bench::suitable_trace(model, 100, 2000, /*machines=*/15);
 
-  std::vector<double> medians, variances;
+  core::SweepSpec spec;
+  spec.name = "fig09_time_to_target_lunar";
+  const auto policy_ax = spec.add_policy_axis(bench::evaluated_policies());
+  const auto repeat_ax = spec.add_repeat_axis(bench_options.repeats(5));
+  spec.trace = [&](const core::SweepCell& cell) {
+    return bench::renoise(model, base, 0xF169 ^ cell.at(repeat_ax));
+  };
+  spec.policy = [&](const core::SweepCell& cell) {
+    return core::make_policy(bench::policy_spec(
+        bench::evaluated_policies()[cell.at(policy_ax)], cell.at(repeat_ax)));
+  };
+  spec.options = [&](const core::SweepCell& cell) {
+    core::RunnerOptions options;
+    options.machines = 15;
+    options.substrate = core::Substrate::Cluster;
+    options.overheads = cluster::lunar_criu_overhead_model();
+    options.seed = cell.at(repeat_ax);
+    options.max_experiment_time = util::SimTime::hours(96);
+    return options;
+  };
+
+  const auto table = bench::run_bench_sweep(spec, bench_options);
+
+  // Keyed by policy label — never by evaluated_policies() position.
+  const auto minutes_of = [&](core::PolicyKind kind) {
+    return table.minutes_where("policy", std::string(core::to_string(kind)));
+  };
   for (const auto kind : bench::evaluated_policies()) {
-    std::vector<double> minutes;
-    for (std::uint64_t r = 0; r < kRepeats; ++r) {
-      const auto trace = bench::renoise(model, base, 0xF169 ^ r);
-      core::RunnerOptions options;
-      options.machines = 15;
-      options.substrate = core::Substrate::Cluster;
-      options.overheads = cluster::lunar_criu_overhead_model();
-      options.seed = r;
-      options.max_experiment_time = util::SimTime::hours(96);
-      const auto result = core::run_experiment(trace, bench::policy_spec(kind, r), options);
-      minutes.push_back(result.reached_target ? result.time_to_target.to_minutes()
-                                              : result.total_time.to_minutes());
-    }
-    bench::print_box(std::string(core::to_string(kind)), minutes, "min");
-    medians.push_back(util::median(minutes));
-    variances.push_back(util::variance(minutes));
+    bench::print_box(std::string(core::to_string(kind)), minutes_of(kind), "min");
   }
 
+  const auto pop = minutes_of(core::PolicyKind::Pop);
+  const auto bandit = minutes_of(core::PolicyKind::Bandit);
+  const auto earlyterm = minutes_of(core::PolicyKind::EarlyTerm);
   std::printf("\nmedian speedups: POP vs Bandit %.2fx (paper 2.07x), "
               "POP vs EarlyTerm %.2fx (paper 1.26x)\n",
-              medians[1] / medians[0], medians[2] / medians[0]);
-  if (variances[0] > 0.0) {
+              util::median(bandit) / util::median(pop),
+              util::median(earlyterm) / util::median(pop));
+  if (util::variance(pop) > 0.0) {
     std::printf("variance ratios: Bandit/POP %.1fx (paper 9.7x), EarlyTerm/POP %.1fx "
                 "(paper 3.5x)\n",
-                variances[1] / variances[0], variances[2] / variances[0]);
+                util::variance(bandit) / util::variance(pop),
+                util::variance(earlyterm) / util::variance(pop));
   }
   return 0;
 }

@@ -6,28 +6,42 @@
 
 using namespace hyperdrive;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto bench_options = bench::parse_bench_args(argc, argv);
   bench::print_header("Figure 10", "CRIU suspend latency & snapshot size CDFs (LunarLander)");
 
   workload::LunarWorkloadModel model;
-  std::vector<double> latencies_s, sizes_mb;
-  double training_minutes = 0.0;
 
-  for (std::uint64_t seed = 0; seed < 5; ++seed) {
-    const auto trace = bench::reachable_trace(model, 100, 1000 + seed * 29);
+  core::SweepSpec spec;
+  spec.name = "fig10_overhead_lunar";
+  const auto repeat_ax = spec.add_repeat_axis(bench_options.repeats(5));
+  spec.trace = [&](const core::SweepCell& cell) {
+    return bench::reachable_trace(model, 100, 1000 + cell.at(repeat_ax) * 29);
+  };
+  spec.policy = [&](const core::SweepCell& cell) {
+    return core::make_policy(
+        bench::policy_spec(core::PolicyKind::Pop, cell.at(repeat_ax)));
+  };
+  spec.options = [&](const core::SweepCell& cell) {
     core::RunnerOptions options;
     options.machines = 15;
     options.substrate = core::Substrate::Cluster;
     options.overheads = cluster::lunar_criu_overhead_model();
-    options.seed = seed;
+    options.seed = cell.at(repeat_ax);
     options.max_experiment_time = util::SimTime::hours(96);
-    const auto result = core::run_experiment(
-        trace, bench::policy_spec(core::PolicyKind::Pop, seed), options);
-    for (const auto& s : result.suspend_samples) {
+    return options;
+  };
+
+  const auto table = bench::run_bench_sweep(spec, bench_options);
+
+  std::vector<double> latencies_s, sizes_mb;
+  double training_minutes = 0.0;
+  for (const auto& row : table.rows) {
+    for (const auto& s : row.result.suspend_samples) {
       latencies_s.push_back(s.latency.to_seconds());
       sizes_mb.push_back(s.snapshot_bytes / 1e6);
     }
-    training_minutes += result.total_machine_time.to_minutes();
+    training_minutes += row.result.total_machine_time.to_minutes();
   }
 
   bench::print_ecdf("latency", latencies_s, "s");

@@ -9,39 +9,56 @@
 
 using namespace hyperdrive;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto bench_options = bench::parse_bench_args(argc, argv);
   bench::print_header("Figure 12a", "simulator vs 'live' cluster, LunarLander, 15 machines");
 
   workload::LunarWorkloadModel model;
-  std::printf("policy      live(min)  sim(min)  error%%\n");
-  double max_error = 0.0;
 
-  for (const auto kind : bench::evaluated_policies()) {
-    double live_total = 0.0, sim_total = 0.0;
-    for (std::uint64_t r = 0; r < 5; ++r) {
-      const auto trace = bench::reachable_trace(model, 100, 1100 + r * 31);
-      core::RunnerOptions options;
-      options.machines = 15;
-      options.max_experiment_time = util::SimTime::hours(96);
-      options.seed = r;
-
+  core::SweepSpec spec;
+  spec.name = "fig12a_sim_validation";
+  const auto policy_ax = spec.add_policy_axis(bench::evaluated_policies());
+  const auto substrate_ax = spec.add_axis("substrate", {"live", "sim"});
+  const auto repeat_ax = spec.add_repeat_axis(bench_options.repeats(5));
+  spec.trace = [&](const core::SweepCell& cell) {
+    return bench::reachable_trace(model, 100, 1100 + cell.at(repeat_ax) * 31);
+  };
+  spec.policy = [&](const core::SweepCell& cell) {
+    return core::make_policy(bench::policy_spec(
+        bench::evaluated_policies()[cell.at(policy_ax)], cell.at(repeat_ax)));
+  };
+  spec.options = [&](const core::SweepCell& cell) {
+    core::RunnerOptions options;
+    options.machines = 15;
+    options.max_experiment_time = util::SimTime::hours(96);
+    options.seed = cell.at(repeat_ax);
+    if (cell.at(substrate_ax) == 0) {
       options.substrate = core::Substrate::Cluster;
       options.overheads = cluster::lunar_criu_overhead_model();
-      const auto live = core::run_experiment(trace, bench::policy_spec(kind, r), options);
-
+    } else {
       options.substrate = core::Substrate::TraceReplay;
-      const auto sim = core::run_experiment(trace, bench::policy_spec(kind, r), options);
+    }
+    return options;
+  };
 
-      live_total += live.reached_target ? live.time_to_target.to_minutes()
-                                        : live.total_time.to_minutes();
-      sim_total += sim.reached_target ? sim.time_to_target.to_minutes()
-                                      : sim.total_time.to_minutes();
+  const auto table = bench::run_bench_sweep(spec, bench_options);
+  const std::size_t repeats = table.axes[repeat_ax].values.size();
+
+  std::printf("policy      live(min)  sim(min)  error%%\n");
+  double max_error = 0.0;
+  for (const auto kind : bench::evaluated_policies()) {
+    const std::string label(core::to_string(kind));
+    double live_total = 0.0, sim_total = 0.0;
+    for (const auto* row : table.where("policy", label)) {
+      const bool live = table.label(*row, "substrate") == "live";
+      (live ? live_total : sim_total) += row->minutes_to_target();
     }
     const double error =
         live_total > 0.0 ? 100.0 * std::fabs(sim_total - live_total) / live_total : 0.0;
     max_error = std::max(max_error, error);
-    std::printf("%-10s  %9.1f  %8.1f  %6.2f\n", std::string(core::to_string(kind)).c_str(),
-                live_total / 5.0, sim_total / 5.0, error);
+    std::printf("%-10s  %9.1f  %8.1f  %6.2f\n", label.c_str(),
+                live_total / static_cast<double>(repeats),
+                sim_total / static_cast<double>(repeats), error);
   }
   std::printf("\nmax simulation error: %.2f%% (paper: 13%%)\n", max_error);
   return 0;

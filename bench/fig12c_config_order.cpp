@@ -6,7 +6,8 @@
 
 using namespace hyperdrive;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto bench_options = bench::parse_bench_args(argc, argv);
   bench::print_header("Figure 12c", "time-to-target CDF over 25 random config orders");
 
   workload::CifarWorkloadModel model;
@@ -18,20 +19,34 @@ int main() {
   orders.push_back(base_trace);
   for (int i = 1; i < 25; ++i) orders.push_back(base_trace.shuffled(order_rng));
 
+  core::SweepSpec spec;
+  spec.name = "fig12c_config_order";
+  const auto policy_ax = spec.add_policy_axis(bench::all_policies());
+  std::vector<std::string> order_labels;
+  for (std::size_t i = 0; i < orders.size(); ++i) order_labels.push_back(std::to_string(i));
+  const auto order_ax = spec.add_axis("order", order_labels);
+  spec.trace = [&](const core::SweepCell& cell) { return orders[cell.at(order_ax)]; };
+  spec.policy = [&](const core::SweepCell& cell) {
+    return core::make_policy(bench::policy_spec(
+        bench::all_policies()[cell.at(policy_ax)], cell.at(order_ax)));
+  };
+  spec.options = [&](const core::SweepCell&) {
+    core::RunnerOptions options;
+    options.substrate = core::Substrate::TraceReplay;
+    options.machines = 5;
+    options.max_experiment_time = util::SimTime::hours(200);
+    return options;
+  };
+
+  const auto table = bench::run_bench_sweep(spec, bench_options);
+
   std::printf("policy      spread(h)\n");
   for (const auto kind : bench::all_policies()) {
-    std::vector<double> hours;
-    for (std::size_t i = 0; i < orders.size(); ++i) {
-      core::RunnerOptions options;
-      options.substrate = core::Substrate::TraceReplay;
-      options.machines = 5;
-      options.max_experiment_time = util::SimTime::hours(200);
-      const auto result =
-          core::run_experiment(orders[i], bench::policy_spec(kind, i), options);
-      hours.push_back(result.reached_target ? result.time_to_target.to_hours()
-                                            : result.total_time.to_hours());
-    }
-    bench::print_ecdf(std::string(core::to_string(kind)), hours, "h");
+    const std::string label(core::to_string(kind));
+    const auto hours = core::SweepTable::collect(
+        table.where("policy", label),
+        [](const core::SweepRow& row) { return row.hours_to_target(); });
+    bench::print_ecdf(label, hours, "h");
     std::printf("             max-min spread: %.2f h\n",
                 util::max_of(hours) - util::min_of(hours));
   }

@@ -6,34 +6,49 @@
 
 using namespace hyperdrive;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto bench_options = bench::parse_bench_args(argc, argv);
   bench::print_header("Table §6.2.3", "CIFAR-10 suspend/resume overhead under POP");
 
   workload::CifarWorkloadModel model;
-  std::vector<double> latencies_ms, sizes_kb;
-  double with_overhead_min = 0.0, without_overhead_min = 0.0;
 
-  for (std::uint64_t seed = 0; seed < 10; ++seed) {
-    const auto trace = bench::reachable_trace(model, 100, 800 + seed * 19);
+  core::SweepSpec spec;
+  spec.name = "tab_overhead_cifar";
+  // "real" runs the default overhead model; "zero" the same experiments with
+  // free suspends, to quantify the end-to-end cost.
+  const auto overheads_ax = spec.add_axis("overheads", {"real", "zero"});
+  const auto repeat_ax = spec.add_repeat_axis(bench_options.repeats(10));
+  spec.trace = [&](const core::SweepCell& cell) {
+    return bench::reachable_trace(model, 100, 800 + cell.at(repeat_ax) * 19);
+  };
+  spec.policy = [&](const core::SweepCell& cell) {
+    return core::make_policy(
+        bench::policy_spec(core::PolicyKind::Pop, cell.at(repeat_ax)));
+  };
+  spec.options = [&](const core::SweepCell& cell) {
     core::RunnerOptions options;
     options.machines = 4;
     options.substrate = core::Substrate::Cluster;
-    options.seed = seed;
+    options.seed = cell.at(repeat_ax);
     options.max_experiment_time = util::SimTime::hours(96);
+    if (cell.at(overheads_ax) == 1) options.overheads = cluster::zero_overhead_model();
+    return options;
+  };
 
-    const auto result = core::run_experiment(
-        trace, bench::policy_spec(core::PolicyKind::Pop, seed), options);
-    for (const auto& s : result.suspend_samples) {
-      latencies_ms.push_back(s.latency.to_milliseconds());
-      sizes_kb.push_back(s.snapshot_bytes / 1e3);
+  const auto table = bench::run_bench_sweep(spec, bench_options);
+
+  std::vector<double> latencies_ms, sizes_kb;
+  double with_overhead_min = 0.0, without_overhead_min = 0.0;
+  for (const auto& row : table.rows) {
+    if (table.label(row, "overheads") == "real") {
+      for (const auto& s : row.result.suspend_samples) {
+        latencies_ms.push_back(s.latency.to_milliseconds());
+        sizes_kb.push_back(s.snapshot_bytes / 1e3);
+      }
+      with_overhead_min += row.result.time_to_target.to_minutes();
+    } else {
+      without_overhead_min += row.result.time_to_target.to_minutes();
     }
-    with_overhead_min += result.time_to_target.to_minutes();
-
-    // Same experiment with free suspends, to quantify the end-to-end cost.
-    options.overheads = cluster::zero_overhead_model();
-    const auto ideal = core::run_experiment(
-        trace, bench::policy_spec(core::PolicyKind::Pop, seed), options);
-    without_overhead_min += ideal.time_to_target.to_minutes();
   }
 
   if (latencies_ms.empty()) {

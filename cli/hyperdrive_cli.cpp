@@ -14,6 +14,7 @@
 
 #include "core/experiment_runner.hpp"
 #include "core/policies/barrier_policy.hpp"
+#include "core/sweep_engine.hpp"
 #include "core/policies/hyperband_policy.hpp"
 #include "util/stats.hpp"
 #include "workload/cifar_model.hpp"
@@ -33,6 +34,11 @@ struct CliOptions {
   std::size_t machines = 4;
   std::size_t configs = 100;
   std::size_t repeats = 1;
+  /// Sweep worker threads; 0 = all hardware cores. Repeats are independent
+  /// cells, so they fan out without changing any reported number.
+  std::size_t jobs = 0;
+  /// When set, write the SweepTable CSV (EXPERIMENTS.md "Sweep CSV schema").
+  std::string csv;
   std::uint64_t seed = 1;
   double tmax_hours = 48.0;
   bool stop_on_target = true;
@@ -55,6 +61,9 @@ void print_usage() {
       "  --machines N                              [4]\n"
       "  --configs N                               [100]\n"
       "  --repeats N   (fresh training noise each) [1]\n"
+      "  --jobs N      (parallel sweep workers, 0 = all cores; results\n"
+      "                 are identical for any N)           [0]\n"
+      "  --csv FILE    (write the per-repeat sweep table as CSV)\n"
       "  --seed S                                  [1]\n"
       "  --tmax-hours H                            [48]\n"
       "  --run-all     (don't stop at the target)\n"
@@ -104,6 +113,10 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.configs = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--repeats") {
       options.repeats = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--jobs") {
+      options.jobs = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--csv") {
+      options.csv = next();
     } else if (arg == "--seed") {
       options.seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--tmax-hours") {
@@ -259,35 +272,50 @@ int main(int argc, char** argv) {
                 base.target_performance);
   }
 
-  std::vector<double> times_min;
-  for (std::uint64_t r = 0; r < options.repeats; ++r) {
+  // Every repeat is an independent sweep cell (fresh noise, fresh policy),
+  // executed by the SweepEngine — in parallel under --jobs, with results
+  // identical to the serial run (DESIGN.md §8).
+  core::SweepSpec spec;
+  spec.name = "hyperdrive_cli";
+  spec.base_seed = options.seed;
+  const auto repeat_ax = spec.add_repeat_axis(options.repeats);
+  spec.trace = [&](const core::SweepCell& cell) {
+    const std::uint64_t r = cell.at(repeat_ax);
     workload::Trace trace = base;
     if (r > 0) {
       for (auto& job : trace.jobs) job.curve = model->realize(job.config, options.seed ^ r);
     }
-    const auto policy = make_cli_policy(options, r);
+    return trace;
+  };
+  spec.policy = [&](const core::SweepCell& cell) {
+    return make_cli_policy(options, cell.at(repeat_ax));
+  };
+  spec.options = [&](const core::SweepCell& cell) {
+    core::RunnerOptions ropts;
+    ropts.substrate = options.substrate == "cluster" ? core::Substrate::Cluster
+                                                     : core::Substrate::TraceReplay;
+    ropts.machines = options.machines;
+    ropts.max_experiment_time = util::SimTime::hours(options.tmax_hours);
+    ropts.stop_on_target = options.stop_on_target;
+    ropts.seed = options.seed ^ cell.at(repeat_ax);
+    ropts.overheads = options.workload == "lunarlander"
+                          ? cluster::lunar_criu_overhead_model()
+                          : cluster::cifar_overhead_model();
+    ropts.fault_plan = options.fault_plan;
+    ropts.health.enabled = options.health;
+    return ropts;
+  };
 
-    core::ExperimentResult result;
-    if (options.substrate == "cluster") {
-      cluster::ClusterOptions copts;
-      copts.machines = options.machines;
-      copts.max_experiment_time = util::SimTime::hours(options.tmax_hours);
-      copts.stop_on_target = options.stop_on_target;
-      copts.seed = options.seed ^ r;
-      copts.overheads = options.workload == "lunarlander"
-                            ? cluster::lunar_criu_overhead_model()
-                            : cluster::cifar_overhead_model();
-      copts.fault_plan = options.fault_plan;
-      copts.health.enabled = options.health;
-      result = cluster::run_cluster_experiment(trace, *policy, copts);
-    } else {
-      sim::ReplayOptions ropts;
-      ropts.machines = options.machines;
-      ropts.max_experiment_time = util::SimTime::hours(options.tmax_hours);
-      ropts.stop_on_target = options.stop_on_target;
-      result = sim::replay_experiment(trace, *policy, ropts);
-    }
+  const auto table = core::run_sweep(spec, options.jobs);
+  if (!options.csv.empty()) {
+    table.save_csv_file(options.csv);
+    std::printf("sweep table written to %s\n", options.csv.c_str());
+  }
 
+  std::vector<double> times_min;
+  for (const auto& row : table.rows) {
+    const std::uint64_t r = row.cell.at(repeat_ax);
+    const auto& result = row.result;
     if (result.reached_target) times_min.push_back(result.time_to_target.to_minutes());
     std::printf("repeat %llu: %s%s, best=%.3f, started=%zu terminated=%zu suspended=%zu, "
                 "machine-time=%s\n",

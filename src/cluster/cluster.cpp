@@ -908,6 +908,7 @@ core::ExperimentResult HyperDriveCluster::run(core::SchedulingPolicy& policy) {
     result_.total_machine_time += job.execution_time;
     result_.job_stats.push_back(stats);
   }
+  result_.retransmissions = bus_.stats().retransmissions;
   policy_ = nullptr;
   return result_;
 }

@@ -93,6 +93,11 @@ struct ExperimentResult {
   std::vector<SuspendSample> suspend_samples;
   /// Fault-recovery accounting (all zero when no faults were injected).
   RecoveryStats recovery;
+  /// Message-level recovery summary copied from the cluster RPC fabric
+  /// (zero under TraceReplay; full detail in
+  /// HyperDriveCluster::message_stats()). Carried here so sweep cells do not
+  /// need to keep the cluster object alive past the run.
+  std::uint64_t retransmissions = 0;
 };
 
 }  // namespace hyperdrive::core

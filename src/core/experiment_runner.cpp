@@ -43,21 +43,32 @@ std::shared_ptr<const curve::CurvePredictor> make_default_predictor(std::uint64_
 ExperimentResult run_experiment(const workload::Trace& trace, const PolicySpec& spec,
                                 const RunnerOptions& options) {
   const auto policy = make_policy(spec);
+  return run_experiment(trace, *policy, options);
+}
+
+ExperimentResult run_experiment(const workload::Trace& trace, SchedulingPolicy& policy,
+                                const RunnerOptions& options) {
   if (options.substrate == Substrate::TraceReplay) {
     sim::ReplayOptions replay;
     replay.machines = options.machines;
     replay.max_experiment_time = options.max_experiment_time;
     replay.stop_on_target = options.stop_on_target;
-    return sim::replay_experiment(trace, *policy, replay);
+    replay.stop_criterion = options.stop_criterion;
+    return sim::replay_experiment(trace, policy, replay);
   }
   cluster::ClusterOptions copts;
   copts.machines = options.machines;
   copts.max_experiment_time = options.max_experiment_time;
   copts.stop_on_target = options.stop_on_target;
+  copts.stop_criterion = options.stop_criterion;
   copts.seed = options.seed;
   copts.epoch_jitter_sigma = options.epoch_jitter_sigma;
   copts.overheads = options.overheads;
-  return cluster::run_cluster_experiment(trace, *policy, copts);
+  copts.fault_plan = options.fault_plan;
+  copts.health = options.health;
+  copts.decision_latency = options.decision_latency;
+  copts.overlap_decisions = options.overlap_decisions;
+  return cluster::run_cluster_experiment(trace, policy, copts);
 }
 
 AdaptiveSearchResult run_adaptive_search(const workload::WorkloadModel& model,

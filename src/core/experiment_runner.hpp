@@ -55,15 +55,35 @@ struct RunnerOptions {
   std::size_t machines = 4;
   util::SimTime max_experiment_time = util::SimTime::hours(48);
   bool stop_on_target = true;
+  /// Model-owner-defined global termination criterion (§9); when set it
+  /// replaces the perf >= target check (stop_on_target still gates it).
+  GlobalStopCriterion stop_criterion;
   /// Cluster-only fidelity knobs (ignored for TraceReplay).
   cluster::OverheadModel overheads = cluster::cifar_overhead_model();
   double epoch_jitter_sigma = 0.04;
   std::uint64_t seed = 1;
+  /// Faults to inject (cluster only; default none — a perfect cluster).
+  cluster::FaultPlan fault_plan;
+  /// Gray-failure detection & mitigation (cluster only; DESIGN.md §7).
+  cluster::HealthOptions health;
+  /// Optional cost of computing a scheduling decision at evaluation
+  /// boundaries (cluster only; §5.2).
+  std::function<util::SimTime(JobId, std::size_t epoch, util::Rng&)> decision_latency;
+  /// §5.2 overlap of training and prediction (cluster only; the blocking
+  /// ablation sets this false).
+  bool overlap_decisions = true;
 };
 
 /// Run one experiment of `spec` over `trace`.
 [[nodiscard]] ExperimentResult run_experiment(const workload::Trace& trace,
                                               const PolicySpec& spec,
+                                              const RunnerOptions& options);
+
+/// Same, driving an already-built policy instance (what the SweepEngine and
+/// the custom-policy benches use — policies are stateful, so the instance
+/// must be fresh per experiment).
+[[nodiscard]] ExperimentResult run_experiment(const workload::Trace& trace,
+                                              SchedulingPolicy& policy,
                                               const RunnerOptions& options);
 
 /// Build a trace by drawing `num_configs` jobs from a Hyperparameter

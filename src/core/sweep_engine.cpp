@@ -1,0 +1,75 @@
+#include "core/sweep_engine.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "util/thread_pool.hpp"
+
+namespace hyperdrive::core {
+
+namespace {
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  const auto hw = static_cast<std::size_t>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+SweepEngine::SweepEngine(SweepEngineOptions options)
+    : threads_(resolve_threads(options.threads)) {}
+
+SweepTable SweepEngine::run(const SweepSpec& spec) const {
+  if (spec.axes.empty()) throw std::invalid_argument("SweepSpec has no axes");
+  if (!spec.trace) throw std::invalid_argument("SweepSpec.trace is not set");
+  if (!spec.policy) throw std::invalid_argument("SweepSpec.policy is not set");
+
+  SweepTable table;
+  table.name = spec.name;
+  table.axes = spec.axes;
+  table.extra_columns = spec.extra_columns;
+  table.threads = threads_;
+  table.rows.resize(spec.cells());
+
+  // Each worker computes one cell from scratch — trace, policy, predictor
+  // are all cell-local, and the result lands in the cell's pre-allocated
+  // slot. No cross-cell state means completion order cannot leak into the
+  // table.
+  const auto run_cell = [&](std::size_t i) {
+    SweepRow row;
+    row.cell = spec.cell(i);
+    const auto trace = spec.trace(row.cell);
+    const auto policy = spec.policy(row.cell);
+    if (!policy) throw std::runtime_error("SweepSpec.policy returned null");
+    const RunnerOptions options = spec.options ? spec.options(row.cell) : RunnerOptions{};
+    row.result = run_experiment(trace, *policy, options);
+    if (spec.collect) {
+      row.extra = spec.collect(row.cell, *policy, row.result);
+      if (row.extra.size() != spec.extra_columns.size()) {
+        throw std::runtime_error("SweepSpec.collect returned " +
+                                 std::to_string(row.extra.size()) + " values for " +
+                                 std::to_string(spec.extra_columns.size()) +
+                                 " extra_columns");
+      }
+    }
+    table.rows[i] = std::move(row);
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  if (threads_ <= 1 || table.rows.size() <= 1) {
+    for (std::size_t i = 0; i < table.rows.size(); ++i) run_cell(i);
+  } else {
+    util::parallel_for(table.rows.size(), threads_, run_cell);
+  }
+  table.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return table;
+}
+
+SweepTable run_sweep(const SweepSpec& spec, std::size_t threads) {
+  return SweepEngine(SweepEngineOptions{threads}).run(spec);
+}
+
+}  // namespace hyperdrive::core

@@ -1,0 +1,105 @@
+// SweepSpec — a declarative description of an experiment sweep: the cross
+// product of named axes (policy, repeat/seed, machine count, trace variant,
+// fault scenario, ...) where every cell runs one experiment. The paper's
+// whole evaluation is such a grid (Figs. 6–12, the §6.2.3 table, the §8/§9
+// extensions); production HPO middleware (Tune, ExpoCloud — PAPERS.md)
+// treats this orchestration as a first-class layer, and so does this repo:
+// a SweepSpec is executed by the SweepEngine (sweep_engine.hpp), which fans
+// independent cells out on a thread pool and returns a typed SweepTable.
+//
+// Determinism contract (DESIGN.md §8): every per-cell callback must be a
+// pure function of the SweepCell it receives (axis indices + derived seed).
+// Cells share nothing mutable, so a parallel sweep is byte-identical to a
+// serial one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment_runner.hpp"
+#include "workload/trace.hpp"
+
+namespace hyperdrive::core {
+
+/// One named axis of the sweep grid; `values` are the human-readable labels
+/// that key the SweepTable (and its CSV column of the same name).
+struct SweepAxis {
+  std::string name;
+  std::vector<std::string> values;
+
+  [[nodiscard]] std::size_t size() const noexcept { return values.size(); }
+};
+
+/// One cell of the grid: its linear enumeration index (row-major, first axis
+/// slowest), the per-axis value indices, and the derived cell seed.
+struct SweepCell {
+  std::size_t linear = 0;
+  std::vector<std::size_t> index;
+  /// Derived via derive_cell_seed (DESIGN.md §8) — statistically
+  /// independent per cell, stable under sweep extension along later axes.
+  std::uint64_t seed = 0;
+
+  /// Value index of axis `axis` (as returned by SweepSpec::add_axis).
+  [[nodiscard]] std::size_t at(std::size_t axis) const { return index.at(axis); }
+};
+
+/// Deterministic cell-seed derivation rule (DESIGN.md §8): fold each axis
+/// value index into the base seed with util::derive_seed, mixing in the axis
+/// ordinal so (i, j) and (j, i) land on different streams.
+[[nodiscard]] std::uint64_t derive_cell_seed(std::uint64_t base_seed,
+                                             const std::vector<std::size_t>& index);
+
+class SweepSpec {
+ public:
+  /// Name stamped on the table (and printed by bench reports).
+  std::string name = "sweep";
+  /// Root of the per-cell seed derivation.
+  std::uint64_t base_seed = 1;
+  std::vector<SweepAxis> axes;
+
+  /// Build the ground-truth trace for a cell. Required. Must be a pure
+  /// function of the cell (e.g. renoise(base, cell-derived seed)).
+  std::function<workload::Trace(const SweepCell&)> trace;
+  /// Build a fresh policy instance for a cell. Required (policies are
+  /// stateful — never share one across cells).
+  std::function<std::unique_ptr<SchedulingPolicy>(const SweepCell&)> policy;
+  /// Runner options for a cell; defaults to RunnerOptions{} when unset.
+  std::function<RunnerOptions(const SweepCell&)> options;
+
+  /// Optional per-cell metrics beyond ExperimentResult (e.g. a policy's
+  /// prediction count): `collect` runs in the worker right after the cell's
+  /// experiment, and its values land in the row's `extra` (one per
+  /// `extra_columns` entry, same order).
+  std::vector<std::string> extra_columns;
+  std::function<std::vector<double>(const SweepCell&, const SchedulingPolicy&,
+                                    const ExperimentResult&)>
+      collect;
+
+  /// Append an axis; returns its index for SweepCell::at.
+  std::size_t add_axis(std::string axis_name, std::vector<std::string> values);
+  /// Axis "repeat" with values "0".."repeats-1" (the §6.1 fresh-noise axis).
+  std::size_t add_repeat_axis(std::size_t repeats);
+  /// Axis "policy" labelled via to_string(kind).
+  std::size_t add_policy_axis(const std::vector<PolicyKind>& kinds);
+
+  /// Index of a named axis; throws std::out_of_range if absent.
+  [[nodiscard]] std::size_t axis(const std::string& axis_name) const;
+  /// Total number of cells (product of axis sizes; 0 when any axis is empty).
+  [[nodiscard]] std::size_t cells() const noexcept;
+  /// Decode a linear index into a cell (row-major, first axis slowest) and
+  /// derive its seed.
+  [[nodiscard]] SweepCell cell(std::size_t linear) const;
+  /// The label of `cell`'s value on axis `axis`.
+  [[nodiscard]] const std::string& label(const SweepCell& cell, std::size_t axis) const;
+};
+
+/// The standard PolicySpec for one of the four evaluated policies with the
+/// fast LSQ predictor — the configuration every figure bench uses (the
+/// full-MCMC predictor is measured separately by tab_mcmc_samples).
+[[nodiscard]] PolicySpec standard_policy_spec(
+    PolicyKind kind, std::uint64_t seed, util::SimTime tmax = util::SimTime::hours(48));
+
+}  // namespace hyperdrive::core

@@ -1,0 +1,71 @@
+// SweepTable — the typed result of executing a SweepSpec: one row per cell
+// (in cell-enumeration order, independent of which worker finished first),
+// each carrying the full ExperimentResult plus any spec-collected extras.
+// Provides the label-keyed selection the figure benches aggregate with
+// (select by axis value, never by positional index — see ISSUE 3 on the
+// fig07 means[1]/means[0] bug) and a stable CSV export (schema documented in
+// EXPERIMENTS.md "Sweep CSV schema").
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/experiment_result.hpp"
+#include "core/sweep_spec.hpp"
+
+namespace hyperdrive::core {
+
+struct SweepRow {
+  SweepCell cell;
+  ExperimentResult result;
+  /// Values of SweepTable::extra_columns, collected in the worker.
+  std::vector<double> extra;
+
+  /// Time-to-target in minutes, censored at the experiment end when the
+  /// target was never reached — the quantity Figs. 7/9/12 plot.
+  [[nodiscard]] double minutes_to_target() const;
+  [[nodiscard]] double hours_to_target() const { return minutes_to_target() / 60.0; }
+};
+
+class SweepTable {
+ public:
+  std::string name;
+  std::vector<SweepAxis> axes;
+  std::vector<std::string> extra_columns;
+  /// One row per cell, in cell-enumeration order.
+  std::vector<SweepRow> rows;
+  /// Execution accounting (not part of the CSV: timings are not
+  /// deterministic, the table contents are).
+  std::size_t threads = 1;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] std::size_t axis(const std::string& axis_name) const;
+  [[nodiscard]] const std::string& label(const SweepRow& row, std::size_t axis) const;
+  [[nodiscard]] const std::string& label(const SweepRow& row,
+                                         const std::string& axis_name) const;
+
+  /// Rows whose `axis_name` value equals `value` (label-keyed selection).
+  [[nodiscard]] std::vector<const SweepRow*> where(const std::string& axis_name,
+                                                   const std::string& value) const;
+  /// Apply `metric` over a selection.
+  [[nodiscard]] static std::vector<double> collect(
+      const std::vector<const SweepRow*>& selection,
+      const std::function<double(const SweepRow&)>& metric);
+  /// Censored minutes-to-target of every row matching the axis value.
+  [[nodiscard]] std::vector<double> minutes_where(const std::string& axis_name,
+                                                  const std::string& value) const;
+  /// Index of an extra column; throws std::out_of_range if absent.
+  [[nodiscard]] std::size_t extra_column(const std::string& column) const;
+
+  /// Write the table as CSV (EXPERIMENTS.md "Sweep CSV schema"). The output
+  /// is byte-deterministic: same spec + seeds => same bytes, regardless of
+  /// the thread count that produced the table.
+  void save_csv(std::ostream& out) const;
+  [[nodiscard]] std::string to_csv() const;
+  /// save_csv to `path`; throws std::runtime_error if unwritable.
+  void save_csv_file(const std::string& path) const;
+};
+
+}  // namespace hyperdrive::core

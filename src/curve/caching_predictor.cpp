@@ -39,22 +39,46 @@ CurvePrediction CachingPredictor::predict(std::span<const double> history,
   key = hash_doubles(key, future_epochs);
   key = hash_doubles(key, std::span<const double>(&horizon, 1));
 
-  const auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second);  // promote to front
-    return it->second->prediction;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);  // promote to front
+      return it->second->prediction;
+    }
+    ++misses_;
   }
 
-  ++misses_;
+  // Compute outside the lock: concurrent misses on different keys must not
+  // serialize on the inner LSQ/MCMC work (inner predictors are stateless).
   auto prediction = inner_->predict(history, future_epochs, horizon);
-  lru_.push_front(Entry{key, prediction});
-  cache_[key] = lru_.begin();
-  if (cache_.size() > capacity_) {
-    cache_.erase(lru_.back().key);
-    lru_.pop_back();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cache_.find(key) == cache_.end()) {  // another thread may have raced us
+    lru_.push_front(Entry{key, prediction});
+    cache_[key] = lru_.begin();
+    if (cache_.size() > capacity_) {
+      cache_.erase(lru_.back().key);
+      lru_.pop_back();
+    }
   }
   return prediction;
+}
+
+std::size_t CachingPredictor::hits() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t CachingPredictor::misses() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t CachingPredictor::size() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
 }
 
 std::shared_ptr<const CurvePredictor> with_cache(

@@ -7,11 +7,17 @@
 // active job's boundary — memoizing the posterior avoids redundant MCMC/LSQ
 // work. Predictors are deterministic per (config, history), so caching is
 // semantics-preserving.
+//
+// Thread safety: a single instance may be shared across threads (e.g. sweep
+// cells hammering one predictor). The LRU state and hit/miss counters are
+// guarded by an internal mutex; the inner predictor runs outside the lock,
+// so concurrent misses do not serialize on the expensive LSQ/MCMC work.
 #pragma once
 
 #include <cstddef>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "curve/predictor.hpp"
@@ -29,9 +35,9 @@ class CachingPredictor final : public CurvePredictor {
                                         std::span<const double> future_epochs,
                                         double horizon) const override;
 
-  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
-  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
-  [[nodiscard]] std::size_t size() const noexcept { return cache_.size(); }
+  [[nodiscard]] std::size_t hits() const noexcept;
+  [[nodiscard]] std::size_t misses() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept;
 
  private:
   struct Entry {
@@ -41,7 +47,9 @@ class CachingPredictor final : public CurvePredictor {
 
   std::shared_ptr<const CurvePredictor> inner_;
   std::size_t capacity_;
-  // LRU: most-recent at the front; map points into the list.
+  // LRU: most-recent at the front; map points into the list. All four
+  // members below are guarded by mutex_ (predict() is const but mutates).
+  mutable std::mutex mutex_;
   mutable std::list<Entry> lru_;
   mutable std::unordered_map<std::uint64_t, std::list<Entry>::iterator> cache_;
   mutable std::size_t hits_ = 0;

@@ -1,0 +1,45 @@
+#include "workload/trace_tools.hpp"
+
+#include <algorithm>
+
+namespace hyperdrive::workload {
+
+Trace reachable_trace(const WorkloadModel& model, std::size_t configs,
+                      std::uint64_t seed) {
+  auto trace = generate_trace(model, configs, seed);
+  while (!trace.target_reachable()) {
+    trace = generate_trace(model, configs, ++seed);
+  }
+  return trace;
+}
+
+std::size_t first_winner_index(const Trace& trace) {
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    if (trace.jobs[i].curve.first_epoch_reaching(trace.target_performance) != 0) return i;
+  }
+  return trace.jobs.size();
+}
+
+Trace suitable_trace(const WorkloadModel& model, std::size_t configs, std::uint64_t seed,
+                     std::size_t machines) {
+  for (;; ++seed) {
+    auto trace = generate_trace(model, configs, seed);
+    if (!trace.target_reachable()) continue;
+    if (first_winner_index(trace) < machines) continue;
+    double best = 0.0;
+    for (const auto& job : trace.jobs) best = std::max(best, job.curve.best_perf());
+    if (best < trace.target_performance + 0.01) continue;
+    return trace;
+  }
+}
+
+Trace renoise(const WorkloadModel& model, const Trace& base,
+              std::uint64_t experiment_seed) {
+  Trace out = base;
+  for (auto& job : out.jobs) {
+    job.curve = model.realize(job.config, experiment_seed);
+  }
+  return out;
+}
+
+}  // namespace hyperdrive::workload

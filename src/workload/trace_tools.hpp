@@ -1,0 +1,39 @@
+// Trace-selection and re-realization helpers shared by the evaluation
+// harness (benches, CLI, tools). The paper's experiments draw one
+// hyperparameter set and reuse it across repeats with fresh training noise
+// (§6.1 Non-Determinism); these helpers encode the trace-suitability rules
+// the figures rely on. Library code — previously duplicated header-only in
+// bench/bench_common.hpp and tools/.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/trace.hpp"
+#include "workload/workload_model.hpp"
+
+namespace hyperdrive::workload {
+
+/// Generate a trace and re-seed until the target is reachable (the paper's
+/// experiments always contain at least one satisfying configuration).
+[[nodiscard]] Trace reachable_trace(const WorkloadModel& model, std::size_t configs,
+                                    std::uint64_t seed);
+
+/// Position (0-based) of the first job whose curve reaches the target, or
+/// the job count if none does.
+[[nodiscard]] std::size_t first_winner_index(const Trace& trace);
+
+/// A trace suitable for time-to-target studies: the target is reachable with
+/// some margin (so per-repeat noise cannot erase it) and no winner sits in
+/// the very first scheduling wave (which would make every policy trivially
+/// tie). Mirrors §6.1: one hyperparameter set is drawn once and reused.
+[[nodiscard]] Trace suitable_trace(const WorkloadModel& model, std::size_t configs,
+                                   std::uint64_t seed, std::size_t machines);
+
+/// The paper repeats each experiment with the same hyperparameter set and
+/// fresh training noise (§6.1 Non-Determinism). This re-realizes every job's
+/// curve under a new experiment seed while keeping the configurations (and
+/// hence their intrinsic quality and epoch durations) fixed.
+[[nodiscard]] Trace renoise(const WorkloadModel& model, const Trace& base,
+                            std::uint64_t experiment_seed);
+
+}  // namespace hyperdrive::workload

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 
 namespace hyperdrive::curve {
 namespace {
@@ -73,6 +74,61 @@ TEST(CachingPredictorTest, LruEvictsOldestEntry) {
   EXPECT_EQ(inner->calls, 4);
   EXPECT_EQ(cached.hits(), 2u);
   EXPECT_EQ(cached.size(), 2u);
+}
+
+/// Thread-safe variant of CountingPredictor for the concurrency hammer.
+class AtomicCountingPredictor final : public CurvePredictor {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "atomic-counting"; }
+
+  [[nodiscard]] CurvePrediction predict(std::span<const double> history,
+                                        std::span<const double> future_epochs,
+                                        double /*horizon*/) const override {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    std::vector<std::vector<double>> samples(
+        4, std::vector<double>(future_epochs.size(), history.back()));
+    return CurvePrediction(std::vector<double>(future_epochs.begin(), future_epochs.end()),
+                           std::move(samples));
+  }
+
+  mutable std::atomic<int> calls{0};
+};
+
+// N threads hammer one shared instance with overlapping keys. Run under
+// TSan in CI (the sweep layer shares a CachingPredictor across worker
+// threads whenever one PolicySpec is reused, so this must be data-race
+// free, not just crash-free).
+TEST(CachingPredictorTest, ConcurrentHammerStaysConsistent) {
+  auto inner = std::make_shared<AtomicCountingPredictor>();
+  CachingPredictor cached(inner, 16);
+
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 200;
+  const std::vector<double> future = {5.0};
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cached, &future, t] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        // 32 distinct keys against a 16-entry cache: constant hit/miss/evict
+        // churn from every thread.
+        const std::vector<double> history = {0.1 + 0.01 * ((t * 7 + i) % 32)};
+        const auto prediction = cached.predict(history, future, 120.0);
+        // The cached posterior must always be the one for *this* key.
+        ASSERT_DOUBLE_EQ(prediction.mean_at(0), history.back());
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // Every request either hit the cache or went to the inner predictor.
+  EXPECT_EQ(cached.hits() + cached.misses(),
+            static_cast<std::size_t>(kThreads) * kCallsPerThread);
+  // The inner predictor ran at most once per miss (double-insert races may
+  // compute a value twice but never corrupt the counters past misses).
+  EXPECT_LE(static_cast<std::size_t>(inner->calls.load()), cached.misses());
+  EXPECT_LE(cached.size(), 16u);
 }
 
 TEST(CachingPredictorTest, WrapHelperSharesSemantics) {

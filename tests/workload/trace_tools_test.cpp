@@ -1,0 +1,77 @@
+#include "workload/trace_tools.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/cifar_model.hpp"
+
+namespace hyperdrive::workload {
+namespace {
+
+TEST(TraceToolsTest, ReachableTraceAlwaysReachesTarget) {
+  CifarWorkloadModel model;
+  for (std::uint64_t seed : {1ull, 7ull, 600ull}) {
+    const auto trace = reachable_trace(model, 20, seed);
+    EXPECT_TRUE(trace.target_reachable());
+    EXPECT_EQ(trace.jobs.size(), 20u);
+  }
+}
+
+TEST(TraceToolsTest, ReachableTraceIsDeterministic) {
+  CifarWorkloadModel model;
+  const auto a = reachable_trace(model, 20, 42);
+  const auto b = reachable_trace(model, 20, 42);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].curve.perf, b.jobs[i].curve.perf);
+  }
+}
+
+TEST(TraceToolsTest, FirstWinnerIndexFindsTheFirstReachingJob) {
+  CifarWorkloadModel model;
+  const auto trace = reachable_trace(model, 50, 3);
+  const std::size_t first = first_winner_index(trace);
+  ASSERT_LT(first, trace.jobs.size());
+  EXPECT_NE(trace.jobs[first].curve.first_epoch_reaching(trace.target_performance), 0u);
+  for (std::size_t i = 0; i < first; ++i) {
+    EXPECT_EQ(trace.jobs[i].curve.first_epoch_reaching(trace.target_performance), 0u);
+  }
+}
+
+TEST(TraceToolsTest, FirstWinnerIndexIsSizeWhenUnreachable) {
+  Trace trace;
+  trace.target_performance = 2.0;  // nothing reaches a >1 normalized target
+  trace.jobs.resize(0);
+  EXPECT_EQ(first_winner_index(trace), 0u);
+}
+
+TEST(TraceToolsTest, SuitableTraceKeepsWinnerOutOfFirstWave) {
+  CifarWorkloadModel model;
+  const std::size_t machines = 8;
+  const auto trace = suitable_trace(model, 50, 1200, machines);
+  EXPECT_TRUE(trace.target_reachable());
+  EXPECT_GE(first_winner_index(trace), machines);
+}
+
+TEST(TraceToolsTest, RenoiseKeepsConfigsAndChangesNoise) {
+  CifarWorkloadModel model;
+  const auto base = reachable_trace(model, 10, 5);
+  const auto renoised = renoise(model, base, 999);
+  ASSERT_EQ(renoised.jobs.size(), base.jobs.size());
+  bool any_curve_changed = false;
+  for (std::size_t i = 0; i < base.jobs.size(); ++i) {
+    // The hyperparameter configuration is the experiment's identity and must
+    // survive re-noising; only the realized training curve may move.
+    EXPECT_EQ(renoised.jobs[i].config.stable_hash(), base.jobs[i].config.stable_hash());
+    if (renoised.jobs[i].curve.perf != base.jobs[i].curve.perf) any_curve_changed = true;
+  }
+  EXPECT_TRUE(any_curve_changed);
+
+  // Same experiment seed => same realization (renoise is pure).
+  const auto again = renoise(model, base, 999);
+  for (std::size_t i = 0; i < base.jobs.size(); ++i) {
+    EXPECT_EQ(again.jobs[i].curve.perf, renoised.jobs[i].curve.perf);
+  }
+}
+
+}  // namespace
+}  // namespace hyperdrive::workload

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Configure, build and run the full test suite under sanitizers.
 #
-#   tools/run_sanitized_tests.sh [sanitizers] [build-dir]
+#   tools/run_sanitized_tests.sh [sanitizers] [build-dir] [ctest-regex]
 #
 #   sanitizers  comma-separated -fsanitize= list (default: address,undefined)
 #               "thread" selects ThreadSanitizer; it is incompatible with
@@ -9,6 +9,8 @@
 #   build-dir   out-of-source build directory (default: build-san, or
 #               build-san-thread for the thread mode — the object files are
 #               ABI-incompatible across modes, so each gets its own tree)
+#   ctest-regex optional ctest -R filter, e.g. the concurrency-focused subset
+#               'ThreadPool|CachingPredictor|Sweep' for the CI thread mode
 #
 # The three supported modes (see README "Sanitized test runs"):
 #   tools/run_sanitized_tests.sh                      # address,undefined
@@ -29,6 +31,7 @@ if [[ "${SANITIZERS}" == *thread* ]]; then
   DEFAULT_BUILD_DIR="build-san-thread"
 fi
 BUILD_DIR="${2:-${DEFAULT_BUILD_DIR}}"
+TEST_REGEX="${3:-}"
 SOURCE_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1:abort_on_error=0}"
@@ -45,6 +48,10 @@ echo ">>> building"
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 
 echo ">>> running ctest under ${SANITIZERS}"
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+CTEST_ARGS=(--test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)")
+if [[ -n "${TEST_REGEX}" ]]; then
+  CTEST_ARGS+=(-R "${TEST_REGEX}")
+fi
+ctest "${CTEST_ARGS[@]}"
 
 echo ">>> sanitized test run passed (${SANITIZERS})"

@@ -2,64 +2,61 @@
 // the fixed-configuration experiments across base-trace draws.
 #include <cstdio>
 
-#include "core/experiment_runner.hpp"
+#include "core/sweep_engine.hpp"
 #include "workload/cifar_model.hpp"
 #include "workload/lunar_model.hpp"
+#include "workload/trace_tools.hpp"
 
 using namespace hyperdrive;
-
-static workload::Trace suitable(const workload::WorkloadModel& model, std::uint64_t seed,
-                                std::size_t machines) {
-  for (;; ++seed) {
-    auto trace = workload::generate_trace(model, 100, seed);
-    if (!trace.target_reachable()) continue;
-    std::size_t first = trace.jobs.size();
-    for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
-      if (trace.jobs[i].curve.first_epoch_reaching(trace.target_performance) != 0) {
-        first = i;
-        break;
-      }
-    }
-    if (first < machines) continue;
-    return trace;
-  }
-}
 
 static void sweep(const workload::WorkloadModel& model, std::size_t machines) {
   std::printf("== %s (%zu machines) ==\n", std::string(model.name()).c_str(), machines);
   std::printf("trace |   pop  bandit earlyterm default | winner_idx\n");
+
+  std::vector<workload::Trace> traces;
+  std::vector<std::string> trace_labels;
   for (std::uint64_t t = 0; t < 8; ++t) {
-    const auto trace = suitable(model, 1200 + t * 37, machines);
-    std::size_t first = 0;
-    for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
-      if (trace.jobs[i].curve.first_epoch_reaching(trace.target_performance) != 0) {
-        first = i;
-        break;
-      }
-    }
+    traces.push_back(workload::suitable_trace(model, 100, 1200 + t * 37, machines));
+    trace_labels.push_back(std::to_string(t));
+  }
+
+  core::SweepSpec spec;
+  spec.name = "trace_sweep";
+  const auto trace_ax = spec.add_axis("trace", trace_labels);
+  const auto policy_ax = spec.add_policy_axis(
+      {core::PolicyKind::Pop, core::PolicyKind::Bandit, core::PolicyKind::EarlyTerm,
+       core::PolicyKind::Default});
+  spec.trace = [&](const core::SweepCell& cell) { return traces[cell.at(trace_ax)]; };
+  spec.policy = [&](const core::SweepCell& cell) {
+    const auto kinds = std::vector<core::PolicyKind>{
+        core::PolicyKind::Pop, core::PolicyKind::Bandit, core::PolicyKind::EarlyTerm,
+        core::PolicyKind::Default};
+    return core::make_policy(
+        core::standard_policy_spec(kinds[cell.at(policy_ax)], cell.at(trace_ax)));
+  };
+  spec.options = [&](const core::SweepCell&) {
+    core::RunnerOptions options;
+    options.machines = machines;
+    options.max_experiment_time = util::SimTime::hours(96);
+    return options;
+  };
+
+  const auto table = core::run_sweep(spec);
+
+  for (std::size_t t = 0; t < traces.size(); ++t) {
     std::printf("%5llu |", static_cast<unsigned long long>(t));
-    for (const auto kind :
-         {core::PolicyKind::Pop, core::PolicyKind::Bandit, core::PolicyKind::EarlyTerm,
-          core::PolicyKind::Default}) {
-      core::PolicySpec spec;
-      spec.kind = kind;
-      const auto pred = core::make_default_predictor(t);
-      spec.pop.predictor = pred;
-      spec.pop.tmax = util::SimTime::hours(48);
-      spec.earlyterm.predictor = pred;
-      core::RunnerOptions options;
-      options.machines = machines;
-      options.max_experiment_time = util::SimTime::hours(96);
-      const auto r = core::run_experiment(trace, spec, options);
-      std::printf(" %6.0f", r.reached_target ? r.time_to_target.to_minutes() : -1.0);
+    for (const auto* row : table.where("trace", trace_labels[t])) {
+      std::printf(" %6.0f", row->result.reached_target
+                                ? row->result.time_to_target.to_minutes()
+                                : -1.0);
     }
-    std::printf(" | %zu\n", first);
+    std::printf(" | %zu\n", workload::first_winner_index(traces[t]));
   }
 }
 
 int main() {
   sweep(workload::CifarWorkloadModel{}, 5);
   sweep(workload::CifarWorkloadModel{}, 25);
-  
+
   return 0;
 }
