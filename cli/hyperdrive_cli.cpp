@@ -14,6 +14,7 @@
 
 #include "core/experiment_runner.hpp"
 #include "core/policies/barrier_policy.hpp"
+#include "core/study/study_manager.hpp"
 #include "core/sweep_engine.hpp"
 #include "core/policies/hyperband_policy.hpp"
 #include "util/stats.hpp"
@@ -48,6 +49,9 @@ struct CliOptions {
   cluster::FaultPlan fault_plan;
   /// Gray-failure detection & mitigation (cluster substrate only; §7).
   bool health = false;
+  /// Multi-study mode (§9): study spec files sharing one cluster.
+  std::vector<std::string> studies;
+  std::string arbitration = "fair";
 };
 
 void print_usage() {
@@ -83,7 +87,14 @@ void print_usage() {
       "                             (omit R for a permanent loss; repeatable)\n"
       "  --fault-snapshot-fail P    snapshot capture/upload aborts with probability P\n"
       "  --fault-snapshot-corrupt P stored snapshot gets a flipped bit with prob. P\n"
-      "  --fault-seed S             seed of the fault decision stream    [0]\n");
+      "  --fault-seed S             seed of the fault decision stream    [0]\n"
+      "multi-study mode (README \"Multi-tenant studies\"):\n"
+      "  --study FILE               admit the study described by FILE (repeat\n"
+      "                             the flag for concurrent studies; each file\n"
+      "                             names its own workload/policy/target/deadline\n"
+      "                             and the studies share the --machines pool)\n"
+      "  --arbitration static|fair|deadline   capacity arbitration  [fair]\n"
+      "                             (--csv then writes the multi-study table)\n");
 }
 
 bool parse_args(int argc, char** argv, CliOptions& options) {
@@ -140,6 +151,10 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       }
     } else if (arg == "--health") {
       options.health = true;
+    } else if (arg == "--study") {
+      options.studies.emplace_back(next());
+    } else if (arg == "--arbitration") {
+      options.arbitration = next();
     } else if (arg == "--fault-drop") {
       options.fault_plan.default_message_faults.drop_prob = std::strtod(next(), nullptr);
     } else if (arg == "--fault-dup") {
@@ -237,11 +252,77 @@ std::unique_ptr<core::SchedulingPolicy> make_base_policy(const CliOptions& optio
   return core::make_policy(spec);
 }
 
+/// Multi-study mode: every --study file becomes a tenant of one shared
+/// cluster; the remaining single-experiment flags are ignored (each spec
+/// names its own workload/policy/generator/seed).
+int run_studies(const CliOptions& options) {
+  std::vector<core::StudySpec> specs;
+  for (const auto& path : options.studies) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open study file '%s'\n", path.c_str());
+      return 2;
+    }
+    try {
+      specs.push_back(core::load_study_spec(in));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad study file '%s': %s\n", path.c_str(), e.what());
+      return 2;
+    }
+  }
+
+  core::StudyManagerOptions manager_options;
+  manager_options.machines = options.machines;
+  manager_options.seed = options.seed;
+  manager_options.health.enabled = options.health;
+  try {
+    manager_options.arbitration = core::arbitration_from_string(options.arbitration);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  std::printf("multi-study: %zu studies, machines=%zu, arbitration=%s\n",
+              specs.size(), options.machines,
+              std::string(core::to_string(manager_options.arbitration)).c_str());
+  core::MultiStudyResult result;
+  try {
+    result = core::run_multi_study(specs, manager_options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "multi-study run failed: %s\n", e.what());
+    return 2;
+  }
+
+  for (const auto& study : result.studies) {
+    const auto& r = study.result;
+    std::printf("study %-12s (%s/%s): %s%s, best=%.3f, slot-hours=%.1f "
+                "grants=%zu reclaims=%zu%s%s\n",
+                study.spec.name.c_str(), study.spec.workload.c_str(),
+                study.spec.policy.c_str(),
+                r.reached_target ? "target reached in " : "target not reached",
+                r.reached_target ? util::format_duration(r.time_to_target).c_str() : "",
+                r.best_perf, r.slot_seconds.to_hours(), r.lease_grants, r.lease_reclaims,
+                study.spec.has_deadline()
+                    ? (study.deadline_met ? ", deadline met" : ", deadline MISSED")
+                    : "",
+                study.cancelled ? ", cancelled" : "");
+  }
+  std::printf("total %s, rebalances=%zu\n",
+              util::format_duration(result.total_time).c_str(), result.rebalances);
+  if (!options.csv.empty()) {
+    std::ofstream out(options.csv);
+    result.save_csv(out);
+    std::printf("multi-study table written to %s\n", options.csv.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliOptions options;
   if (!parse_args(argc, argv, options)) return 2;
+  if (!options.studies.empty()) return run_studies(options);
   if (options.fault_plan.any() && options.substrate != "cluster") {
     std::fprintf(stderr, "fault injection requires --substrate cluster\n");
     return 2;

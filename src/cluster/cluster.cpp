@@ -34,14 +34,35 @@ constexpr double kHeartbeatRpcBytes = 64.0;
 }  // namespace
 
 HyperDriveCluster::HyperDriveCluster(const workload::Trace& trace, ClusterOptions options)
+    : HyperDriveCluster(trace, std::move(options), std::make_unique<sim::Simulation>(),
+                        nullptr) {}
+
+HyperDriveCluster::HyperDriveCluster(const workload::Trace& trace, ClusterOptions options,
+                                     sim::Simulation& simulation)
+    : HyperDriveCluster(trace, std::move(options), nullptr, &simulation) {}
+
+HyperDriveCluster::HyperDriveCluster(const workload::Trace& trace, ClusterOptions options,
+                                     std::unique_ptr<sim::Simulation> owned,
+                                     sim::Simulation* external)
     : trace_(trace),
       options_(std::move(options)),
+      owned_sim_(std::move(owned)),
+      simulation_(external != nullptr ? *external : *owned_sim_),
       rm_(options_.machines),
       jm_(trace),
       rng_(util::derive_seed(options_.seed, 0xC105)),
       injector_(options_.fault_plan, options_.seed),
       health_(options_.machines, options_.health),
       bus_(simulation_, bus_options_from(options_), options_.seed) {
+  tenant_ = external != nullptr;
+  lease_target_ = options_.machines;
+  slots_accrued_until_ = simulation_.now();
+  if (options_.initial_lease > 0 && options_.initial_lease < options_.machines) {
+    lease_target_ = options_.initial_lease;
+    for (std::size_t m = options_.machines; m-- > lease_target_;) {
+      rm_.park_machine(static_cast<MachineId>(m));
+    }
+  }
   agents_.reserve(options_.machines);
   for (std::size_t i = 0; i < options_.machines; ++i) {
     agents_.emplace_back(static_cast<MachineId>(i));
@@ -61,6 +82,9 @@ HyperDriveCluster::HyperDriveCluster(const workload::Trace& trace, ClusterOption
     }
     const auto stat = std::static_pointer_cast<const AppStat>(m.payload);
     if (stat) deliver_stat(*stat);
+    // A tenant's last event is often this delivery (the owned path notices
+    // quiescence when the shared queue drains — a tenant must check itself).
+    if (tenant_) maybe_finish();
   });
   storage_endpoint_ = bus_.register_endpoint("appstatdb", [this](const Message& m) {
     const auto snapshot = std::static_pointer_cast<const ModelSnapshot>(m.payload);
@@ -72,6 +96,7 @@ HyperDriveCluster::HyperDriveCluster(const workload::Trace& trace, ClusterOption
     // store an image newer than the job's rolled-back epoch.
     if (job.idle || job.status != core::JobStatus::Suspended ||
         snapshot->epoch != job.epochs_done) {
+      if (tenant_) maybe_finish();
       return;
     }
     db_.store_snapshot(*snapshot);
@@ -623,6 +648,12 @@ void HyperDriveCluster::crash_node(const NodeCrashEvent& crash) {
   // A dead node is the fail-stop machinery's problem: exclude it from
   // heartbeat scrutiny so the watchdog doesn't also quarantine the corpse.
   health_.set_excluded(m, true, simulation_.now());
+  // A lease reclaim pending on this machine absorbs the corpse: the slot
+  // returns to the pool sick and stays ungrantable until a restart heals it.
+  if (pending_reclaim_.erase(m) > 0) {
+    parked_sick_.insert(m);
+    surrender_slot(m, "reclaim-crash");
+  }
   policy_->on_capacity_change(*this);
 
   if (crash.restart_after < util::SimTime::infinity()) {
@@ -641,6 +672,15 @@ void HyperDriveCluster::crash_node(const NodeCrashEvent& crash) {
 void HyperDriveCluster::restart_node(MachineId m) {
   if (done_) return;
   if (rm_.is_online(m)) return;
+  if (rm_.is_parked(m)) {
+    // The slot was reclaimed by the study arbiter while the node was down:
+    // the restart heals it (grantable again) but does not re-admit it — only
+    // a lease grant can.
+    parked_sick_.erase(m);
+    health_.set_excluded(m, false, simulation_.now());
+    log_event("restart machine=" + std::to_string(m) + " parked");
+    return;
+  }
   rm_.set_online(m);
   ++result_.recovery.node_restarts;
   // Re-admit to health scrutiny with a fresh liveness clock (a node must not
@@ -806,12 +846,26 @@ void HyperDriveCluster::finalize_quarantine(MachineId m) {
         begin_probation_for(m);
       });
   fault_events_.emplace(*handle_box, true);
+  // A lease reclaim pending on this machine absorbs it in place: the slot is
+  // returned to the pool sick and stays ungrantable until probation clears it.
+  if (pending_reclaim_.erase(m) > 0) {
+    parked_sick_.insert(m);
+    surrender_slot(m, "reclaim-quarantine");
+  }
   policy_->on_capacity_change(*this);
 }
 
 void HyperDriveCluster::begin_probation_for(MachineId m) {
   if (done_) return;
   if (rm_.is_online(m)) return;
+  if (rm_.is_parked(m)) {
+    // Quarantined slot absorbed by a lease reclaim: probation clears the
+    // sickness, the slot becomes grantable, membership waits for a grant.
+    parked_sick_.erase(m);
+    health_.begin_probation(m, simulation_.now());
+    log_event("probation machine=" + std::to_string(m) + " parked");
+    return;
+  }
   health_.begin_probation(m, simulation_.now());
   rm_.set_online(m);
   log_event("probation machine=" + std::to_string(m));
@@ -830,15 +884,24 @@ void HyperDriveCluster::release_and_allocate(core::JobId id) {
   }
   if (done_) return;
   // A machine condemned while its job was being suspended off it goes
-  // offline the moment it is free (set_offline requires an idle machine).
+  // offline the moment it is free (set_offline requires an idle machine);
+  // finalize_quarantine absorbs a pending lease reclaim itself.
   if (released && pending_quarantine_.erase(*released) > 0) {
     finalize_quarantine(*released);
+  }
+  // A machine picked for lease reclaim parks the moment it is free.
+  if (released && pending_reclaim_.erase(*released) > 0) {
+    surrender_slot(*released, "reclaim");
   }
   policy_->on_allocate(*this);
   maybe_finish();
 }
 
 void HyperDriveCluster::maybe_finish() {
+  if (tenant_) {
+    tenant_maybe_finish();
+    return;
+  }
   if (rm_.idle() != rm_.total()) return;
   const std::size_t pending = simulation_.events_pending();
   // Health-infrastructure ticks (heartbeats, watchdog) are bookkeeping, not
@@ -864,21 +927,96 @@ void HyperDriveCluster::maybe_finish() {
   finish();
 }
 
+void HyperDriveCluster::tenant_maybe_finish() {
+  if (done_) return;
+  // The owned-mode check reads the global event queue — meaningless on a
+  // shared simulation. A tenant is quiescent when every held slot is idle,
+  // none of its RPCs (stat reports, snapshot uploads, heartbeats) is still
+  // in flight, and no queued work remains — or no capacity path that could
+  // run the queued work remains.
+  if (rm_.idle() != rm_.total()) return;
+  if (bus_.in_flight() > 0) return;
+  if (!jm_.active_jobs().empty()) {
+    const bool restart_pending = std::any_of(fault_events_.begin(), fault_events_.end(),
+                                             [](const auto& e) { return e.second; });
+    if (restart_pending) return;     // crashed/quarantined capacity will return
+    if (rm_.parked() > 0) return;    // the arbiter can still grant more lease
+    if (rm_.total() > 0) return;     // idle capacity exists; a later event may use it
+    // Capacity is gone for good: give up exactly like the owned path.
+  }
+  for (const auto& [handle, is_restart] : fault_events_) simulation_.cancel(handle);
+  fault_events_.clear();
+  for (const auto& [handle, unused] : infra_events_) simulation_.cancel(handle);
+  infra_events_.clear();
+  finish();
+}
+
 void HyperDriveCluster::finish() {
   if (done_) return;
   done_ = true;
-  simulation_.stop();
+  if (!tenant_) {
+    simulation_.stop();
+    return;
+  }
+  // Tenant epilogue: the shared clock keeps running for the other studies,
+  // so everything this study scheduled must be cancelled explicitly, and
+  // every leased slot drains back to the arbiter. Held jobs keep exactly the
+  // accounting they have (the owned path's run_until stop charges neither
+  // partial epochs nor status changes — collect() mirrors that).
+  finished_at_ = simulation_.now();
+  accrue_slot_time();
+  for (const auto& [handle, is_restart] : fault_events_) simulation_.cancel(handle);
+  fault_events_.clear();
+  for (const auto& [handle, unused] : infra_events_) simulation_.cancel(handle);
+  infra_events_.clear();
+  if (timeout_armed_) {
+    simulation_.cancel(timeout_event_);
+    timeout_armed_ = false;
+  }
+  pending_quarantine_.clear();
+  pending_reclaim_.clear();
+  for (auto& [id, job] : jm_.all()) {
+    if (job.epoch_in_flight) {
+      disarm_progress_deadline(job);
+      simulation_.cancel(job.pending_epoch);
+      job.epoch_in_flight = false;
+    }
+    if (job.suspend_in_flight) {
+      simulation_.cancel(job.pending_suspend);
+      job.suspend_in_flight = false;
+    }
+    if (job.deadline_armed) disarm_progress_deadline(job);
+    if (job.machine) {
+      rm_.release_machine(*job.machine);
+      job.machine.reset();
+    }
+  }
+  // Park every slot still charged to this study and hand each back (drain
+  // parks are not counted as arbiter reclaims).
+  for (std::size_t m = 0; m < rm_.configured(); ++m) {
+    const auto id = static_cast<MachineId>(m);
+    if (rm_.is_parked(id)) continue;
+    rm_.park_machine(id);
+    if (on_slot_released) on_slot_released();
+  }
+  if (on_finished) on_finished();
 }
 
 void HyperDriveCluster::log_event(const std::string& text) {
-  if (!options_.record_event_log) return;
+  if (!options_.record_event_log && !log_sink) return;
   std::ostringstream os;
-  os << "t=" << std::fixed << std::setprecision(9) << simulation_.now().to_seconds() << ' '
-     << text;
-  event_log_.push_back(os.str());
+  os << "t=" << std::fixed << std::setprecision(9) << simulation_.now().to_seconds() << ' ';
+  if (!options_.study_label.empty()) os << "study=" << options_.study_label << ' ';
+  os << text;
+  if (log_sink) {
+    log_sink(os.str());
+  } else {
+    event_log_.push_back(os.str());
+  }
 }
 
 core::ExperimentResult HyperDriveCluster::run(core::SchedulingPolicy& policy) {
+  if (tenant_) throw std::logic_error("run() is owned-simulation mode; tenants use start()");
   policy_ = &policy;
   result_ = core::ExperimentResult{};
   result_.policy_name = std::string(policy.name());
@@ -893,8 +1031,19 @@ core::ExperimentResult HyperDriveCluster::run(core::SchedulingPolicy& policy) {
   schedule_health();
   simulation_.run_until(options_.max_experiment_time);
 
-  result_.total_time = done_ ? simulation_.now()
-                             : std::min(simulation_.now(), options_.max_experiment_time);
+  finalize_result();
+  policy_ = nullptr;
+  return result_;
+}
+
+void HyperDriveCluster::finalize_result() {
+  if (tenant_) {
+    result_.total_time =
+        done_ ? finished_at_ : std::min(simulation_.now(), options_.max_experiment_time);
+  } else {
+    result_.total_time = done_ ? simulation_.now()
+                               : std::min(simulation_.now(), options_.max_experiment_time);
+  }
   for (const auto& [id, job] : jm_.all()) {
     core::JobRunStats stats;
     stats.job_id = id;
@@ -902,6 +1051,7 @@ core::ExperimentResult HyperDriveCluster::run(core::SchedulingPolicy& policy) {
     stats.epochs_completed = job.epochs_done;
     stats.times_suspended = job.times_suspended;
     stats.final_status = job.status;
+    stats.study = options_.study_label;
     const auto& history = db_.perf_history(id);
     stats.best_perf =
         history.empty() ? 0.0 : *std::max_element(history.begin(), history.end());
@@ -909,7 +1059,166 @@ core::ExperimentResult HyperDriveCluster::run(core::SchedulingPolicy& policy) {
     result_.job_stats.push_back(stats);
   }
   result_.retransmissions = bus_.stats().retransmissions;
-  policy_ = nullptr;
+  result_.study = options_.study_label;
+  // Close the slot-seconds integral at the experiment's end time.
+  if (result_.total_time > slots_accrued_until_) {
+    slot_seconds_ += util::SimTime::seconds(
+        static_cast<double>(held_slots()) *
+        (result_.total_time - slots_accrued_until_).to_seconds());
+    slots_accrued_until_ = result_.total_time;
+  }
+  result_.slot_seconds = slot_seconds_;
+  result_.lease_grants = lease_grants_;
+  result_.lease_reclaims = lease_reclaims_;
+}
+
+// --- tenant protocol (multi-study scheduling, DESIGN.md §9) ------------------
+
+void HyperDriveCluster::start(core::SchedulingPolicy& policy) {
+  if (!tenant_) throw std::logic_error("start() is tenant mode; owned clusters use run()");
+  policy_ = &policy;
+  result_ = core::ExperimentResult{};
+  result_.policy_name = std::string(policy.name());
+  slots_accrued_until_ = simulation_.now();
+
+  // Same preamble order as run(): the single-study-through-StudyManager path
+  // must replay the owned path event for event.
+  policy.on_experiment_start(*this);
+  policy.on_allocate(*this);
+  schedule_crashes();
+  schedule_health();
+  // A tenant cannot truncate via run_until (the clock is shared), so the
+  // study Tmax is an explicit event. Priority 100: same-time job events
+  // complete before the study is declared out of time.
+  if (options_.max_experiment_time < util::SimTime::infinity()) {
+    timeout_event_ = simulation_.schedule_at(
+        options_.max_experiment_time,
+        [this] {
+          timeout_armed_ = false;
+          if (done_) return;
+          log_event("study-timeout");
+          finish();
+        },
+        /*priority=*/100);
+    timeout_armed_ = true;
+  }
+  maybe_finish();  // empty trace / nothing runnable: finish at t=0
+}
+
+void HyperDriveCluster::accrue_slot_time() {
+  const util::SimTime now = simulation_.now();
+  if (now > slots_accrued_until_) {
+    slot_seconds_ += util::SimTime::seconds(
+        static_cast<double>(held_slots()) * (now - slots_accrued_until_).to_seconds());
+    slots_accrued_until_ = now;
+  }
+}
+
+void HyperDriveCluster::surrender_slot(MachineId machine, const char* reason) {
+  accrue_slot_time();
+  rm_.park_machine(machine);
+  ++lease_reclaims_;
+  log_event(std::string("lease-park machine=") + std::to_string(machine) +
+            " reason=" + reason);
+  if (!done_ && policy_ != nullptr) policy_->on_capacity_change(*this);
+  if (on_slot_released) on_slot_released();
+}
+
+void HyperDriveCluster::set_lease_target(std::size_t slots) {
+  if (!tenant_) throw std::logic_error("set_lease_target() requires tenant mode");
+  lease_target_ = std::min(slots, rm_.configured());
+  if (!done_) apply_lease();
+}
+
+void HyperDriveCluster::apply_lease() {
+  while (held_slots() - pending_reclaim_.size() > lease_target_) {
+    // 1. An idle online slot parks immediately (highest id first, so grants —
+    //    which unpark the lowest id — walk the same frontier).
+    std::optional<MachineId> idle_pick;
+    for (std::size_t m = rm_.configured(); m-- > 0;) {
+      const auto id = static_cast<MachineId>(m);
+      if (rm_.is_online(id) && !rm_.is_busy(id) && pending_quarantine_.count(id) == 0) {
+        idle_pick = id;
+        break;
+      }
+    }
+    if (idle_pick) {
+      surrender_slot(*idle_pick, "reclaim");
+      continue;
+    }
+    // 2. A crashed/quarantined slot is absorbed: the arbiter takes the
+    //    capacity charge off this study, and the slot becomes grantable only
+    //    after its restart/probation event declares it healthy again.
+    std::optional<MachineId> sick_pick;
+    for (std::size_t m = rm_.configured(); m-- > 0;) {
+      const auto id = static_cast<MachineId>(m);
+      if (!rm_.is_online(id) && !rm_.is_parked(id)) {
+        sick_pick = id;
+        break;
+      }
+    }
+    if (sick_pick) {
+      parked_sick_.insert(*sick_pick);
+      surrender_slot(*sick_pick, "reclaim-offline");
+      continue;
+    }
+    // 3. A busy slot: snapshot-migrate the job off it (never kill — the
+    //    reclaim is the arbiter's decision, not the policy's), park on
+    //    release.
+    std::optional<MachineId> busy_pick;
+    for (std::size_t m = rm_.configured(); m-- > 0;) {
+      const auto id = static_cast<MachineId>(m);
+      if (rm_.is_busy(id) && pending_reclaim_.count(id) == 0) {
+        busy_pick = id;
+        break;
+      }
+    }
+    if (!busy_pick) break;  // everything left is already being reclaimed
+    pending_reclaim_.insert(*busy_pick);
+    for (auto& [id, job] : jm_.all()) {
+      if (job.machine && *job.machine == *busy_pick) {
+        if (job.suspend_in_flight || job.status != core::JobStatus::Running) break;
+        ++result_.recovery.jobs_migrated;
+        log_event("lease-migrate job=" + std::to_string(id) +
+                  " machine=" + std::to_string(*busy_pick));
+        do_suspend(id);
+        break;  // one job per machine
+      }
+    }
+  }
+}
+
+bool HyperDriveCluster::grant_one() {
+  if (!tenant_) throw std::logic_error("grant_one() requires tenant mode");
+  if (done_) return false;
+  if (held_slots() >= lease_target_) return false;
+  for (std::size_t m = 0; m < rm_.configured(); ++m) {
+    const auto id = static_cast<MachineId>(m);
+    if (!rm_.is_parked(id) || parked_sick_.count(id) > 0) continue;
+    accrue_slot_time();
+    rm_.unpark_machine(id);
+    ++lease_grants_;
+    log_event("lease-grant machine=" + std::to_string(id));
+    // A slot can sit parked for a long stretch; restart its liveness clock so
+    // the watchdog judges it from the grant, not from before the lease.
+    if (options_.health.enabled) health_.set_excluded(id, false, simulation_.now());
+    policy_->on_capacity_change(*this);
+    policy_->on_allocate(*this);
+    return true;
+  }
+  return false;
+}
+
+void HyperDriveCluster::cancel() {
+  if (!tenant_) throw std::logic_error("cancel() requires tenant mode");
+  if (done_) return;
+  log_event("study-cancelled");
+  finish();
+}
+
+core::ExperimentResult HyperDriveCluster::collect() {
+  if (!tenant_) throw std::logic_error("collect() requires tenant mode");
+  finalize_result();
   return result_;
 }
 

@@ -93,14 +93,66 @@ struct ClusterOptions {
   /// restarts, starts/resumes, decisions, recoveries) — the golden-trace
   /// determinism tests compare it byte-for-byte across runs.
   bool record_event_log = false;
+  // --- multi-study tenancy (DESIGN.md §9) ----------------------------------
+  /// Slots online at start when the cluster is a StudyManager tenant; the
+  /// remaining machines start parked (leasable later). 0 = all online, the
+  /// single-tenant behavior.
+  std::size_t initial_lease = 0;
+  /// Study name prefixed into event-log lines ("study=<name>") so a merged
+  /// multi-tenant log stays attributable. Empty (default) adds nothing —
+  /// single-study logs stay byte-identical to the single-tenant path.
+  std::string study_label;
 };
 
 class HyperDriveCluster final : public core::SchedulerOps {
  public:
   HyperDriveCluster(const workload::Trace& trace, ClusterOptions options);
+  /// Tenant mode: run against an externally owned simulation shared with
+  /// other tenant clusters under a core::StudyManager. The caller drives the
+  /// clock; this cluster never stops it.
+  HyperDriveCluster(const workload::Trace& trace, ClusterOptions options,
+                    sim::Simulation& simulation);
 
-  /// Run the experiment under `policy`. Single-use.
+  /// Run the experiment under `policy`. Single-use. Owned-simulation mode
+  /// only (tenants are started with start() and harvested with collect()).
   [[nodiscard]] core::ExperimentResult run(core::SchedulingPolicy& policy);
+
+  // --- tenant protocol (multi-study scheduling, DESIGN.md §9) --------------
+  /// Begin the experiment without running the clock: fire the policy's
+  /// start/allocate upcalls and schedule fault, health and study-timeout
+  /// events. The shared simulation (run by the StudyManager) does the rest.
+  void start(core::SchedulingPolicy& policy);
+  /// Set the arbiter-assigned slot count. Shrinking reclaims immediately:
+  /// idle slots park at once, crashed/quarantined slots are absorbed, and
+  /// busy slots are cleanly snapshot-migrated (never killed) and park when
+  /// released — on_slot_released fires for every slot handed back. Growing
+  /// only raises the target; the arbiter grants actual slots via grant_one.
+  void set_lease_target(std::size_t slots);
+  /// Grant one parked healthy slot (lowest id first). Returns false when the
+  /// lease target is met, the study is finished, or no grantable slot
+  /// remains.
+  bool grant_one();
+  /// Cancel the study: drain leased slots (held jobs keep their accrued
+  /// accounting, in-flight epochs are abandoned) and finish immediately.
+  void cancel();
+  /// Harvest the result after the shared simulation has run. Tenant
+  /// equivalent of run()'s result-assembly epilogue.
+  [[nodiscard]] core::ExperimentResult collect();
+  /// Slots currently charged to this tenant (online or offline-unparked).
+  [[nodiscard]] std::size_t held_slots() const noexcept {
+    return rm_.configured() - rm_.parked();
+  }
+  [[nodiscard]] std::size_t lease_target() const noexcept { return lease_target_; }
+  [[nodiscard]] bool finished() const noexcept { return done_; }
+  /// Fires whenever a reclaimed or drained slot parks (capacity returned to
+  /// the arbiter's free pool).
+  std::function<void()> on_slot_released;
+  /// Fires once when the study finishes (target, quiescence, timeout,
+  /// cancel).
+  std::function<void()> on_finished;
+  /// When set, event-log lines go to this sink (the StudyManager's merged
+  /// log) instead of the local event_log().
+  std::function<void(std::string)> log_sink;
 
   /// Post-run access to the framework components (overhead studies, tests).
   [[nodiscard]] const AppStatDb& app_stat_db() const noexcept { return db_; }
@@ -142,11 +194,17 @@ class HyperDriveCluster final : public core::SchedulerOps {
     return trace_.target_performance;
   }
   [[nodiscard]] double kill_threshold() const override { return trace_.kill_threshold; }
+  /// Best performance reported by any job so far (0 until the first stat
+  /// lands). Tenant arbitration reads this as the study's progress signal.
+  [[nodiscard]] double best_performance() const noexcept { return result_.best_perf; }
   [[nodiscard]] std::size_t evaluation_boundary() const override {
     return trace_.evaluation_boundary;
   }
 
  private:
+  HyperDriveCluster(const workload::Trace& trace, ClusterOptions options,
+                    std::unique_ptr<sim::Simulation> owned, sim::Simulation* external);
+
   void begin_epoch(core::JobId job);
   void complete_epoch(core::JobId job);
   void deliver_stat(const AppStat& stat);
@@ -158,6 +216,20 @@ class HyperDriveCluster final : public core::SchedulerOps {
   void release_and_allocate(core::JobId job);
   void maybe_finish();
   void finish();
+  /// Result-assembly epilogue shared by run() and collect().
+  void finalize_result();
+
+  // --- lease protocol internals (tenant mode) ------------------------------
+  /// Reclaim slots until held - pending reclaims <= lease_target_.
+  void apply_lease();
+  /// Park `machine` and hand it back to the arbiter (capacity upcalls +
+  /// on_slot_released).
+  void surrender_slot(MachineId machine, const char* reason);
+  /// Account held-slot time up to now (slot-seconds integral).
+  void accrue_slot_time();
+  /// Tenant-mode quiescence/give-up check (the owned-mode maybe_finish reads
+  /// the global event queue, which a shared simulation forbids).
+  void tenant_maybe_finish();
 
   // --- fault handling & recovery -----------------------------------------
   void schedule_crashes();
@@ -187,7 +259,10 @@ class HyperDriveCluster final : public core::SchedulerOps {
 
   const workload::Trace& trace_;
   ClusterOptions options_;
-  sim::Simulation simulation_;
+  /// Owned in single-tenant mode; null when running against a shared
+  /// simulation (declared before simulation_ so the reference can bind).
+  std::unique_ptr<sim::Simulation> owned_sim_;
+  sim::Simulation& simulation_;
   ResourceManager rm_;
   JobManager jm_;
   AppStatDb db_;
@@ -214,6 +289,27 @@ class HyperDriveCluster final : public core::SchedulerOps {
   std::set<MachineId> pending_quarantine_;
   std::vector<std::string> event_log_;
   bool done_ = false;
+  // --- tenant mode state (DESIGN.md §9) ------------------------------------
+  /// True when constructed against an external (StudyManager-owned)
+  /// simulation: finishing must not stop the shared clock, and quiescence is
+  /// judged from this tenant's own state instead of the global event queue.
+  bool tenant_ = false;
+  std::size_t lease_target_ = 0;
+  /// Busy machines picked for lease reclaim, parked once their job's clean
+  /// suspend releases them.
+  std::set<MachineId> pending_reclaim_;
+  /// Parked machines absorbed while crashed/quarantined: not grantable until
+  /// their restart/probation event clears them.
+  std::set<MachineId> parked_sick_;
+  /// Per-study Tmax (owned mode truncates via run_until; a tenant cannot).
+  sim::EventHandle timeout_event_ = 0;
+  bool timeout_armed_ = false;
+  util::SimTime finished_at_ = util::SimTime::zero();
+  /// Slot-seconds integral: held_slots() accrued over time.
+  util::SimTime slot_seconds_ = util::SimTime::zero();
+  util::SimTime slots_accrued_until_ = util::SimTime::zero();
+  std::size_t lease_grants_ = 0;
+  std::size_t lease_reclaims_ = 0;
 };
 
 /// Convenience wrapper mirroring sim::replay_experiment.

@@ -110,11 +110,19 @@ std::uint64_t MessageBus::send(Message message, FailureHandler on_failure) {
   }
   const util::SimTime transit = transit_time(message);
   const bool duplicate = injector_ != nullptr && injector_->should_duplicate(message.type);
-  simulation_.schedule_after(transit, [this, message] { deliver(message, false); });
+  ++unreliable_pending_;
+  simulation_.schedule_after(transit, [this, message] {
+    --unreliable_pending_;
+    deliver(message, false);
+  });
   if (duplicate) {
     ++stats_.duplicates_delivered;
     const util::SimTime again = transit_time(message);
-    simulation_.schedule_after(again, [this, message] { deliver(message, false); });
+    ++unreliable_pending_;
+    simulation_.schedule_after(again, [this, message] {
+      --unreliable_pending_;
+      deliver(message, false);
+    });
   }
   return seq;
 }

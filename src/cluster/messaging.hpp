@@ -145,8 +145,14 @@ class MessageBus {
 
   [[nodiscard]] const MessageBusStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const std::string& endpoint_name(EndpointId id) const;
-  /// Messages sent but neither acked nor given up (reliability mode).
-  [[nodiscard]] std::size_t in_flight() const noexcept { return transmissions_.size(); }
+  /// Messages still in the fabric: reliable sends neither acked nor given
+  /// up, plus fire-and-forget deliveries not yet handed to their endpoint.
+  /// The multi-study tenant quiescence check (DESIGN.md §9) relies on this
+  /// covering both paths — a completing job's final stat report must keep
+  /// its study alive until delivered.
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return transmissions_.size() + unreliable_pending_;
+  }
   /// Size of an endpoint's receiver-side dedup table (diagnostics: a message
   /// that exhausts its retries must leave no entry behind). Throws
   /// std::out_of_range for unknown endpoints.
@@ -185,6 +191,8 @@ class MessageBus {
   std::unordered_map<std::uint64_t, Transmission> transmissions_;
   EndpointId next_id_ = 1;
   std::uint64_t next_seq_ = 1;
+  /// Fire-and-forget deliveries scheduled but not yet delivered.
+  std::size_t unreliable_pending_ = 0;
   MessageBusStats stats_;
 };
 

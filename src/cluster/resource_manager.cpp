@@ -7,6 +7,7 @@ namespace hyperdrive::cluster {
 ResourceManager::ResourceManager(std::size_t machines)
     : busy_(machines, false),
       online_(machines, true),
+      parked_(machines, false),
       idle_count_(machines),
       online_count_(machines) {
   if (machines == 0) throw std::invalid_argument("ResourceManager needs >= 1 machine");
@@ -65,6 +66,34 @@ void ResourceManager::set_online(MachineId machine) {
   online_[machine] = true;
   ++online_count_;
   if (!busy_[machine]) ++idle_count_;
+}
+
+void ResourceManager::park_machine(MachineId machine) {
+  if (machine >= busy_.size()) throw std::out_of_range("unknown machine id");
+  if (parked_[machine]) return;
+  if (busy_[machine]) throw std::logic_error("cannot park a busy machine");
+  if (online_[machine]) {
+    online_[machine] = false;
+    --online_count_;
+    --idle_count_;
+  }
+  parked_[machine] = true;
+  ++parked_count_;
+}
+
+void ResourceManager::unpark_machine(MachineId machine) {
+  if (machine >= busy_.size()) throw std::out_of_range("unknown machine id");
+  if (!parked_[machine]) throw std::logic_error("machine is not parked");
+  parked_[machine] = false;
+  --parked_count_;
+  online_[machine] = true;
+  ++online_count_;
+  ++idle_count_;
+}
+
+bool ResourceManager::is_parked(MachineId machine) const {
+  if (machine >= busy_.size()) throw std::out_of_range("unknown machine id");
+  return parked_[machine];
 }
 
 bool ResourceManager::is_online(MachineId machine) const {

@@ -41,6 +41,23 @@ class ResourceManager {
   void set_online(MachineId machine);
   [[nodiscard]] bool is_online(MachineId machine) const;
 
+  // --- lease layer (multi-study arbitration, DESIGN.md §9) -----------------
+  // A parked machine is capacity surrendered to the study arbiter: out of
+  // this tenant's membership (like offline) *and* flagged so a node restart
+  // does not silently re-admit it. Slots charged to the tenant are
+  // configured() - parked(); offline-but-unparked machines (crashed,
+  // quarantined) still count against its lease.
+
+  /// Park a machine: an online machine must be idle (throws std::logic_error
+  /// if busy); an offline machine (crashed/quarantined) is absorbed as-is.
+  void park_machine(MachineId machine);
+  /// Re-admit a parked machine as online + idle (lease grant). Throws
+  /// std::logic_error if the machine is not parked.
+  void unpark_machine(MachineId machine);
+  [[nodiscard]] bool is_parked(MachineId machine) const;
+  /// Number of parked machines.
+  [[nodiscard]] std::size_t parked() const noexcept { return parked_count_; }
+
   /// Machines currently in the membership (online), the capacity the
   /// scheduler sees.
   [[nodiscard]] std::size_t total() const noexcept { return online_count_; }
@@ -53,8 +70,10 @@ class ResourceManager {
  private:
   std::vector<bool> busy_;
   std::vector<bool> online_;
+  std::vector<bool> parked_;
   std::size_t idle_count_ = 0;
   std::size_t online_count_ = 0;
+  std::size_t parked_count_ = 0;
 };
 
 }  // namespace hyperdrive::cluster

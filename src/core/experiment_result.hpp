@@ -22,6 +22,28 @@ struct JobRunStats {
   std::size_t times_suspended = 0;
   JobStatus final_status = JobStatus::Pending;
   double best_perf = 0.0;
+  /// Owning study (multi-tenant runs, DESIGN.md §9); empty for single-study.
+  std::string study;
+};
+
+/// Per-tenant summary row of a multi-study run (DESIGN.md §9): what each
+/// study got out of the shared cluster. Emitted on the aggregate
+/// ExperimentResult and in the multi-study CSV so sweeps can slice per
+/// tenant.
+struct StudyRow {
+  std::string study;
+  bool reached_target = false;
+  util::SimTime time_to_target = util::SimTime::infinity();
+  /// Integral of leased slots over the study's lifetime (slot-seconds): the
+  /// capacity the arbiter charged to this tenant, busy or not.
+  util::SimTime slot_seconds = util::SimTime::zero();
+  bool had_deadline = false;
+  util::SimTime deadline = util::SimTime::infinity();
+  /// reached_target && time_to_target <= deadline (false without a deadline).
+  bool deadline_met = false;
+  bool cancelled = false;
+  std::size_t lease_grants = 0;
+  std::size_t lease_reclaims = 0;
 };
 
 /// One suspend operation's overhead sample (§6.2.3 / Fig. 10).
@@ -98,6 +120,17 @@ struct ExperimentResult {
   /// HyperDriveCluster::message_stats()). Carried here so sweep cells do not
   /// need to keep the cluster object alive past the run.
   std::uint64_t retransmissions = 0;
+  // --- multi-study tenancy (DESIGN.md §9) ----------------------------------
+  /// Study this result belongs to; empty outside StudyManager runs.
+  std::string study;
+  /// Integral of leased slots over time. For a single-tenant cluster this is
+  /// machines x total_time; under arbitration it tracks the actual lease.
+  util::SimTime slot_seconds = util::SimTime::zero();
+  /// Capacity handed to / reclaimed from this tenant by the study arbiter.
+  std::size_t lease_grants = 0;
+  std::size_t lease_reclaims = 0;
+  /// Per-study rows (populated only on a MultiStudyResult aggregate).
+  std::vector<StudyRow> study_rows;
 };
 
 }  // namespace hyperdrive::core

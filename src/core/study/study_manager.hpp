@@ -1,0 +1,170 @@
+// StudyManager — multi-tenant study scheduling with deadline-aware capacity
+// arbitration (DESIGN.md §9). Several concurrent studies (each with its own
+// hyperparameter generator, scheduling policy, target and optional deadline)
+// share one simulated cluster. The manager owns the discrete-event clock and
+// a pool of fungible machine slots; every study runs as a tenant
+// HyperDriveCluster against the shared clock, and an arbitration layer moves
+// slots between tenants:
+//
+//   * StaticPartition — weighted split at admission, never revisited. The
+//     baseline: capacity freed by a finished study is stranded.
+//   * FairShare — weighted fair share recomputed over the *unfinished*
+//     studies at every arbitration tick and on study completion, so drained
+//     capacity is handed to whoever is still running.
+//   * DeadlineAware — FairShare plus urgency boosting: the manager estimates
+//     each deadline study's remaining time-to-target from its best jobs'
+//     learning curves (the same §5.2 predictor POP uses) and, when the
+//     estimate overshoots the deadline, transfers slots from the study with
+//     the most slack.
+//
+// Capacity changes flow to tenant policies through the ordinary
+// on_capacity_change upcall, so POP's S_deserved = S * p math tracks the
+// lease exactly like it tracks crash-induced membership churn. Reclaiming a
+// busy slot never kills the job: it is cleanly snapshot-suspended (the §6.2.3
+// machinery) and requeued inside its study.
+//
+// Determinism: a multi-study run is a pure function of (specs, options) —
+// the merged event log is byte-identical across runs and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/experiment_result.hpp"
+#include "core/sap.hpp"
+#include "core/study/study_spec.hpp"
+#include "curve/predictor.hpp"
+#include "sim/simulation.hpp"
+#include "util/sim_time.hpp"
+#include "workload/trace.hpp"
+
+namespace hyperdrive::core {
+
+enum class ArbitrationMode {
+  StaticPartition,  ///< weighted split at admission, never rebalanced
+  FairShare,        ///< weighted fair share over unfinished studies
+  DeadlineAware,    ///< fair share + time-to-target urgency boosting
+};
+
+[[nodiscard]] std::string_view to_string(ArbitrationMode mode) noexcept;
+/// Parses "static" | "fair" | "deadline"; throws std::invalid_argument.
+[[nodiscard]] ArbitrationMode arbitration_from_string(const std::string& name);
+
+struct StudyManagerOptions {
+  /// Total machine slots shared by all studies.
+  std::size_t machines = 8;
+  ArbitrationMode arbitration = ArbitrationMode::FairShare;
+  /// Cadence of the rebalancing tick (FairShare / DeadlineAware only).
+  util::SimTime arbitration_interval = util::SimTime::minutes(10);
+  /// Hard stop for the whole multi-study run (per-study Tmax still applies).
+  util::SimTime max_time = util::SimTime::infinity();
+  /// Record the merged per-study event log (golden-trace determinism tests).
+  bool record_event_log = false;
+  std::uint64_t seed = 1;
+  /// DeadlineAware: slots transferred to an urgent study per tick.
+  std::size_t deadline_boost_slots = 2;
+  /// Curve-prediction urgency threshold: a study is urgent when the first
+  /// epoch with P(target reached) >= this confidence lands past the deadline.
+  double deadline_confidence = 0.5;
+  double epoch_jitter_sigma = 0.04;
+  /// Gray-failure detection & mitigation, applied to every tenant.
+  cluster::HealthOptions health;
+};
+
+/// What one study got out of the shared cluster.
+struct StudyOutcome {
+  StudySpec spec;
+  ExperimentResult result;
+  bool cancelled = false;
+  /// spec.has_deadline() && target reached by the deadline.
+  bool deadline_met = false;
+};
+
+struct MultiStudyResult {
+  std::vector<StudyOutcome> studies;
+  /// When the last study finished (or the manager's max_time).
+  util::SimTime total_time = util::SimTime::zero();
+  /// Arbitration ticks that actually changed at least one lease target.
+  std::size_t rebalances = 0;
+  /// Merged deterministic event log (empty unless record_event_log).
+  std::vector<std::string> event_log;
+
+  /// Roll the outcomes up into one ExperimentResult: counters summed,
+  /// job_stats concatenated (tagged with their study), reached_target only
+  /// when every study reached its target, time_to_target = the makespan over
+  /// studies, and one StudyRow per study.
+  [[nodiscard]] ExperimentResult aggregate() const;
+  /// One CSV row per study (EXPERIMENTS.md "Multi-study CSV schema").
+  /// Byte-deterministic: every number goes through one fixed format.
+  void save_csv(std::ostream& out) const;
+};
+
+class StudyManager {
+ public:
+  explicit StudyManager(StudyManagerOptions options);
+  ~StudyManager();
+  StudyManager(const StudyManager&) = delete;
+  StudyManager& operator=(const StudyManager&) = delete;
+
+  /// Admit a study, resolving its workload / generator / policy names
+  /// (trace realized here, so admission cost is paid up front). Throws
+  /// std::invalid_argument on unknown names or a duplicate study name.
+  void add_study(const StudySpec& spec);
+  /// Admit a study with an explicit trace and policy factory (tests, custom
+  /// policies). The factory runs once, inside run().
+  void add_study(StudySpec spec, workload::Trace trace,
+                 std::function<std::unique_ptr<SchedulingPolicy>()> policy_factory);
+
+  [[nodiscard]] std::size_t study_count() const noexcept;
+
+  /// Run every admitted study to completion (target / quiescence / Tmax /
+  /// cancel-at) under the configured arbitration. Single-use.
+  [[nodiscard]] MultiStudyResult run();
+
+ private:
+  struct Tenant;
+
+  /// Weighted-fair slot split over unfinished tenants (largest remainder,
+  /// every unfinished tenant gets at least one slot).
+  [[nodiscard]] std::vector<std::size_t> fair_targets() const;
+  /// Predictor-based remaining time-to-target estimate for a tenant;
+  /// infinity when no job has enough history to predict.
+  [[nodiscard]] util::SimTime estimate_time_to_target(const Tenant& tenant) const;
+  /// DeadlineAware adjustment on top of fair targets. Urgency latches per
+  /// tenant (cleared when the study finishes or its deadline passes), so the
+  /// boost cannot oscillate with a noisy estimate.
+  void apply_deadline_boost(std::vector<std::size_t>& targets);
+  /// Push new lease targets to tenants (shrink first, then grow) and pump.
+  void rebalance(bool count_tick);
+  /// Hand free pool slots to tenants below their lease target (round-robin).
+  void pump();
+  void on_study_finished(std::size_t index);
+  [[nodiscard]] std::size_t held_total() const;
+  [[nodiscard]] bool all_finished() const;
+
+  StudyManagerOptions options_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  std::shared_ptr<const curve::CurvePredictor> predictor_;
+  std::unique_ptr<sim::Simulation> sim_;
+  std::vector<std::string> event_log_;
+  sim::EventHandle arbitration_event_ = 0;
+  bool arbitration_armed_ = false;
+  /// DeadlineAware: last boosted split and the (finished, urgent) topology
+  /// it was computed for — reused verbatim until the topology changes.
+  std::vector<char> boost_key_;
+  std::vector<std::size_t> boost_targets_;
+  std::size_t rebalances_ = 0;
+  bool ran_ = false;
+};
+
+/// Convenience wrapper: admit `specs` into a fresh manager and run.
+[[nodiscard]] MultiStudyResult run_multi_study(const std::vector<StudySpec>& specs,
+                                               const StudyManagerOptions& options);
+
+}  // namespace hyperdrive::core

@@ -1,0 +1,66 @@
+// StudySpec — the declarative description of one tenant study in a
+// multi-study run (DESIGN.md §9): which workload to explore, with which
+// generator and scheduling policy, under what target/deadline/weight. A
+// StudyManager arbitrates cluster capacity between several of these.
+//
+// Specs have a plain-text on-disk format (one study per file) mirroring the
+// fault-plan format: `#` starts a comment, one directive per line, durations
+// in seconds with `inf` for unbounded, and load(save(s)) is a fixed point.
+//
+//   study prod-cifar
+//   workload cifar10          # cifar10 | lunarlander | ptb_lstm
+//   policy pop                # pop | bandit | earlyterm | default | hyperband
+//   generator random          # random | grid | adaptive | tpe
+//   configs 100
+//   target 0.92               # omit for the workload's default target
+//   deadline 14400            # seconds; omit or `inf` for none
+//   weight 2                  # fair-share weight (default 1)
+//   seed 7
+//   tmax 172800               # per-study Tmax in seconds (default 48 h)
+//   cancel-at inf             # tenant cancelled at this time (default never)
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+
+#include "util/sim_time.hpp"
+
+namespace hyperdrive::core {
+
+struct StudySpec {
+  std::string name;
+  std::string workload = "cifar10";
+  std::string policy = "pop";
+  std::string generator = "random";
+  std::size_t configs = 100;
+  /// Target performance; NaN (default) keeps the workload model's target.
+  double target = std::numeric_limits<double>::quiet_NaN();
+  /// Wall-clock deadline the owner wants the target met by; infinity = none.
+  util::SimTime deadline = util::SimTime::infinity();
+  /// Fair-share weight (capacity is split proportionally to weights).
+  double weight = 1.0;
+  std::uint64_t seed = 1;
+  /// Per-study Tmax: the study gives up at this time even if unfinished.
+  util::SimTime tmax = util::SimTime::hours(48);
+  /// When finite, the StudyManager cancels this study at this time (models a
+  /// tenant walking away; its capacity drains back to the pool).
+  util::SimTime cancel_at = util::SimTime::infinity();
+
+  [[nodiscard]] bool has_target_override() const noexcept { return !std::isnan(target); }
+  [[nodiscard]] bool has_deadline() const noexcept {
+    return deadline < util::SimTime::infinity();
+  }
+};
+
+/// Parse one study spec. Throws std::invalid_argument with a line-numbered
+/// message ("study spec line N: ...") on malformed input; a spec without a
+/// `study <name>` directive is rejected.
+[[nodiscard]] StudySpec load_study_spec(std::istream& in);
+
+/// Serialize so that load(save(spec)) == spec (17 significant digits).
+void save_study_spec(const StudySpec& spec, std::ostream& out);
+
+}  // namespace hyperdrive::core

@@ -23,8 +23,14 @@ SweepEngine::SweepEngine(SweepEngineOptions options)
 
 SweepTable SweepEngine::run(const SweepSpec& spec) const {
   if (spec.axes.empty()) throw std::invalid_argument("SweepSpec has no axes");
-  if (!spec.trace) throw std::invalid_argument("SweepSpec.trace is not set");
-  if (!spec.policy) throw std::invalid_argument("SweepSpec.policy is not set");
+  if (spec.run) {
+    if (spec.collect) {
+      throw std::invalid_argument("SweepSpec.collect is not supported with SweepSpec.run");
+    }
+  } else {
+    if (!spec.trace) throw std::invalid_argument("SweepSpec.trace is not set");
+    if (!spec.policy) throw std::invalid_argument("SweepSpec.policy is not set");
+  }
 
   SweepTable table;
   table.name = spec.name;
@@ -40,6 +46,11 @@ SweepTable SweepEngine::run(const SweepSpec& spec) const {
   const auto run_cell = [&](std::size_t i) {
     SweepRow row;
     row.cell = spec.cell(i);
+    if (spec.run) {
+      row.result = spec.run(row.cell);
+      table.rows[i] = std::move(row);
+      return;
+    }
     const auto trace = spec.trace(row.cell);
     const auto policy = spec.policy(row.cell);
     if (!policy) throw std::runtime_error("SweepSpec.policy returned null");

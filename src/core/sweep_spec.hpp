@@ -60,8 +60,16 @@ class SweepSpec {
   std::uint64_t base_seed = 1;
   std::vector<SweepAxis> axes;
 
-  /// Build the ground-truth trace for a cell. Required. Must be a pure
-  /// function of the cell (e.g. renoise(base, cell-derived seed)).
+  /// Custom cell executor (multi-study runs, external substrates): when set,
+  /// the engine calls `run` for each cell instead of the trace/policy/options
+  /// path (those callbacks may then stay unset, and `collect` must be unset —
+  /// there is no policy instance to hand it). Same purity contract: the
+  /// result must be a function of the cell alone.
+  std::function<ExperimentResult(const SweepCell&)> run;
+
+  /// Build the ground-truth trace for a cell. Required unless `run` is set.
+  /// Must be a pure function of the cell (e.g. renoise(base, cell-derived
+  /// seed)).
   std::function<workload::Trace(const SweepCell&)> trace;
   /// Build a fresh policy instance for a cell. Required (policies are
   /// stateful — never share one across cells).

@@ -1,0 +1,306 @@
+// StudyManager tests (multi-tenant study scheduling, DESIGN.md §9):
+//   * a single study routed through the manager is byte-identical to the
+//     plain single-tenant cluster path (event log and result);
+//   * fair-share arbitration hands a finished study's capacity to the
+//     survivors, static partitioning strands it;
+//   * cancellation drains a tenant and the pool absorbs its slots;
+//   * a 3-study mix is deterministic: two runs produce identical merged
+//     event logs and CSV bytes, and a SweepEngine fan-out over the custom
+//     `run` hook gives byte-identical tables at 1 and 8 worker threads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/policies/default_policy.hpp"
+#include "core/study/study_manager.hpp"
+#include "core/sweep_engine.hpp"
+#include "workload/trace.hpp"
+
+namespace hyperdrive::core {
+namespace {
+
+using util::SimTime;
+
+workload::Trace curved_trace(std::size_t jobs, std::size_t epochs, double top,
+                             double tau, double target) {
+  workload::Trace trace;
+  trace.workload_name = "curved";
+  trace.target_performance = target;
+  trace.kill_threshold = 0.0;
+  trace.evaluation_boundary = 2;
+  trace.max_epochs = epochs;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    workload::TraceJob job;
+    job.job_id = i + 1;
+    job.curve.epoch_duration = SimTime::seconds(60);
+    // Stagger asymptotes so exactly the last job reaches `top`.
+    const double ceiling = top * (0.7 + 0.3 * static_cast<double>(i + 1) /
+                                            static_cast<double>(jobs));
+    for (std::size_t e = 1; e <= epochs; ++e) {
+      job.curve.perf.push_back(
+          ceiling * (1.0 - std::exp(-static_cast<double>(e) / tau)));
+    }
+    trace.jobs.push_back(std::move(job));
+  }
+  return trace;
+}
+
+StudySpec make_spec(std::string name, std::uint64_t seed = 1) {
+  StudySpec spec;
+  spec.name = std::move(name);
+  spec.seed = seed;
+  spec.tmax = SimTime::hours(48);
+  return spec;
+}
+
+std::function<std::unique_ptr<SchedulingPolicy>()> default_policy_factory() {
+  return [] { return std::make_unique<DefaultPolicy>(); };
+}
+
+TEST(StudyManagerTest, SingleStudyIsByteIdenticalToOwnedCluster) {
+  const auto trace = curved_trace(6, 10, 0.9, 3.0, 0.85);
+
+  cluster::ClusterOptions co;
+  co.machines = 4;
+  co.seed = 5;
+  co.record_event_log = true;
+  DefaultPolicy owned_policy;
+  cluster::HyperDriveCluster owned(trace, co);
+  const auto owned_result = owned.run(owned_policy);
+
+  StudyManagerOptions options;
+  options.machines = 4;
+  options.record_event_log = true;
+  StudyManager manager(options);
+  auto spec = make_spec("solo", 5);
+  manager.add_study(spec, trace, default_policy_factory());
+  const auto multi = manager.run();
+
+  ASSERT_EQ(multi.studies.size(), 1u);
+  const auto& tenant_result = multi.studies[0].result;
+  // The whole event stream — allocation order, message timing, decisions —
+  // must match byte for byte.
+  ASSERT_EQ(multi.event_log.size(), owned.event_log().size());
+  for (std::size_t i = 0; i < multi.event_log.size(); ++i) {
+    EXPECT_EQ(multi.event_log[i], owned.event_log()[i]) << "line " << i;
+  }
+  EXPECT_EQ(tenant_result.reached_target, owned_result.reached_target);
+  EXPECT_EQ(tenant_result.time_to_target, owned_result.time_to_target);
+  EXPECT_EQ(tenant_result.total_time, owned_result.total_time);
+  EXPECT_EQ(tenant_result.total_machine_time, owned_result.total_machine_time);
+  EXPECT_EQ(tenant_result.suspends, owned_result.suspends);
+  EXPECT_EQ(tenant_result.terminations, owned_result.terminations);
+  EXPECT_EQ(tenant_result.jobs_started, owned_result.jobs_started);
+  EXPECT_EQ(tenant_result.winning_job, owned_result.winning_job);
+  ASSERT_EQ(tenant_result.job_stats.size(), owned_result.job_stats.size());
+  for (std::size_t i = 0; i < tenant_result.job_stats.size(); ++i) {
+    EXPECT_EQ(tenant_result.job_stats[i].epochs_completed,
+              owned_result.job_stats[i].epochs_completed);
+    EXPECT_EQ(tenant_result.job_stats[i].execution_time,
+              owned_result.job_stats[i].execution_time);
+  }
+  // A lone tenant holds the full pool for its whole run.
+  EXPECT_EQ(tenant_result.lease_grants, 0u);
+  EXPECT_EQ(tenant_result.lease_reclaims, 0u);
+}
+
+TEST(StudyManagerTest, FairShareHandsFinishedStudysSlotsToSurvivors) {
+  // "quick" reaches its target early; "slow" never does and grinds to Tmax
+  // ... well, to trace completion. Under FairShare the survivor inherits the
+  // quick study's slots; under StaticPartition they strand.
+  const auto quick = curved_trace(4, 8, 0.9, 2.0, 0.6);
+  const auto slow = curved_trace(8, 16, 0.5, 6.0, 0.99);
+
+  const auto run_mode = [&](ArbitrationMode mode) {
+    StudyManagerOptions options;
+    options.machines = 6;
+    options.arbitration = mode;
+    options.arbitration_interval = SimTime::minutes(5);
+    StudyManager manager(options);
+    manager.add_study(make_spec("quick", 2), quick, default_policy_factory());
+    manager.add_study(make_spec("slow", 3), slow, default_policy_factory());
+    return manager.run();
+  };
+
+  const auto fair = run_mode(ArbitrationMode::FairShare);
+  ASSERT_EQ(fair.studies.size(), 2u);
+  EXPECT_TRUE(fair.studies[0].result.reached_target);
+  // The survivor received the quick study's drained slots.
+  EXPECT_GE(fair.studies[1].result.lease_grants, 3u);
+
+  const auto fixed = run_mode(ArbitrationMode::StaticPartition);
+  ASSERT_EQ(fixed.studies.size(), 2u);
+  EXPECT_TRUE(fixed.studies[0].result.reached_target);
+  EXPECT_EQ(fixed.studies[1].result.lease_grants, 0u);
+  // Inherited capacity means the fair-share survivor finishes no later.
+  EXPECT_LE(fair.studies[1].result.total_time, fixed.studies[1].result.total_time);
+  // Slot-seconds ledger: the fair survivor was charged for more capacity.
+  EXPECT_GT(fair.studies[1].result.slot_seconds, fixed.studies[1].result.slot_seconds);
+}
+
+TEST(StudyManagerTest, CancellationDrainsTheTenant) {
+  const auto a = curved_trace(8, 16, 0.5, 6.0, 0.99);  // never reaches target
+  const auto b = curved_trace(8, 16, 0.5, 6.0, 0.99);
+
+  StudyManagerOptions options;
+  options.machines = 4;
+  options.arbitration = ArbitrationMode::FairShare;
+  options.record_event_log = true;
+  StudyManager manager(options);
+  auto cancelled = make_spec("doomed", 4);
+  cancelled.cancel_at = SimTime::minutes(10);
+  manager.add_study(cancelled, a, default_policy_factory());
+  manager.add_study(make_spec("survivor", 5), b, default_policy_factory());
+  const auto result = manager.run();
+
+  ASSERT_EQ(result.studies.size(), 2u);
+  EXPECT_TRUE(result.studies[0].cancelled);
+  EXPECT_FALSE(result.studies[0].result.reached_target);
+  EXPECT_EQ(result.studies[0].result.total_time, SimTime::minutes(10));
+  EXPECT_FALSE(result.studies[1].cancelled);
+  // The survivor inherited the cancelled study's slots and its jobs all ran.
+  EXPECT_GE(result.studies[1].result.lease_grants, 1u);
+  EXPECT_EQ(result.studies[1].result.jobs_started, 8u);
+  const auto agg = result.aggregate();
+  ASSERT_EQ(agg.study_rows.size(), 2u);
+  EXPECT_TRUE(agg.study_rows[0].cancelled);
+  EXPECT_FALSE(agg.reached_target);
+  // The merged log attributes every tenant line.
+  bool saw_cancel = false;
+  for (const auto& line : result.event_log) {
+    if (line.find("study=doomed study-cancelled") != std::string::npos) saw_cancel = true;
+  }
+  EXPECT_TRUE(saw_cancel);
+}
+
+MultiStudyResult run_three_study_mix(std::uint64_t base_seed) {
+  StudyManagerOptions options;
+  options.machines = 6;
+  options.arbitration = ArbitrationMode::FairShare;
+  options.arbitration_interval = SimTime::minutes(5);
+  options.record_event_log = true;
+  options.seed = base_seed;
+  StudyManager manager(options);
+  manager.add_study(make_spec("alpha", base_seed ^ 11),
+                    curved_trace(6, 12, 0.9, 3.0, 0.85),
+                    default_policy_factory());
+  manager.add_study(make_spec("beta", base_seed ^ 22),
+                    curved_trace(8, 10, 0.6, 4.0, 0.99),
+                    default_policy_factory());
+  auto gamma = make_spec("gamma", base_seed ^ 33);
+  gamma.weight = 2.0;
+  manager.add_study(gamma, curved_trace(4, 8, 0.9, 2.0, 0.75),
+                    default_policy_factory());
+  return manager.run();
+}
+
+std::string csv_bytes(const MultiStudyResult& result) {
+  std::ostringstream out;
+  result.save_csv(out);
+  return out.str();
+}
+
+TEST(StudyManagerTest, ThreeStudyMixIsDeterministic) {
+  const auto a = run_three_study_mix(9);
+  const auto b = run_three_study_mix(9);
+  ASSERT_FALSE(a.event_log.empty());
+  ASSERT_EQ(a.event_log.size(), b.event_log.size());
+  for (std::size_t i = 0; i < a.event_log.size(); ++i) {
+    ASSERT_EQ(a.event_log[i], b.event_log[i]) << "line " << i;
+  }
+  EXPECT_EQ(csv_bytes(a), csv_bytes(b));
+  EXPECT_EQ(a.rebalances, b.rebalances);
+  EXPECT_EQ(a.total_time, b.total_time);
+  // Every line of a multi-study log is attributed to its tenant.
+  for (const auto& line : a.event_log) {
+    EXPECT_NE(line.find(" study="), std::string::npos) << line;
+  }
+}
+
+TEST(StudyManagerTest, SweepOverRunHookIsThreadCountInvariant) {
+  // Four independent multi-study cells via the SweepEngine's custom-run
+  // hook; slot-per-cell writes keep the table identical at any thread count.
+  const auto make_sweep = [&](std::vector<std::vector<std::string>>& logs) {
+    SweepSpec spec;
+    spec.name = "multi_study_mix";
+    spec.base_seed = 17;
+    spec.add_repeat_axis(4);
+    logs.assign(4, {});
+    spec.run = [&logs](const SweepCell& cell) {
+      auto result = run_three_study_mix(cell.seed);
+      logs[cell.linear] = std::move(result.event_log);
+      return result.aggregate();
+    };
+    return spec;
+  };
+
+  std::vector<std::vector<std::string>> serial_logs, parallel_logs;
+  const auto serial_spec = make_sweep(serial_logs);
+  const auto serial = run_sweep(serial_spec, 1);
+  const auto parallel_spec = make_sweep(parallel_logs);
+  const auto parallel = run_sweep(parallel_spec, 8);
+
+  std::ostringstream sa, sb;
+  serial.save_csv(sa);
+  parallel.save_csv(sb);
+  EXPECT_EQ(sa.str(), sb.str());
+  ASSERT_EQ(serial_logs.size(), parallel_logs.size());
+  for (std::size_t c = 0; c < serial_logs.size(); ++c) {
+    ASSERT_FALSE(serial_logs[c].empty()) << "cell " << c;
+    EXPECT_EQ(serial_logs[c], parallel_logs[c]) << "cell " << c;
+  }
+}
+
+TEST(StudyManagerTest, DeadlineAwareModeRunsAndFlagsDeadlines) {
+  StudyManagerOptions options;
+  options.machines = 6;
+  options.arbitration = ArbitrationMode::DeadlineAware;
+  options.arbitration_interval = SimTime::minutes(5);
+  StudyManager manager(options);
+  auto urgent = make_spec("urgent", 8);
+  urgent.deadline = SimTime::hours(1);
+  manager.add_study(urgent, curved_trace(6, 12, 0.9, 3.0, 0.85),
+                    default_policy_factory());
+  manager.add_study(make_spec("background", 9),
+                    curved_trace(8, 16, 0.5, 6.0, 0.99),
+                    default_policy_factory());
+  const auto result = manager.run();
+
+  ASSERT_EQ(result.studies.size(), 2u);
+  const auto& u = result.studies[0];
+  EXPECT_EQ(u.deadline_met,
+            u.result.reached_target && u.result.time_to_target <= SimTime::hours(1));
+  const auto agg = result.aggregate();
+  ASSERT_EQ(agg.study_rows.size(), 2u);
+  EXPECT_TRUE(agg.study_rows[0].had_deadline);
+  EXPECT_FALSE(agg.study_rows[1].had_deadline);
+}
+
+TEST(StudyManagerTest, RejectsBadConfigurations) {
+  StudyManagerOptions options;
+  options.machines = 1;
+  StudyManager manager(options);
+  manager.add_study(make_spec("a"), curved_trace(2, 4, 0.9, 2.0, 0.5),
+                    default_policy_factory());
+  EXPECT_THROW(
+      manager.add_study(make_spec("a"), curved_trace(2, 4, 0.9, 2.0, 0.5),
+                        default_policy_factory()),
+      std::invalid_argument);  // duplicate name
+  manager.add_study(make_spec("b"), curved_trace(2, 4, 0.9, 2.0, 0.5),
+                    default_policy_factory());
+  EXPECT_THROW((void)manager.run(), std::invalid_argument);  // pool too small
+
+  StudyManager empty{StudyManagerOptions{}};
+  EXPECT_THROW((void)empty.run(), std::invalid_argument);
+
+  EXPECT_THROW((void)arbitration_from_string("roundrobin"), std::invalid_argument);
+  EXPECT_EQ(arbitration_from_string("deadline"), ArbitrationMode::DeadlineAware);
+  EXPECT_EQ(to_string(ArbitrationMode::StaticPartition), "static");
+}
+
+}  // namespace
+}  // namespace hyperdrive::core

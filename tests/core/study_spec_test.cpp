@@ -1,0 +1,126 @@
+// Round-trip and error-reporting tests for the study-spec text format
+// (README "Study files", DESIGN.md §9): save_study_spec(load_study_spec(t))
+// reproduces the text exactly, defaults survive the trip, and malformed
+// input fails with a line number.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "core/study/study_spec.hpp"
+
+namespace hyperdrive::core {
+namespace {
+
+using util::SimTime;
+
+StudySpec full_spec() {
+  StudySpec spec;
+  spec.name = "prod-cifar";
+  spec.workload = "cifar10";
+  spec.policy = "pop";
+  spec.generator = "tpe";
+  spec.configs = 64;
+  spec.target = 0.925;
+  spec.deadline = SimTime::hours(4.5);
+  spec.weight = 2.5;
+  spec.seed = 42;
+  spec.tmax = SimTime::hours(24);
+  spec.cancel_at = SimTime::hours(30);
+  return spec;
+}
+
+std::string save(const StudySpec& spec) {
+  std::ostringstream out;
+  save_study_spec(spec, out);
+  return out.str();
+}
+
+StudySpec load(const std::string& text) {
+  std::istringstream in(text);
+  return load_study_spec(in);
+}
+
+void expect_equal(const StudySpec& a, const StudySpec& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.generator, b.generator);
+  EXPECT_EQ(a.configs, b.configs);
+  EXPECT_EQ(std::isnan(a.target), std::isnan(b.target));
+  if (!std::isnan(a.target)) EXPECT_EQ(a.target, b.target);
+  EXPECT_EQ(a.deadline, b.deadline);
+  EXPECT_EQ(a.weight, b.weight);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.tmax, b.tmax);
+  EXPECT_EQ(a.cancel_at, b.cancel_at);
+}
+
+TEST(StudySpecIoTest, SaveLoadIsAFixedPoint) {
+  const StudySpec spec = full_spec();
+  const std::string text = save(spec);
+  const StudySpec loaded = load(text);
+  expect_equal(spec, loaded);
+  EXPECT_EQ(save(loaded), text);
+}
+
+TEST(StudySpecIoTest, DefaultsSurviveTheTrip) {
+  StudySpec spec;
+  spec.name = "plain";
+  const StudySpec loaded = load(save(spec));
+  expect_equal(spec, loaded);
+  EXPECT_FALSE(loaded.has_target_override());
+  EXPECT_FALSE(loaded.has_deadline());
+  EXPECT_EQ(loaded.cancel_at, SimTime::infinity());
+  // Optional directives are omitted, not written as sentinels.
+  const std::string text = save(spec);
+  EXPECT_EQ(text.find("target"), std::string::npos);
+  EXPECT_EQ(text.find("deadline"), std::string::npos);
+  EXPECT_EQ(text.find("weight"), std::string::npos);
+  EXPECT_EQ(text.find("cancel-at"), std::string::npos);
+}
+
+TEST(StudySpecIoTest, ParsesCommentsBlanksAndInf) {
+  const StudySpec spec = load(
+      "# a tenant\n"
+      "study exp-7   # inline comment\n"
+      "\n"
+      "workload lunarlander\n"
+      "policy bandit\n"
+      "deadline inf\n"
+      "tmax 3600\n");
+  EXPECT_EQ(spec.name, "exp-7");
+  EXPECT_EQ(spec.workload, "lunarlander");
+  EXPECT_EQ(spec.policy, "bandit");
+  EXPECT_FALSE(spec.has_deadline());
+  EXPECT_EQ(spec.tmax, SimTime::seconds(3600));
+}
+
+TEST(StudySpecIoTest, ErrorsCarryLineNumbers) {
+  EXPECT_THROW(load("study a\nbogus 1\n"), std::invalid_argument);
+  try {
+    load("study a\nbogus 1\n");
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(load("study a\ndeadline shortly\n"), std::invalid_argument);
+  EXPECT_THROW(load("study a\nconfigs 0\n"), std::invalid_argument);
+  EXPECT_THROW(load("study a\nconfigs 2.5\n"), std::invalid_argument);
+  EXPECT_THROW(load("study a\nweight 0\n"), std::invalid_argument);
+  EXPECT_THROW(load("study a\nweight inf\n"), std::invalid_argument);
+  EXPECT_THROW(load("study a\nseed\n"), std::invalid_argument);
+  EXPECT_THROW(load("study a b\n"), std::invalid_argument);  // trailing token
+}
+
+TEST(StudySpecIoTest, RejectsUnnamedSpec) {
+  EXPECT_THROW(load("workload cifar10\n"), std::invalid_argument);
+  try {
+    load("workload cifar10\n");
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("study"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hyperdrive::core
