@@ -4,19 +4,25 @@
 //   hyperdrive_cli --workload cifar10 --policy pop --machines 4 --repeats 3
 //   hyperdrive_cli --workload lunarlander --policy bandit --substrate cluster
 //   hyperdrive_cli --workload ptb_lstm --policy hyperband --generator tpe
+//   hyperdrive_cli --trace-out run.csv --metrics-out metrics.csv ...
 //   hyperdrive_cli --help
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <map>
 #include <string>
 
+#include "cluster/cluster.hpp"
 #include "core/experiment_runner.hpp"
 #include "core/policies/barrier_policy.hpp"
 #include "core/study/study_manager.hpp"
 #include "core/sweep_engine.hpp"
 #include "core/policies/hyperband_policy.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "util/cli_options.hpp"
+#include "util/log.hpp"
 #include "util/stats.hpp"
 #include "workload/cifar_model.hpp"
 #include "workload/lunar_model.hpp"
@@ -26,7 +32,7 @@ using namespace hyperdrive;
 
 namespace {
 
-struct CliOptions {
+struct CliConfig {
   std::string workload = "cifar10";
   std::string policy = "pop";
   std::string generator = "random";
@@ -45,6 +51,9 @@ struct CliOptions {
   bool stop_on_target = true;
   bool barrier = false;
   bool verbose = false;
+  /// Observability exports (DESIGN.md §10).
+  std::string trace_out;
+  std::string metrics_out;
   /// Fault profile (cluster substrate only; see DESIGN.md "Fault model").
   cluster::FaultPlan fault_plan;
   /// Gray-failure detection & mitigation (cluster substrate only; §7).
@@ -54,146 +63,119 @@ struct CliOptions {
   std::string arbitration = "fair";
 };
 
-void print_usage() {
-  std::printf(
-      "hyperdrive_cli — run a hyperparameter-exploration experiment\n\n"
-      "options (defaults in brackets):\n"
-      "  --workload cifar10|lunarlander|ptb_lstm   [cifar10]\n"
-      "  --policy pop|bandit|earlyterm|default|hyperband  [pop]\n"
-      "  --generator random|grid|adaptive|tpe      [random]\n"
-      "  --substrate replay|cluster                [replay]\n"
-      "  --machines N                              [4]\n"
-      "  --configs N                               [100]\n"
-      "  --repeats N   (fresh training noise each) [1]\n"
-      "  --jobs N      (parallel sweep workers, 0 = all cores; results\n"
-      "                 are identical for any N)           [0]\n"
-      "  --csv FILE    (write the per-repeat sweep table as CSV)\n"
-      "  --seed S                                  [1]\n"
-      "  --tmax-hours H                            [48]\n"
-      "  --run-all     (don't stop at the target)\n"
-      "  --barrier     (barrier-like breadth-first epoch scheduling)\n"
-      "  --save-trace FILE  (write the trace CSV)\n"
-      "  --verbose\n"
-      "  --help\n"
-      "fault injection (cluster substrate only; deterministic per seed):\n"
-      "  --fault-plan FILE          load a full fault plan from FILE (see\n"
-      "                             DESIGN.md; combines with the flags below)\n"
-      "  --health                   enable gray-failure detection & mitigation\n"
-      "                             (heartbeats, quarantine, straggler migration)\n"
-      "  --fault-drop P             drop each message with probability P\n"
-      "  --fault-dup P              duplicate each message with probability P\n"
-      "  --fault-delay P            delay messages with probability P (exp, 0.2s mean)\n"
-      "  --fault-crash M:T[:R]      crash machine M at T hours; restart after R hours\n"
-      "                             (omit R for a permanent loss; repeatable)\n"
-      "  --fault-snapshot-fail P    snapshot capture/upload aborts with probability P\n"
-      "  --fault-snapshot-corrupt P stored snapshot gets a flipped bit with prob. P\n"
-      "  --fault-seed S             seed of the fault decision stream    [0]\n"
-      "multi-study mode (README \"Multi-tenant studies\"):\n"
-      "  --study FILE               admit the study described by FILE (repeat\n"
-      "                             the flag for concurrent studies; each file\n"
-      "                             names its own workload/policy/target/deadline\n"
-      "                             and the studies share the --machines pool)\n"
-      "  --arbitration static|fair|deadline   capacity arbitration  [fair]\n"
-      "                             (--csv then writes the multi-study table)\n");
-}
+/// The full flag table; --help is generated from it, so the usage screen and
+/// the parser cannot drift apart.
+cli::Options make_options(CliConfig& config) {
+  cli::Options options("hyperdrive_cli",
+                       "run a hyperparameter-exploration experiment");
+  options.section("experiment (defaults in brackets)");
+  options.bind("--workload", "NAME", "cifar10|lunarlander|ptb_lstm  [cifar10]",
+               config.workload);
+  options.bind("--policy", "NAME", "pop|bandit|earlyterm|default|hyperband  [pop]",
+               config.policy);
+  options.bind("--generator", "NAME", "random|grid|adaptive|tpe  [random]",
+               config.generator);
+  options.bind("--substrate", "NAME", "replay|cluster  [replay]", config.substrate);
+  options.bind("--machines", "N", "machine slots  [4]", config.machines);
+  options.bind("--configs", "N", "hyperparameter configurations  [100]", config.configs);
+  options.bind("--repeats", "N", "repeats (fresh training noise each)  [1]",
+               config.repeats);
+  options.bind("--jobs", "N",
+               "parallel sweep workers, 0 = all cores; results\n"
+               "are identical for any N  [0]",
+               config.jobs);
+  options.bind("--csv", "FILE", "write the per-repeat sweep table as CSV", config.csv);
+  options.bind("--seed", "S", "base seed  [1]", config.seed);
+  options.bind("--tmax-hours", "H", "experiment time limit  [48]", config.tmax_hours);
+  options.add_flag("--run-all", "don't stop at the target",
+                   [&config]() { config.stop_on_target = false; });
+  options.add_flag("--barrier", "barrier-like breadth-first epoch scheduling",
+                   config.barrier);
+  options.bind("--save-trace", "FILE", "write the trace CSV", config.save_trace);
+  options.add_flag("--verbose", "per-job epoch summary after each repeat",
+                   config.verbose);
 
-bool parse_args(int argc, char** argv, CliOptions& options) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--help" || arg == "-h") {
-      print_usage();
-      std::exit(0);
-    } else if (arg == "--workload") {
-      options.workload = next();
-    } else if (arg == "--policy") {
-      options.policy = next();
-    } else if (arg == "--generator") {
-      options.generator = next();
-    } else if (arg == "--substrate") {
-      options.substrate = next();
-    } else if (arg == "--machines") {
-      options.machines = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--configs") {
-      options.configs = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--repeats") {
-      options.repeats = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--jobs") {
-      options.jobs = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--csv") {
-      options.csv = next();
-    } else if (arg == "--seed") {
-      options.seed = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--tmax-hours") {
-      options.tmax_hours = std::strtod(next(), nullptr);
-    } else if (arg == "--run-all") {
-      options.stop_on_target = false;
-    } else if (arg == "--barrier") {
-      options.barrier = true;
-    } else if (arg == "--fault-plan") {
-      const char* path = next();
-      std::ifstream in(path);
-      if (!in) {
-        std::fprintf(stderr, "cannot open fault plan '%s'\n", path);
-        return false;
-      }
-      try {
-        options.fault_plan = cluster::load_fault_plan(in);
-      } catch (const std::exception& e) {
-        std::fprintf(stderr, "bad fault plan '%s': %s\n", path, e.what());
-        return false;
-      }
-    } else if (arg == "--health") {
-      options.health = true;
-    } else if (arg == "--study") {
-      options.studies.emplace_back(next());
-    } else if (arg == "--arbitration") {
-      options.arbitration = next();
-    } else if (arg == "--fault-drop") {
-      options.fault_plan.default_message_faults.drop_prob = std::strtod(next(), nullptr);
-    } else if (arg == "--fault-dup") {
-      options.fault_plan.default_message_faults.duplicate_prob =
-          std::strtod(next(), nullptr);
-    } else if (arg == "--fault-delay") {
-      options.fault_plan.default_message_faults.delay_prob = std::strtod(next(), nullptr);
-    } else if (arg == "--fault-crash") {
-      // M:T[:R] — machine, crash time in hours, optional restart delay hours.
-      const std::string spec = next();
-      cluster::NodeCrashEvent crash;
-      char* rest = nullptr;
-      crash.machine =
-          static_cast<cluster::MachineId>(std::strtoull(spec.c_str(), &rest, 10));
-      if (rest == nullptr || *rest != ':') {
-        std::fprintf(stderr, "bad --fault-crash spec '%s' (want M:T[:R])\n", spec.c_str());
-        return false;
-      }
-      crash.at = util::SimTime::hours(std::strtod(rest + 1, &rest));
-      if (rest != nullptr && *rest == ':') {
-        crash.restart_after = util::SimTime::hours(std::strtod(rest + 1, nullptr));
-      }
-      options.fault_plan.crashes.push_back(crash);
-    } else if (arg == "--fault-snapshot-fail") {
-      options.fault_plan.snapshot_upload_fail_prob = std::strtod(next(), nullptr);
-    } else if (arg == "--fault-snapshot-corrupt") {
-      options.fault_plan.snapshot_corrupt_prob = std::strtod(next(), nullptr);
-    } else if (arg == "--fault-seed") {
-      options.fault_plan.seed = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--save-trace") {
-      options.save_trace = next();
-    } else if (arg == "--verbose") {
-      options.verbose = true;
-    } else {
-      std::fprintf(stderr, "unknown option: %s (try --help)\n", arg.c_str());
-      return false;
-    }
-  }
-  return true;
+  options.section("observability (DESIGN.md \"Observability\")");
+  options.bind("--trace-out", "FILE",
+               "write the typed event timeline: single/sweep runs emit the\n"
+               "cell-prefixed timeline CSV, multi-study runs the plain\n"
+               "timeline (\".jsonl\" extension selects JSONL there)",
+               config.trace_out);
+  options.bind("--metrics-out", "FILE",
+               "write the end-of-run metrics snapshot CSV", config.metrics_out);
+  options.add("--log-level", "LEVEL",
+              "debug|info|warn|error|off (overrides HD_LOG)  [warn]",
+              [](const std::string& level) {
+                util::set_log_level(util::log_level_from_string(level));
+                return true;
+              });
+
+  options.section("fault injection (cluster substrate only; deterministic per seed)");
+  options.add("--fault-plan", "FILE",
+              "load a full fault plan from FILE (see DESIGN.md;\n"
+              "combines with the flags below)",
+              [&config](const std::string& path) {
+                std::ifstream in(path);
+                if (!in) {
+                  throw std::invalid_argument("cannot open fault plan '" + path + "'");
+                }
+                config.fault_plan = cluster::load_fault_plan(in);
+                return true;
+              });
+  options.add_flag("--health",
+                   "enable gray-failure detection & mitigation\n"
+                   "(heartbeats, quarantine, straggler migration)",
+                   config.health);
+  options.bind("--fault-drop", "P", "drop each message with probability P",
+               config.fault_plan.default_message_faults.drop_prob);
+  options.bind("--fault-dup", "P", "duplicate each message with probability P",
+               config.fault_plan.default_message_faults.duplicate_prob);
+  options.bind("--fault-delay", "P",
+               "delay messages with probability P (exp, 0.2s mean)",
+               config.fault_plan.default_message_faults.delay_prob);
+  options.add("--fault-crash", "M:T[:R]",
+              "crash machine M at T hours; restart after R hours\n"
+              "(omit R for a permanent loss; repeatable)",
+              [&config](const std::string& spec) {
+                cluster::NodeCrashEvent crash;
+                char* rest = nullptr;
+                crash.machine = static_cast<cluster::MachineId>(
+                    std::strtoull(spec.c_str(), &rest, 10));
+                if (rest == nullptr || *rest != ':') {
+                  throw std::invalid_argument("'" + spec + "' (want M:T[:R])");
+                }
+                crash.at = util::SimTime::hours(std::strtod(rest + 1, &rest));
+                if (rest != nullptr && *rest == ':') {
+                  crash.restart_after =
+                      util::SimTime::hours(std::strtod(rest + 1, nullptr));
+                }
+                config.fault_plan.crashes.push_back(crash);
+                return true;
+              });
+  options.bind("--fault-snapshot-fail", "P",
+               "snapshot capture/upload aborts with probability P",
+               config.fault_plan.snapshot_upload_fail_prob);
+  options.bind("--fault-snapshot-corrupt", "P",
+               "stored snapshot gets a flipped bit with probability P",
+               config.fault_plan.snapshot_corrupt_prob);
+  options.bind("--fault-seed", "S", "seed of the fault decision stream  [0]",
+               config.fault_plan.seed);
+
+  options.section("multi-study mode (README \"Multi-tenant studies\")");
+  options.add("--study", "FILE",
+              "admit the study described by FILE (repeat the flag for\n"
+              "concurrent studies; each file names its own workload/\n"
+              "policy/target/deadline and the studies share the\n"
+              "--machines pool)",
+              [&config](const std::string& path) {
+                config.studies.push_back(path);
+                return true;
+              });
+  options.bind("--arbitration", "MODE",
+               "static|fair|deadline capacity arbitration  [fair]\n"
+               "(--csv then writes the multi-study table)",
+               config.arbitration);
+  return options;
 }
 
 std::unique_ptr<workload::WorkloadModel> make_workload(const std::string& name) {
@@ -215,39 +197,39 @@ std::unique_ptr<core::HyperparameterGenerator> make_generator(
   std::exit(2);
 }
 
-std::unique_ptr<core::SchedulingPolicy> make_base_policy(const CliOptions& options,
+std::unique_ptr<core::SchedulingPolicy> make_base_policy(const CliConfig& config,
                                                          std::uint64_t repeat);
 
-std::unique_ptr<core::SchedulingPolicy> make_cli_policy(const CliOptions& options,
+std::unique_ptr<core::SchedulingPolicy> make_cli_policy(const CliConfig& config,
                                                         std::uint64_t repeat) {
-  auto policy = make_base_policy(options, repeat);
-  if (options.barrier) {
+  auto policy = make_base_policy(config, repeat);
+  if (config.barrier) {
     return std::make_unique<core::BarrierPolicy>(std::move(policy));
   }
   return policy;
 }
 
-std::unique_ptr<core::SchedulingPolicy> make_base_policy(const CliOptions& options,
+std::unique_ptr<core::SchedulingPolicy> make_base_policy(const CliConfig& config,
                                                          std::uint64_t repeat) {
-  if (options.policy == "hyperband") {
+  if (config.policy == "hyperband") {
     return std::make_unique<core::HyperbandPolicy>();
   }
   core::PolicySpec spec;
-  if (options.policy == "pop") {
+  if (config.policy == "pop") {
     spec.kind = core::PolicyKind::Pop;
-  } else if (options.policy == "bandit") {
+  } else if (config.policy == "bandit") {
     spec.kind = core::PolicyKind::Bandit;
-  } else if (options.policy == "earlyterm") {
+  } else if (config.policy == "earlyterm") {
     spec.kind = core::PolicyKind::EarlyTerm;
-  } else if (options.policy == "default") {
+  } else if (config.policy == "default") {
     spec.kind = core::PolicyKind::Default;
   } else {
-    std::fprintf(stderr, "unknown policy: %s\n", options.policy.c_str());
+    std::fprintf(stderr, "unknown policy: %s\n", config.policy.c_str());
     std::exit(2);
   }
-  const auto predictor = core::make_default_predictor(options.seed ^ repeat);
+  const auto predictor = core::make_default_predictor(config.seed ^ repeat);
   spec.pop.predictor = predictor;
-  spec.pop.tmax = util::SimTime::hours(options.tmax_hours);
+  spec.pop.tmax = util::SimTime::hours(config.tmax_hours);
   spec.earlyterm.predictor = predictor;
   return core::make_policy(spec);
 }
@@ -255,9 +237,9 @@ std::unique_ptr<core::SchedulingPolicy> make_base_policy(const CliOptions& optio
 /// Multi-study mode: every --study file becomes a tenant of one shared
 /// cluster; the remaining single-experiment flags are ignored (each spec
 /// names its own workload/policy/generator/seed).
-int run_studies(const CliOptions& options) {
+int run_studies(const CliConfig& config) {
   std::vector<core::StudySpec> specs;
-  for (const auto& path : options.studies) {
+  for (const auto& path : config.studies) {
     std::ifstream in(path);
     if (!in) {
       std::fprintf(stderr, "cannot open study file '%s'\n", path.c_str());
@@ -272,18 +254,29 @@ int run_studies(const CliOptions& options) {
   }
 
   core::StudyManagerOptions manager_options;
-  manager_options.machines = options.machines;
-  manager_options.seed = options.seed;
-  manager_options.health.enabled = options.health;
+  manager_options.machines = config.machines;
+  manager_options.seed = config.seed;
+  manager_options.health.enabled = config.health;
   try {
-    manager_options.arbitration = core::arbitration_from_string(options.arbitration);
+    manager_options.arbitration = core::arbitration_from_string(config.arbitration);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
 
+  // One shared scope: every tenant cluster publishes into the same registry
+  // and sink; events carry their study name, so the merged timeline stays
+  // attributable.
+  obs::MetricsRegistry registry;
+  obs::RecordingSink sink;
+  if (!config.metrics_out.empty()) {
+    cluster::preregister_cluster_metrics(registry);
+    manager_options.obs.metrics = &registry;
+  }
+  if (!config.trace_out.empty()) manager_options.obs.sink = &sink;
+
   std::printf("multi-study: %zu studies, machines=%zu, arbitration=%s\n",
-              specs.size(), options.machines,
+              specs.size(), config.machines,
               std::string(core::to_string(manager_options.arbitration)).c_str());
   core::MultiStudyResult result;
   try {
@@ -309,10 +302,19 @@ int run_studies(const CliOptions& options) {
   }
   std::printf("total %s, rebalances=%zu\n",
               util::format_duration(result.total_time).c_str(), result.rebalances);
-  if (!options.csv.empty()) {
-    std::ofstream out(options.csv);
+  if (!config.csv.empty()) {
+    std::ofstream out(config.csv);
     result.save_csv(out);
-    std::printf("multi-study table written to %s\n", options.csv.c_str());
+    std::printf("multi-study table written to %s\n", config.csv.c_str());
+  }
+  if (!config.trace_out.empty()) {
+    obs::save_timeline_file(config.trace_out, sink.events);
+    std::printf("timeline (%zu events) written to %s\n", sink.events.size(),
+                config.trace_out.c_str());
+  }
+  if (!config.metrics_out.empty()) {
+    registry.save_csv_file(config.metrics_out);
+    std::printf("metrics snapshot written to %s\n", config.metrics_out.c_str());
   }
   return 0;
 }
@@ -320,77 +322,97 @@ int run_studies(const CliOptions& options) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  CliOptions options;
-  if (!parse_args(argc, argv, options)) return 2;
-  if (!options.studies.empty()) return run_studies(options);
-  if (options.fault_plan.any() && options.substrate != "cluster") {
+  util::init_log_level_from_env();  // HD_LOG; --log-level overrides
+  CliConfig config;
+  const cli::Options options = make_options(config);
+  if (!options.parse(argc, argv)) return 2;
+  if (!config.studies.empty()) return run_studies(config);
+  if (config.fault_plan.any() && config.substrate != "cluster") {
     std::fprintf(stderr, "fault injection requires --substrate cluster\n");
     return 2;
   }
-  if (options.health && options.substrate != "cluster") {
+  if (config.health && config.substrate != "cluster") {
     std::fprintf(stderr, "--health requires --substrate cluster\n");
     return 2;
   }
 
-  const auto model = make_workload(options.workload);
+  const auto model = make_workload(config.workload);
   const auto generator =
-      make_generator(options.generator, model->space(), options.seed);
-  const auto base = core::trace_from_generator(*model, *generator, options.configs,
-                                               options.seed, /*report_feedback=*/true);
-  if (!options.save_trace.empty()) {
-    std::ofstream out(options.save_trace);
+      make_generator(config.generator, model->space(), config.seed);
+  const auto base = core::trace_from_generator(*model, *generator, config.configs,
+                                               config.seed, /*report_feedback=*/true);
+  if (!config.save_trace.empty()) {
+    std::ofstream out(config.save_trace);
     base.save_csv(out);
-    std::printf("trace written to %s\n", options.save_trace.c_str());
+    std::printf("trace written to %s\n", config.save_trace.c_str());
   }
 
   std::printf("workload=%s policy=%s generator=%s machines=%zu configs=%zu "
               "substrate=%s repeats=%zu\n",
-              options.workload.c_str(), options.policy.c_str(), options.generator.c_str(),
-              options.machines, options.configs, options.substrate.c_str(),
-              options.repeats);
+              config.workload.c_str(), config.policy.c_str(), config.generator.c_str(),
+              config.machines, config.configs, config.substrate.c_str(),
+              config.repeats);
   if (!base.target_reachable()) {
     std::printf("note: no configuration in this set reaches the target %.3f\n",
                 base.target_performance);
   }
+
+  // Shared metrics registry: counters commute, and preregistration pins the
+  // export order, so the snapshot is byte-deterministic under --jobs N.
+  obs::MetricsRegistry registry;
+  if (!config.metrics_out.empty()) cluster::preregister_cluster_metrics(registry);
 
   // Every repeat is an independent sweep cell (fresh noise, fresh policy),
   // executed by the SweepEngine — in parallel under --jobs, with results
   // identical to the serial run (DESIGN.md §8).
   core::SweepSpec spec;
   spec.name = "hyperdrive_cli";
-  spec.base_seed = options.seed;
-  const auto repeat_ax = spec.add_repeat_axis(options.repeats);
+  spec.base_seed = config.seed;
+  spec.capture_events = !config.trace_out.empty();
+  const auto repeat_ax = spec.add_repeat_axis(config.repeats);
   spec.trace = [&](const core::SweepCell& cell) {
     const std::uint64_t r = cell.at(repeat_ax);
     workload::Trace trace = base;
     if (r > 0) {
-      for (auto& job : trace.jobs) job.curve = model->realize(job.config, options.seed ^ r);
+      for (auto& job : trace.jobs) job.curve = model->realize(job.config, config.seed ^ r);
     }
     return trace;
   };
   spec.policy = [&](const core::SweepCell& cell) {
-    return make_cli_policy(options, cell.at(repeat_ax));
+    return make_cli_policy(config, cell.at(repeat_ax));
   };
   spec.options = [&](const core::SweepCell& cell) {
     core::RunnerOptions ropts;
-    ropts.substrate = options.substrate == "cluster" ? core::Substrate::Cluster
-                                                     : core::Substrate::TraceReplay;
-    ropts.machines = options.machines;
-    ropts.max_experiment_time = util::SimTime::hours(options.tmax_hours);
-    ropts.stop_on_target = options.stop_on_target;
-    ropts.seed = options.seed ^ cell.at(repeat_ax);
-    ropts.overheads = options.workload == "lunarlander"
+    ropts.substrate = config.substrate == "cluster" ? core::Substrate::Cluster
+                                                    : core::Substrate::TraceReplay;
+    ropts.machines = config.machines;
+    ropts.max_experiment_time = util::SimTime::hours(config.tmax_hours);
+    ropts.stop_on_target = config.stop_on_target;
+    ropts.seed = config.seed ^ cell.at(repeat_ax);
+    ropts.overheads = config.workload == "lunarlander"
                           ? cluster::lunar_criu_overhead_model()
                           : cluster::cifar_overhead_model();
-    ropts.fault_plan = options.fault_plan;
-    ropts.health.enabled = options.health;
+    ropts.fault_plan = config.fault_plan;
+    ropts.health.enabled = config.health;
+    if (!config.metrics_out.empty()) ropts.obs.metrics = &registry;
     return ropts;
   };
 
-  const auto table = core::run_sweep(spec, options.jobs);
-  if (!options.csv.empty()) {
-    table.save_csv_file(options.csv);
-    std::printf("sweep table written to %s\n", options.csv.c_str());
+  const auto table = core::run_sweep(spec, config.jobs);
+  if (!config.csv.empty()) {
+    table.save_csv_file(config.csv);
+    std::printf("sweep table written to %s\n", config.csv.c_str());
+  }
+  if (!config.trace_out.empty()) {
+    table.save_timeline_csv_file(config.trace_out);
+    std::size_t events = 0;
+    for (const auto& row : table.rows) events += row.events.size();
+    std::printf("timeline (%zu events) written to %s\n", events,
+                config.trace_out.c_str());
+  }
+  if (!config.metrics_out.empty()) {
+    registry.save_csv_file(config.metrics_out);
+    std::printf("metrics snapshot written to %s\n", config.metrics_out.c_str());
   }
 
   std::vector<double> times_min;
@@ -407,7 +429,7 @@ int main(int argc, char** argv) {
                     : "",
                 result.best_perf, result.jobs_started, result.terminations,
                 result.suspends, util::format_duration(result.total_machine_time).c_str());
-    if (options.fault_plan.any()) {
+    if (config.fault_plan.any()) {
       const auto& rec = result.recovery;
       std::printf("  recovery: crashes=%zu restarts=%zu requeued=%zu epochs-lost=%zu "
                   "snapshots-lost=%zu restore-failures=%zu stats-lost=%zu "
@@ -416,14 +438,14 @@ int main(int argc, char** argv) {
                   rec.snapshots_lost, rec.snapshot_restore_failures, rec.stat_reports_lost,
                   rec.duplicate_stats_ignored);
     }
-    if (options.health) {
+    if (config.health) {
       const auto& rec = result.recovery;
       std::printf("  health: migrated=%zu quarantined=%zu reinstated=%zu hung=%zu "
                   "wrong-kills=%zu\n",
                   rec.jobs_migrated, rec.nodes_quarantined, rec.nodes_reinstated,
                   rec.hung_jobs_detected, rec.wrong_kills);
     }
-    if (options.verbose) {
+    if (config.verbose) {
       for (const auto& js : result.job_stats) {
         if (js.epochs_completed == 0) continue;
         std::printf("  job %4llu: %3zu epochs, %s, best %.3f\n",

@@ -55,6 +55,11 @@ HyperDriveCluster::HyperDriveCluster(const workload::Trace& trace, ClusterOption
       health_(options_.machines, options_.health),
       bus_(simulation_, bus_options_from(options_), options_.seed) {
   tenant_ = external != nullptr;
+  // Tenant clusters inherit one shared scope from the StudyManager; stamp the
+  // per-study label onto it so every emitted event stays attributable.
+  if (options_.obs.study.empty() && !options_.study_label.empty()) {
+    options_.obs.study = options_.study_label;
+  }
   lease_target_ = options_.machines;
   slots_accrued_until_ = simulation_.now();
   if (options_.initial_lease > 0 && options_.initial_lease < options_.machines) {
@@ -100,8 +105,9 @@ HyperDriveCluster::HyperDriveCluster(const workload::Trace& trace, ClusterOption
       return;
     }
     db_.store_snapshot(*snapshot);
-    log_event("snapshot-stored job=" + std::to_string(id) +
-              " epoch=" + std::to_string(snapshot->epoch));
+    record(obs::TraceEvent(obs::EventKind::SnapshotStored)
+               .with_job(static_cast<std::int64_t>(id))
+               .with_epoch(static_cast<std::int64_t>(snapshot->epoch)));
     jm_.enqueue_idle(id);
     release_and_allocate(id);
   });
@@ -133,7 +139,9 @@ bool HyperDriveCluster::start_job(core::JobId id) {
   if (job.status == core::JobStatus::Pending) {
     startup_cost = options_.overheads.job_start_cost;
     ++result_.jobs_started;
-    log_event("start job=" + std::to_string(id) + " machine=" + std::to_string(*machine));
+    record(obs::TraceEvent(obs::EventKind::JobStart)
+               .with_job(static_cast<std::int64_t>(id))
+               .with_machine(static_cast<std::int64_t>(*machine)));
   } else {
     // Resume: ship the snapshot to the new host, restore (decode) the model
     // state, and hand over the learning-curve history (§5.2). A snapshot
@@ -163,7 +171,8 @@ bool HyperDriveCluster::start_job(core::JobId id) {
     }
     if (decode_failed) {
       ++result_.recovery.snapshot_restore_failures;
-      log_event("snapshot-restore-failed job=" + std::to_string(id));
+      record(obs::TraceEvent(obs::EventKind::SnapshotRestoreFailed)
+                 .with_job(static_cast<std::int64_t>(id)));
     }
     if (!restored) {
       if (!snaps.empty()) {
@@ -175,8 +184,10 @@ bool HyperDriveCluster::start_job(core::JobId id) {
       agent.install_history(id, db_.perf_history(id));
     }
     startup_cost = options_.overheads.resume_cost(snapshot_info, rng_);
-    log_event("resume job=" + std::to_string(id) + " machine=" + std::to_string(*machine) +
-              " epoch=" + std::to_string(job.epochs_done));
+    record(obs::TraceEvent(obs::EventKind::JobResume)
+               .with_job(static_cast<std::int64_t>(id))
+               .with_machine(static_cast<std::int64_t>(*machine))
+               .with_epoch(static_cast<std::int64_t>(job.epochs_done)));
   }
   job.status = core::JobStatus::Running;
   job.execution_time += startup_cost;
@@ -297,7 +308,9 @@ void HyperDriveCluster::complete_epoch(core::JobId id) {
   const double perf = job.spec->curve.perf.at(job.epochs_done);
   ++job.epochs_done;
   agent.append_history(id, perf);
-  log_event("epoch job=" + std::to_string(id) + " epoch=" + std::to_string(job.epochs_done));
+  record(obs::TraceEvent(obs::EventKind::EpochComplete)
+             .with_job(static_cast<std::int64_t>(id))
+             .with_epoch(static_cast<std::int64_t>(job.epochs_done)));
 
   AppStat stat;
   stat.job_id = id;
@@ -335,17 +348,20 @@ void HyperDriveCluster::complete_epoch(core::JobId id) {
     pending_quarantine_.insert(host);
   } else if (transition == HealthMonitor::Transition::Reinstate) {
     ++result_.recovery.nodes_reinstated;
-    log_event("reinstate machine=" + std::to_string(host));
+    record(obs::TraceEvent(obs::EventKind::NodeReinstate)
+               .with_machine(static_cast<std::int64_t>(host)));
   }
 
   if (job.epochs_done >= job.spec->curve.perf.size()) {
     job.status = core::JobStatus::Completed;
-    log_event("complete job=" + std::to_string(id));
+    record(obs::TraceEvent(obs::EventKind::JobComplete).with_job(static_cast<std::int64_t>(id)));
     release_and_allocate(id);
   } else if (transition == HealthMonitor::Transition::Quarantine) {
     ++result_.recovery.jobs_migrated;
-    log_event("migrate job=" + std::to_string(id) + " machine=" + std::to_string(host) +
-              " reason=slow");
+    record(obs::TraceEvent(obs::EventKind::JobMigrate)
+               .with_job(static_cast<std::int64_t>(id))
+               .with_machine(static_cast<std::int64_t>(host))
+               .with_detail("slow"));
     do_suspend(id);
   } else if (!options_.overlap_decisions && options_.decision_latency &&
              trace_.evaluation_boundary > 0 &&
@@ -390,8 +406,9 @@ void HyperDriveCluster::deliver_stat(const AppStat& stat) {
     result_.reached_target = true;
     result_.time_to_target = simulation_.now();
     result_.winning_job = stat.job_id;
-    log_event("target job=" + std::to_string(stat.job_id) +
-              " epoch=" + std::to_string(stat.epoch));
+    record(obs::TraceEvent(obs::EventKind::TargetReached)
+               .with_job(static_cast<std::int64_t>(stat.job_id))
+               .with_epoch(static_cast<std::int64_t>(stat.epoch)));
     finish();
     return;
   }
@@ -449,13 +466,15 @@ void HyperDriveCluster::decide(core::JobId id, core::JobEvent event,
       return;
     case core::JobDecision::Suspend:
       if (job.epochs_done >= job.spec->curve.perf.size()) return;  // done anyway
-      log_event("suspend job=" + std::to_string(id) +
-                " epoch=" + std::to_string(job.epochs_done));
+      record(obs::TraceEvent(obs::EventKind::JobSuspend)
+                 .with_job(static_cast<std::int64_t>(id))
+                 .with_epoch(static_cast<std::int64_t>(job.epochs_done)));
       do_suspend(id);
       return;
     case core::JobDecision::Terminate:
-      log_event("terminate job=" + std::to_string(id) +
-                " epoch=" + std::to_string(job.epochs_done));
+      record(obs::TraceEvent(obs::EventKind::JobTerminate)
+                 .with_job(static_cast<std::int64_t>(id))
+                 .with_epoch(static_cast<std::int64_t>(job.epochs_done)));
       do_terminate(id);
       return;
   }
@@ -511,7 +530,8 @@ void HyperDriveCluster::finish_suspend(core::JobId id, SuspendOverheadSample ove
   // scratch) and requeue.
   if (injector_.active() && injector_.should_fail_upload()) {
     ++result_.recovery.snapshots_lost;
-    log_event("snapshot-upload-failed job=" + std::to_string(id));
+    record(obs::TraceEvent(obs::EventKind::SnapshotUploadFailed)
+               .with_job(static_cast<std::int64_t>(id)));
     rollback_to_durable(j);
     jm_.enqueue_idle(id);
     release_and_allocate(id);
@@ -535,7 +555,8 @@ void HyperDriveCluster::finish_suspend(core::JobId id, SuspendOverheadSample ove
   // recovery then falls back to an older snapshot or an AppStatDb replay.
   if (injector_.active() && injector_.should_corrupt_snapshot()) {
     injector_.corrupt(snapshot->image);
-    log_event("snapshot-corrupted job=" + std::to_string(id));
+    record(obs::TraceEvent(obs::EventKind::SnapshotCorrupted)
+               .with_job(static_cast<std::int64_t>(id)));
   }
 
   Message upload;
@@ -552,7 +573,8 @@ void HyperDriveCluster::finish_suspend(core::JobId id, SuspendOverheadSample ove
     auto& job = jm_.job(id);
     if (job.idle || job.status != core::JobStatus::Suspended) return;
     ++result_.recovery.snapshots_lost;
-    log_event("snapshot-upload-lost job=" + std::to_string(id));
+    record(obs::TraceEvent(obs::EventKind::SnapshotUploadLost)
+               .with_job(static_cast<std::int64_t>(id)));
     rollback_to_durable(job);
     jm_.enqueue_idle(id);
     release_and_allocate(id);
@@ -573,8 +595,9 @@ void HyperDriveCluster::do_terminate(core::JobId id) {
     if (degraded_host &&
         job.spec->curve.first_epoch_reaching(trace_.target_performance) != 0) {
       ++result_.recovery.wrong_kills;
-      log_event("wrong-kill job=" + std::to_string(id) +
-                " machine=" + std::to_string(*job.machine));
+      record(obs::TraceEvent(obs::EventKind::WrongKill)
+                 .with_job(static_cast<std::int64_t>(id))
+                 .with_machine(static_cast<std::int64_t>(*job.machine)));
     }
   }
   interrupt_training(job);
@@ -593,7 +616,9 @@ void HyperDriveCluster::rollback_to_durable(ManagedJob& job) {
   job.status = durable > 0 ? core::JobStatus::Suspended : core::JobStatus::Pending;
   ++job.incarnation;
   ++result_.recovery.jobs_requeued;
-  log_event("requeue job=" + std::to_string(job.id) + " epoch=" + std::to_string(durable));
+  record(obs::TraceEvent(obs::EventKind::JobRequeue)
+             .with_job(static_cast<std::int64_t>(job.id))
+             .with_epoch(static_cast<std::int64_t>(durable)));
 }
 
 void HyperDriveCluster::fail_job_on_crash(ManagedJob& job) {
@@ -631,7 +656,7 @@ void HyperDriveCluster::crash_node(const NodeCrashEvent& crash) {
 
   injector_.note_crash();
   ++result_.recovery.node_crashes;
-  log_event("crash machine=" + std::to_string(m));
+  record(obs::TraceEvent(obs::EventKind::NodeCrash).with_machine(static_cast<std::int64_t>(m)));
 
   // Fail whatever occupies the machine: a running job, or one whose snapshot
   // capture / upload is still holding it.
@@ -678,7 +703,9 @@ void HyperDriveCluster::restart_node(MachineId m) {
     // a lease grant can.
     parked_sick_.erase(m);
     health_.set_excluded(m, false, simulation_.now());
-    log_event("restart machine=" + std::to_string(m) + " parked");
+    record(obs::TraceEvent(obs::EventKind::NodeRestart)
+               .with_machine(static_cast<std::int64_t>(m))
+               .with_detail("parked"));
     return;
   }
   rm_.set_online(m);
@@ -686,7 +713,7 @@ void HyperDriveCluster::restart_node(MachineId m) {
   // Re-admit to health scrutiny with a fresh liveness clock (a node must not
   // be Suspect the instant it restarts).
   health_.set_excluded(m, false, simulation_.now());
-  log_event("restart machine=" + std::to_string(m));
+  record(obs::TraceEvent(obs::EventKind::NodeRestart).with_machine(static_cast<std::int64_t>(m)));
   policy_->on_capacity_change(*this);
   policy_->on_allocate(*this);
   maybe_finish();
@@ -755,7 +782,8 @@ void HyperDriveCluster::handle_heartbeat(const Heartbeat& beat) {
   const bool was_suspect = health_.health(beat.machine) == NodeHealth::Suspect;
   health_.note_heartbeat(beat, simulation_.now());
   if (was_suspect) {
-    log_event("suspect-cleared machine=" + std::to_string(beat.machine));
+    record(obs::TraceEvent(obs::EventKind::NodeSuspectCleared)
+               .with_machine(static_cast<std::int64_t>(beat.machine)));
   }
   maybe_finish();
 }
@@ -765,7 +793,8 @@ void HyperDriveCluster::watchdog_tick(sim::EventHandle self) {
   if (done_) return;
   const auto report = health_.watchdog_scan(simulation_.now());
   for (const MachineId m : report.newly_suspect) {
-    log_event("suspect machine=" + std::to_string(m));
+    record(obs::TraceEvent(obs::EventKind::NodeSuspect)
+               .with_machine(static_cast<std::int64_t>(m)));
   }
   for (const MachineId m : report.to_quarantine) {
     // Silent past the escalation deadline: treat the node as wedged. Its job
@@ -773,12 +802,16 @@ void HyperDriveCluster::watchdog_tick(sim::EventHandle self) {
     // rolled back to its last durable snapshot and requeued — the same
     // recovery a crash uses — and the node goes offline pending probation.
     health_.force_quarantine(m);
-    log_event("quarantine machine=" + std::to_string(m) + " reason=silent");
+    record(obs::TraceEvent(obs::EventKind::NodeQuarantine)
+               .with_machine(static_cast<std::int64_t>(m))
+               .with_detail("silent"));
     for (auto& [id, job] : jm_.all()) {
       if (job.machine && *job.machine == m) {
         ++result_.recovery.jobs_migrated;
-        log_event("migrate job=" + std::to_string(id) + " machine=" + std::to_string(m) +
-                  " reason=silent");
+        record(obs::TraceEvent(obs::EventKind::JobMigrate)
+                   .with_job(static_cast<std::int64_t>(id))
+                   .with_machine(static_cast<std::int64_t>(m))
+                   .with_detail("silent"));
         fail_job_on_crash(job);
         break;  // one job per machine
       }
@@ -817,15 +850,19 @@ void HyperDriveCluster::on_progress_deadline(core::JobId id, std::uint64_t incar
   job.deadline_armed = false;
   const MachineId m = *job.machine;
   ++result_.recovery.hung_jobs_detected;
-  log_event("hang-detected job=" + std::to_string(id) + " machine=" + std::to_string(m));
+  record(obs::TraceEvent(obs::EventKind::HangDetected)
+             .with_job(static_cast<std::int64_t>(id))
+             .with_machine(static_cast<std::int64_t>(m)));
   // The epoch made no observable progress for hang_deadline_factor x its
   // expected duration: presume the node wedged. Snapshot-rollback migration
   // (the PR-1 crash path — the hung node cannot serve a clean suspend) plus
   // quarantine of the host.
   health_.force_quarantine(m);
   ++result_.recovery.jobs_migrated;
-  log_event("migrate job=" + std::to_string(id) + " machine=" + std::to_string(m) +
-            " reason=hung");
+  record(obs::TraceEvent(obs::EventKind::JobMigrate)
+             .with_job(static_cast<std::int64_t>(id))
+             .with_machine(static_cast<std::int64_t>(m))
+             .with_detail("hung"));
   fail_job_on_crash(job);
   finalize_quarantine(m);
   policy_->on_allocate(*this);
@@ -835,7 +872,8 @@ void HyperDriveCluster::on_progress_deadline(core::JobId id, std::uint64_t incar
 void HyperDriveCluster::finalize_quarantine(MachineId m) {
   rm_.set_offline(m);
   ++result_.recovery.nodes_quarantined;
-  log_event("quarantine machine=" + std::to_string(m));
+  record(obs::TraceEvent(obs::EventKind::NodeQuarantine)
+             .with_machine(static_cast<std::int64_t>(m)));
   auto handle_box = std::make_shared<sim::EventHandle>(0);
   // Probation re-admission restores capacity exactly like a crash restart,
   // so it registers as a restart-flavoured fault event: maybe_finish keeps
@@ -863,12 +901,15 @@ void HyperDriveCluster::begin_probation_for(MachineId m) {
     // sickness, the slot becomes grantable, membership waits for a grant.
     parked_sick_.erase(m);
     health_.begin_probation(m, simulation_.now());
-    log_event("probation machine=" + std::to_string(m) + " parked");
+    record(obs::TraceEvent(obs::EventKind::NodeProbation)
+               .with_machine(static_cast<std::int64_t>(m))
+               .with_detail("parked"));
     return;
   }
   health_.begin_probation(m, simulation_.now());
   rm_.set_online(m);
-  log_event("probation machine=" + std::to_string(m));
+  record(obs::TraceEvent(obs::EventKind::NodeProbation)
+             .with_machine(static_cast<std::int64_t>(m)));
   policy_->on_capacity_change(*this);
   policy_->on_allocate(*this);
   maybe_finish();
@@ -1002,12 +1043,16 @@ void HyperDriveCluster::finish() {
   if (on_finished) on_finished();
 }
 
-void HyperDriveCluster::log_event(const std::string& text) {
+void HyperDriveCluster::record(obs::TraceEvent event) {
+  event.time = simulation_.now();
+  // The structured sink observes first; it sees exactly the events the legacy
+  // log would render, whether or not the legacy log is on.
+  if (options_.obs.sink != nullptr) options_.obs.emit(event);
   if (!options_.record_event_log && !log_sink) return;
   std::ostringstream os;
-  os << "t=" << std::fixed << std::setprecision(9) << simulation_.now().to_seconds() << ' ';
+  os << "t=" << std::fixed << std::setprecision(9) << event.time.to_seconds() << ' ';
   if (!options_.study_label.empty()) os << "study=" << options_.study_label << ' ';
-  os << text;
+  os << obs::legacy_text(event);
   if (log_sink) {
     log_sink(os.str());
   } else {
@@ -1070,6 +1115,97 @@ void HyperDriveCluster::finalize_result() {
   result_.slot_seconds = slot_seconds_;
   result_.lease_grants = lease_grants_;
   result_.lease_reclaims = lease_reclaims_;
+  if (options_.obs.metrics != nullptr) publish_metrics();
+}
+
+namespace {
+/// Suspend-latency histogram buckets (seconds): the calibrated overhead
+/// models put typical suspends in the low seconds, with resume-transfer
+/// outliers reaching minutes.
+const std::vector<double> kSuspendLatencyBounds = {0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0};
+}  // namespace
+
+void preregister_cluster_metrics(obs::MetricsRegistry& registry) {
+  // Must list, in order, exactly the metrics publish_metrics() touches.
+  for (const char* name : {
+           "cluster.jobs_started", "cluster.suspends", "cluster.terminations",
+           "cluster.epochs_trained", "cluster.retransmissions",
+           "recovery.node_crashes", "recovery.node_restarts", "recovery.jobs_requeued",
+           "recovery.epochs_lost", "recovery.snapshots_lost",
+           "recovery.snapshot_restore_failures", "recovery.stat_reports_lost",
+           "recovery.duplicate_stats_ignored", "recovery.jobs_migrated",
+           "recovery.nodes_quarantined", "recovery.nodes_reinstated",
+           "recovery.hung_jobs_detected", "recovery.wrong_kills",
+           "bus.messages", "bus.retransmissions", "bus.acks_sent", "bus.dropped",
+           "bus.dropped_endpoint_down", "bus.duplicates_suppressed",
+           "bus.duplicates_delivered", "bus.delayed", "bus.undeliverable",
+           "fault.messages_dropped", "fault.messages_duplicated", "fault.messages_delayed",
+           "fault.snapshot_uploads_failed", "fault.snapshots_corrupted",
+           "fault.node_crashes", "fault.epochs_slowed", "fault.epochs_stalled",
+           "fault.epochs_hung", "lease.grants", "lease.reclaims",
+       }) {
+    (void)registry.counter(name);
+  }
+  (void)registry.histogram("cluster.suspend_latency_s", kSuspendLatencyBounds);
+}
+
+void HyperDriveCluster::publish_metrics() {
+  obs::MetricsRegistry& reg = *options_.obs.metrics;
+  const auto add = [&reg](const char* name, std::uint64_t value) {
+    if (value > 0) reg.counter(name).add(value);
+  };
+  std::size_t epochs_trained = 0;
+  for (const core::JobRunStats& stats : result_.job_stats) {
+    epochs_trained += stats.epochs_completed;
+  }
+  add("cluster.jobs_started", result_.jobs_started);
+  add("cluster.suspends", result_.suspends);
+  add("cluster.terminations", result_.terminations);
+  add("cluster.epochs_trained", epochs_trained);
+  add("cluster.retransmissions", result_.retransmissions);
+  const core::RecoveryStats& rec = result_.recovery;
+  add("recovery.node_crashes", rec.node_crashes);
+  add("recovery.node_restarts", rec.node_restarts);
+  add("recovery.jobs_requeued", rec.jobs_requeued);
+  add("recovery.epochs_lost", rec.epochs_lost);
+  add("recovery.snapshots_lost", rec.snapshots_lost);
+  add("recovery.snapshot_restore_failures", rec.snapshot_restore_failures);
+  add("recovery.stat_reports_lost", rec.stat_reports_lost);
+  add("recovery.duplicate_stats_ignored", rec.duplicate_stats_ignored);
+  add("recovery.jobs_migrated", rec.jobs_migrated);
+  add("recovery.nodes_quarantined", rec.nodes_quarantined);
+  add("recovery.nodes_reinstated", rec.nodes_reinstated);
+  add("recovery.hung_jobs_detected", rec.hung_jobs_detected);
+  add("recovery.wrong_kills", rec.wrong_kills);
+  const MessageBusStats& bus = bus_.stats();
+  add("bus.messages", bus.messages);
+  add("bus.retransmissions", bus.retransmissions);
+  add("bus.acks_sent", bus.acks_sent);
+  add("bus.dropped", bus.dropped);
+  add("bus.dropped_endpoint_down", bus.dropped_endpoint_down);
+  add("bus.duplicates_suppressed", bus.duplicates_suppressed);
+  add("bus.duplicates_delivered", bus.duplicates_delivered);
+  add("bus.delayed", bus.delayed);
+  add("bus.undeliverable", bus.undeliverable);
+  const FaultStats& fault = injector_.stats();
+  add("fault.messages_dropped", fault.messages_dropped);
+  add("fault.messages_duplicated", fault.messages_duplicated);
+  add("fault.messages_delayed", fault.messages_delayed);
+  add("fault.snapshot_uploads_failed", fault.snapshot_uploads_failed);
+  add("fault.snapshots_corrupted", fault.snapshots_corrupted);
+  add("fault.node_crashes", fault.node_crashes);
+  add("fault.epochs_slowed", fault.epochs_slowed);
+  add("fault.epochs_stalled", fault.epochs_stalled);
+  add("fault.epochs_hung", fault.epochs_hung);
+  add("lease.grants", lease_grants_);
+  add("lease.reclaims", lease_reclaims_);
+  if (!result_.suspend_samples.empty()) {
+    obs::Histogram& latency =
+        reg.histogram("cluster.suspend_latency_s", kSuspendLatencyBounds);
+    for (const core::SuspendSample& sample : result_.suspend_samples) {
+      latency.observe(sample.latency.to_seconds());
+    }
+  }
 }
 
 // --- tenant protocol (multi-study scheduling, DESIGN.md §9) ------------------
@@ -1096,7 +1232,7 @@ void HyperDriveCluster::start(core::SchedulingPolicy& policy) {
         [this] {
           timeout_armed_ = false;
           if (done_) return;
-          log_event("study-timeout");
+          record(obs::TraceEvent(obs::EventKind::StudyTimeout));
           finish();
         },
         /*priority=*/100);
@@ -1118,8 +1254,9 @@ void HyperDriveCluster::surrender_slot(MachineId machine, const char* reason) {
   accrue_slot_time();
   rm_.park_machine(machine);
   ++lease_reclaims_;
-  log_event(std::string("lease-park machine=") + std::to_string(machine) +
-            " reason=" + reason);
+  record(obs::TraceEvent(obs::EventKind::LeasePark)
+             .with_machine(static_cast<std::int64_t>(machine))
+             .with_detail(reason));
   if (!done_ && policy_ != nullptr) policy_->on_capacity_change(*this);
   if (on_slot_released) on_slot_released();
 }
@@ -1179,8 +1316,9 @@ void HyperDriveCluster::apply_lease() {
       if (job.machine && *job.machine == *busy_pick) {
         if (job.suspend_in_flight || job.status != core::JobStatus::Running) break;
         ++result_.recovery.jobs_migrated;
-        log_event("lease-migrate job=" + std::to_string(id) +
-                  " machine=" + std::to_string(*busy_pick));
+        record(obs::TraceEvent(obs::EventKind::LeaseMigrate)
+                   .with_job(static_cast<std::int64_t>(id))
+                   .with_machine(static_cast<std::int64_t>(*busy_pick)));
         do_suspend(id);
         break;  // one job per machine
       }
@@ -1198,7 +1336,8 @@ bool HyperDriveCluster::grant_one() {
     accrue_slot_time();
     rm_.unpark_machine(id);
     ++lease_grants_;
-    log_event("lease-grant machine=" + std::to_string(id));
+    record(obs::TraceEvent(obs::EventKind::LeaseGrant)
+               .with_machine(static_cast<std::int64_t>(id)));
     // A slot can sit parked for a long stretch; restart its liveness clock so
     // the watchdog judges it from the grant, not from before the lease.
     if (options_.health.enabled) health_.set_excluded(id, false, simulation_.now());
@@ -1212,7 +1351,7 @@ bool HyperDriveCluster::grant_one() {
 void HyperDriveCluster::cancel() {
   if (!tenant_) throw std::logic_error("cancel() requires tenant mode");
   if (done_) return;
-  log_event("study-cancelled");
+  record(obs::TraceEvent(obs::EventKind::StudyCancelled));
   finish();
 }
 

@@ -52,6 +52,7 @@
 #include "cluster/resource_manager.hpp"
 #include "core/experiment_result.hpp"
 #include "core/sap.hpp"
+#include "obs/scope.hpp"
 #include "sim/simulation.hpp"
 #include "workload/trace.hpp"
 
@@ -93,6 +94,12 @@ struct ClusterOptions {
   /// restarts, starts/resumes, decisions, recoveries) — the golden-trace
   /// determinism tests compare it byte-for-byte across runs.
   bool record_event_log = false;
+  /// Instrumentation handle (DESIGN.md §10). A detached scope (the default)
+  /// costs one null test per emit site; an attached sink observes every event
+  /// the legacy log would record — as typed obs::TraceEvent records — without
+  /// perturbing the simulation. An attached registry receives end-of-run
+  /// counters in finalize_result().
+  obs::Scope obs;
   // --- multi-study tenancy (DESIGN.md §9) ----------------------------------
   /// Slots online at start when the cluster is a StudyManager tenant; the
   /// remaining machines start parked (leasable later). 0 = all online, the
@@ -218,6 +225,9 @@ class HyperDriveCluster final : public core::SchedulerOps {
   void finish();
   /// Result-assembly epilogue shared by run() and collect().
   void finalize_result();
+  /// Publish the run's counters and the suspend-latency histogram into the
+  /// attached registry (finalize_result() tail, obs.metrics != nullptr only).
+  void publish_metrics();
 
   // --- lease protocol internals (tenant mode) ------------------------------
   /// Reclaim slots until held - pending reclaims <= lease_target_.
@@ -241,7 +251,11 @@ class HyperDriveCluster final : public core::SchedulerOps {
   /// Roll a job's progress back to its newest durable snapshot (or scratch)
   /// and requeue it; epochs since then count as lost and are re-trained.
   void rollback_to_durable(ManagedJob& job);
-  void log_event(const std::string& text);
+  /// The single instrumentation funnel: stamp the simulation time, hand the
+  /// event to the attached obs sink (if any), then render the legacy
+  /// event-log line when record_event_log/log_sink ask for it. Sites pass a
+  /// POD TraceEvent, so a run with neither sink nor log builds no strings.
+  void record(obs::TraceEvent event);
 
   // --- gray-failure detection & mitigation (DESIGN.md §7) ------------------
   void schedule_health();
@@ -316,5 +330,12 @@ class HyperDriveCluster final : public core::SchedulerOps {
 [[nodiscard]] core::ExperimentResult run_cluster_experiment(const workload::Trace& trace,
                                                             core::SchedulingPolicy& policy,
                                                             const ClusterOptions& options);
+
+/// Register, in a fixed order, every metric a cluster run publishes in its
+/// finalize_result() epilogue. Call once before sharing one registry across
+/// parallel sweep cells: counters commute, so with the registration order
+/// pinned the exported snapshot is byte-deterministic regardless of cell
+/// completion order.
+void preregister_cluster_metrics(obs::MetricsRegistry& registry);
 
 }  // namespace hyperdrive::cluster

@@ -3,14 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <istream>
-#include <limits>
-#include <optional>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
 #include <string>
 
 #include "cluster/messaging.hpp"
+#include "util/spec_parser.hpp"
 
 namespace hyperdrive::cluster {
 
@@ -150,50 +148,11 @@ constexpr MessageType kDataTypes[] = {
     MessageType::Ack,
 };
 
-[[noreturn]] void plan_error(int line, const std::string& what) {
-  throw std::invalid_argument("fault plan line " + std::to_string(line) + ": " + what);
-}
-
-MessageType parse_message_type(const std::string& token, int line) {
+MessageType parse_message_type(const std::string& token, const util::SpecParser& parser) {
   for (MessageType type : kDataTypes) {
     if (token == to_string(type)) return type;
   }
-  plan_error(line, "unknown message type '" + token + "'");
-}
-
-double number_from_token(const std::string& token, const char* what, int line) {
-  if (token == "inf") return std::numeric_limits<double>::infinity();
-  try {
-    std::size_t used = 0;
-    const double value = std::stod(token, &used);
-    if (used != token.size()) throw std::invalid_argument(token);
-    return value;
-  } catch (const std::exception&) {
-    plan_error(line, std::string("bad ") + what + " '" + token + "'");
-  }
-}
-
-double parse_number(std::istringstream& in, const char* what, int line) {
-  std::string token;
-  if (!(in >> token)) plan_error(line, std::string("missing ") + what);
-  return number_from_token(token, what, line);
-}
-
-std::optional<double> parse_optional_number(std::istringstream& in, const char* what,
-                                            int line) {
-  std::string token;
-  if (!(in >> token)) return std::nullopt;
-  return number_from_token(token, what, line);
-}
-
-/// Writes `inf` for unbounded durations, otherwise plain seconds with enough
-/// digits that load(save(p)) == p.
-void write_time(std::ostream& out, util::SimTime t) {
-  if (t == util::SimTime::infinity()) {
-    out << "inf";
-  } else {
-    out << t.to_seconds();
-  }
+  parser.fail("unknown message type '" + token + "'");
 }
 
 void write_profile(std::ostream& out, const std::string& type,
@@ -209,68 +168,60 @@ void write_profile(std::ostream& out, const std::string& type,
 
 FaultPlan load_fault_plan(std::istream& in) {
   FaultPlan plan;
-  std::string raw;
-  int line_no = 0;
-  while (std::getline(in, raw)) {
-    ++line_no;
-    if (const auto hash = raw.find('#'); hash != std::string::npos) raw.erase(hash);
-    std::istringstream line(raw);
-    std::string directive;
-    if (!(line >> directive)) continue;  // blank / comment-only line
-
+  util::SpecParser parser(in, "fault plan");
+  while (parser.next_line()) {
+    const std::string& directive = parser.directive();
     if (directive == "seed") {
-      plan.seed = static_cast<std::uint64_t>(parse_number(line, "seed", line_no));
+      plan.seed = static_cast<std::uint64_t>(parser.number("seed"));
     } else if (directive == "drop" || directive == "dup" || directive == "delay") {
-      std::string type_token;
-      if (!(line >> type_token)) plan_error(line_no, "missing message type");
+      const std::string type_token = parser.word("message type");
       MessageFaultProfile* profile =
           type_token == "*"
               ? &plan.default_message_faults
-              : &plan.message_faults[parse_message_type(type_token, line_no)];
+              : &plan.message_faults[parse_message_type(type_token, parser)];
       if (directive == "drop") {
-        profile->drop_prob = parse_number(line, "probability", line_no);
+        profile->drop_prob = parser.number("probability");
       } else if (directive == "dup") {
-        profile->duplicate_prob = parse_number(line, "probability", line_no);
+        profile->duplicate_prob = parser.number("probability");
       } else {
-        profile->delay_prob = parse_number(line, "probability", line_no);
-        profile->delay_mean_s = parse_number(line, "mean delay", line_no);
+        profile->delay_prob = parser.number("probability");
+        profile->delay_mean_s = parser.number("mean delay");
       }
     } else if (directive == "crash") {
       NodeCrashEvent crash;
-      crash.machine = static_cast<MachineId>(parse_number(line, "machine", line_no));
-      crash.at = util::SimTime::seconds(parse_number(line, "crash time", line_no));
-      if (const auto restart = parse_optional_number(line, "restart delay", line_no)) {
+      crash.machine = static_cast<MachineId>(parser.number("machine"));
+      crash.at = util::SimTime::seconds(parser.number("crash time"));
+      if (const auto restart = parser.optional_number("restart delay")) {
         crash.restart_after = util::SimTime::seconds(*restart);
       }
       plan.crashes.push_back(crash);
     } else if (directive == "slowdown") {
       NodeSlowdownEvent slow;
-      slow.machine = static_cast<MachineId>(parse_number(line, "machine", line_no));
-      slow.from = util::SimTime::seconds(parse_number(line, "window start", line_no));
-      slow.until = util::SimTime::seconds(parse_number(line, "window end", line_no));
-      slow.factor = parse_number(line, "factor", line_no);
-      if (const auto period = parse_optional_number(line, "flap period", line_no)) {
+      slow.machine = static_cast<MachineId>(parser.number("machine"));
+      slow.from = util::SimTime::seconds(parser.number("window start"));
+      slow.until = util::SimTime::seconds(parser.number("window end"));
+      slow.factor = parser.number("factor");
+      if (const auto period = parser.optional_number("flap period")) {
         slow.period = util::SimTime::seconds(*period);
-        slow.duty = parse_number(line, "duty", line_no);
+        slow.duty = parser.number("duty");
       }
       plan.slowdowns.push_back(slow);
     } else if (directive == "hang") {
       HungJobEvent hang;
-      hang.machine = static_cast<MachineId>(parse_number(line, "machine", line_no));
-      hang.at = util::SimTime::seconds(parse_number(line, "hang time", line_no));
-      if (const auto clear = parse_optional_number(line, "clear delay", line_no)) {
+      hang.machine = static_cast<MachineId>(parser.number("machine"));
+      hang.at = util::SimTime::seconds(parser.number("hang time"));
+      if (const auto clear = parser.optional_number("clear delay")) {
         hang.clear_after = util::SimTime::seconds(*clear);
       }
       plan.hangs.push_back(hang);
     } else if (directive == "snapshot-fail") {
-      plan.snapshot_upload_fail_prob = parse_number(line, "probability", line_no);
+      plan.snapshot_upload_fail_prob = parser.number("probability");
     } else if (directive == "snapshot-corrupt") {
-      plan.snapshot_corrupt_prob = parse_number(line, "probability", line_no);
+      plan.snapshot_corrupt_prob = parser.number("probability");
     } else {
-      plan_error(line_no, "unknown directive '" + directive + "'");
+      parser.fail("unknown directive '" + directive + "'");
     }
-    std::string trailing;
-    if (line >> trailing) plan_error(line_no, "trailing token '" + trailing + "'");
+    parser.finish_line();
   }
   return plan;
 }
@@ -292,7 +243,7 @@ void save_fault_plan(const FaultPlan& plan, std::ostream& out) {
   }
   for (const NodeSlowdownEvent& slow : plan.slowdowns) {
     out << "slowdown " << slow.machine << ' ' << slow.from.to_seconds() << ' ';
-    write_time(out, slow.until);
+    util::write_spec_time(out, slow.until);
     out << ' ' << slow.factor;
     if (slow.period > util::SimTime::zero()) {
       out << ' ' << slow.period.to_seconds() << ' ' << slow.duty;

@@ -29,7 +29,8 @@ std::unique_ptr<SchedulingPolicy> make_policy(const PolicySpec& spec) {
   throw std::invalid_argument("unknown policy kind");
 }
 
-std::shared_ptr<const curve::CurvePredictor> make_default_predictor(std::uint64_t seed) {
+std::shared_ptr<const curve::CurvePredictor> make_default_predictor(std::uint64_t seed,
+                                                                    obs::Scope scope) {
   curve::PredictorConfig config;
   config.seed = seed;
   config.lsq_samples = 200;
@@ -37,7 +38,7 @@ std::shared_ptr<const curve::CurvePredictor> make_default_predictor(std::uint64_
   // horizon) within a boundary round (§5.2 node-agent-side caching).
   return curve::with_cache(std::shared_ptr<const curve::CurvePredictor>(
                                curve::make_lsq_predictor(std::move(config))),
-                           /*capacity=*/512);
+                           /*capacity=*/512, std::move(scope));
 }
 
 ExperimentResult run_experiment(const workload::Trace& trace, const PolicySpec& spec,
@@ -68,6 +69,7 @@ ExperimentResult run_experiment(const workload::Trace& trace, SchedulingPolicy& 
   copts.health = options.health;
   copts.decision_latency = options.decision_latency;
   copts.overlap_decisions = options.overlap_decisions;
+  copts.obs = options.obs;
   return cluster::run_cluster_experiment(trace, policy, copts);
 }
 

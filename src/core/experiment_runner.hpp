@@ -40,9 +40,10 @@ struct PolicySpec {
 
 /// The fast LSQ-bootstrap predictor configuration used by the simulation
 /// benches (the full-MCMC predictor is available via curve::make_mcmc_predictor
-/// and is exercised by the predictor micro-bench, §5.2).
+/// and is exercised by the predictor micro-bench, §5.2). Pass a scope to
+/// observe fit/cache-hit activity (untimed events + predictor.* counters).
 [[nodiscard]] std::shared_ptr<const curve::CurvePredictor> make_default_predictor(
-    std::uint64_t seed);
+    std::uint64_t seed, obs::Scope scope = {});
 
 /// Which substrate executes the experiment.
 enum class Substrate {
@@ -72,6 +73,10 @@ struct RunnerOptions {
   /// §5.2 overlap of training and prediction (cluster only; the blocking
   /// ablation sets this false).
   bool overlap_decisions = true;
+  /// Instrumentation handle, forwarded to the cluster substrate (DESIGN.md
+  /// §10). TraceReplay ignores it (the idealized simulator has no event
+  /// vocabulary). Detached by default: zero overhead.
+  obs::Scope obs;
 };
 
 /// Run one experiment of `spec` over `trace`.

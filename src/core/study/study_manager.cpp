@@ -424,6 +424,9 @@ MultiStudyResult StudyManager::run() {
     // A lone study writes unprefixed lines — byte-identical to the
     // single-tenant cluster's own event log.
     co.study_label = tenants_.size() > 1 ? t.spec.name : "";
+    // One shared sink/registry; the cluster constructor stamps the per-study
+    // label onto its scope so every event stays attributable.
+    co.obs = options_.obs;
     t.cluster = std::make_unique<cluster::HyperDriveCluster>(t.trace, co, *sim_);
     if (options_.record_event_log) {
       t.cluster->log_sink = [this](std::string line) {

@@ -40,6 +40,7 @@
 #include "core/sap.hpp"
 #include "core/study/study_spec.hpp"
 #include "curve/predictor.hpp"
+#include "obs/scope.hpp"
 #include "sim/simulation.hpp"
 #include "util/sim_time.hpp"
 #include "workload/trace.hpp"
@@ -75,6 +76,9 @@ struct StudyManagerOptions {
   double epoch_jitter_sigma = 0.04;
   /// Gray-failure detection & mitigation, applied to every tenant.
   cluster::HealthOptions health;
+  /// Instrumentation handle shared by every tenant cluster (DESIGN.md §10);
+  /// each tenant stamps its study name onto the events it emits.
+  obs::Scope obs;
 };
 
 /// What one study got out of the shared cluster.

@@ -3,102 +3,55 @@
 #include <istream>
 #include <limits>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
+#include <string>
+
+#include "util/spec_parser.hpp"
 
 namespace hyperdrive::core {
-
-namespace {
-
-[[noreturn]] void spec_error(int line, const std::string& what) {
-  throw std::invalid_argument("study spec line " + std::to_string(line) + ": " + what);
-}
-
-double number_from_token(const std::string& token, const char* what, int line) {
-  if (token == "inf") return std::numeric_limits<double>::infinity();
-  try {
-    std::size_t used = 0;
-    const double value = std::stod(token, &used);
-    if (used != token.size()) throw std::invalid_argument(token);
-    return value;
-  } catch (const std::exception&) {
-    spec_error(line, std::string("bad ") + what + " '" + token + "'");
-  }
-}
-
-double parse_number(std::istringstream& in, const char* what, int line) {
-  std::string token;
-  if (!(in >> token)) spec_error(line, std::string("missing ") + what);
-  return number_from_token(token, what, line);
-}
-
-std::string parse_word(std::istringstream& in, const char* what, int line) {
-  std::string token;
-  if (!(in >> token)) spec_error(line, std::string("missing ") + what);
-  return token;
-}
-
-/// Writes `inf` for unbounded durations, otherwise plain seconds with enough
-/// digits that load(save(s)) == s.
-void write_time(std::ostream& out, util::SimTime t) {
-  if (t == util::SimTime::infinity()) {
-    out << "inf";
-  } else {
-    out << t.to_seconds();
-  }
-}
-
-}  // namespace
 
 StudySpec load_study_spec(std::istream& in) {
   StudySpec spec;
   bool named = false;
-  std::string raw;
-  int line_no = 0;
-  while (std::getline(in, raw)) {
-    ++line_no;
-    if (const auto hash = raw.find('#'); hash != std::string::npos) raw.erase(hash);
-    std::istringstream line(raw);
-    std::string directive;
-    if (!(line >> directive)) continue;  // blank / comment-only line
-
+  util::SpecParser parser(in, "study spec");
+  while (parser.next_line()) {
+    const std::string& directive = parser.directive();
     if (directive == "study") {
-      spec.name = parse_word(line, "study name", line_no);
+      spec.name = parser.word("study name");
       named = true;
     } else if (directive == "workload") {
-      spec.workload = parse_word(line, "workload name", line_no);
+      spec.workload = parser.word("workload name");
     } else if (directive == "policy") {
-      spec.policy = parse_word(line, "policy name", line_no);
+      spec.policy = parser.word("policy name");
     } else if (directive == "generator") {
-      spec.generator = parse_word(line, "generator name", line_no);
+      spec.generator = parser.word("generator name");
     } else if (directive == "configs") {
-      const double n = parse_number(line, "config count", line_no);
+      const double n = parser.number("config count");
       if (n < 1.0 || n != static_cast<double>(static_cast<std::size_t>(n))) {
-        spec_error(line_no, "config count must be a positive integer");
+        parser.fail("config count must be a positive integer");
       }
       spec.configs = static_cast<std::size_t>(n);
     } else if (directive == "target") {
-      spec.target = parse_number(line, "target", line_no);
+      spec.target = parser.number("target");
     } else if (directive == "deadline") {
-      spec.deadline = util::SimTime::seconds(parse_number(line, "deadline", line_no));
+      spec.deadline = util::SimTime::seconds(parser.number("deadline"));
     } else if (directive == "weight") {
-      spec.weight = parse_number(line, "weight", line_no);
+      spec.weight = parser.number("weight");
       if (!(spec.weight > 0.0) || spec.weight == std::numeric_limits<double>::infinity()) {
-        spec_error(line_no, "weight must be positive and finite");
+        parser.fail("weight must be positive and finite");
       }
     } else if (directive == "seed") {
-      spec.seed = static_cast<std::uint64_t>(parse_number(line, "seed", line_no));
+      spec.seed = static_cast<std::uint64_t>(parser.number("seed"));
     } else if (directive == "tmax") {
-      spec.tmax = util::SimTime::seconds(parse_number(line, "tmax", line_no));
+      spec.tmax = util::SimTime::seconds(parser.number("tmax"));
     } else if (directive == "cancel-at") {
-      spec.cancel_at = util::SimTime::seconds(parse_number(line, "cancel time", line_no));
+      spec.cancel_at = util::SimTime::seconds(parser.number("cancel time"));
     } else {
-      spec_error(line_no, "unknown directive '" + directive + "'");
+      parser.fail("unknown directive '" + directive + "'");
     }
-    std::string trailing;
-    if (line >> trailing) spec_error(line_no, "trailing token '" + trailing + "'");
+    parser.finish_line();
   }
-  if (!named) spec_error(line_no, "missing 'study <name>' directive");
+  if (!named) parser.fail("missing 'study <name>' directive");
   return spec;
 }
 
@@ -113,17 +66,17 @@ void save_study_spec(const StudySpec& spec, std::ostream& out) {
   if (spec.has_target_override()) out << "target " << spec.target << '\n';
   if (spec.has_deadline()) {
     out << "deadline ";
-    write_time(out, spec.deadline);
+    util::write_spec_time(out, spec.deadline);
     out << '\n';
   }
   if (spec.weight != 1.0) out << "weight " << spec.weight << '\n';
   out << "seed " << spec.seed << '\n';
   out << "tmax ";
-  write_time(out, spec.tmax);
+  util::write_spec_time(out, spec.tmax);
   out << '\n';
   if (spec.cancel_at != util::SimTime::infinity()) {
     out << "cancel-at ";
-    write_time(out, spec.cancel_at);
+    util::write_spec_time(out, spec.cancel_at);
     out << '\n';
   }
   out.precision(precision);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/sink.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hyperdrive::core {
@@ -26,6 +27,10 @@ SweepTable SweepEngine::run(const SweepSpec& spec) const {
   if (spec.run) {
     if (spec.collect) {
       throw std::invalid_argument("SweepSpec.collect is not supported with SweepSpec.run");
+    }
+    if (spec.capture_events) {
+      throw std::invalid_argument(
+          "SweepSpec.capture_events is not supported with SweepSpec.run");
     }
   } else {
     if (!spec.trace) throw std::invalid_argument("SweepSpec.trace is not set");
@@ -54,8 +59,14 @@ SweepTable SweepEngine::run(const SweepSpec& spec) const {
     const auto trace = spec.trace(row.cell);
     const auto policy = spec.policy(row.cell);
     if (!policy) throw std::runtime_error("SweepSpec.policy returned null");
-    const RunnerOptions options = spec.options ? spec.options(row.cell) : RunnerOptions{};
+    RunnerOptions options = spec.options ? spec.options(row.cell) : RunnerOptions{};
+    // Cell-local sink: each worker records into its own buffer, and the
+    // events land in the row's pre-allocated slot, so the merged timeline is
+    // byte-identical across thread counts.
+    obs::RecordingSink sink;
+    if (spec.capture_events) options.obs.sink = &sink;
     row.result = run_experiment(trace, *policy, options);
+    if (spec.capture_events) row.events = std::move(sink.events);
     if (spec.collect) {
       row.extra = spec.collect(row.cell, *policy, row.result);
       if (row.extra.size() != spec.extra_columns.size()) {

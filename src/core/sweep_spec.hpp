@@ -86,6 +86,15 @@ class SweepSpec {
                                     const ExperimentResult&)>
       collect;
 
+  /// Capture each cell's typed event stream (DESIGN.md §10): the engine
+  /// attaches a private obs::RecordingSink per cell (replacing any sink the
+  /// options callback set; its metrics registry and study label are kept)
+  /// and moves the events into SweepRow::events.
+  /// Rows land in cell order, so SweepTable::save_timeline_csv is
+  /// byte-identical across thread counts. Not supported with a custom `run`
+  /// executor (the engine never sees inside it).
+  bool capture_events = false;
+
   /// Append an axis; returns its index for SweepCell::at.
   std::size_t add_axis(std::string axis_name, std::vector<std::string> values);
   /// Axis "repeat" with values "0".."repeats-1" (the §6.1 fresh-noise axis).

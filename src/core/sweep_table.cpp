@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/export.hpp"
 #include "util/csv.hpp"
 
 namespace hyperdrive::core {
@@ -129,6 +130,32 @@ void SweepTable::save_csv_file(const std::string& path) const {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot write sweep CSV to '" + path + "'");
   save_csv(out);
+}
+
+void SweepTable::save_timeline_csv(std::ostream& out) const {
+  std::vector<std::string> header = {"cell"};
+  for (const auto& axis : axes) header.push_back(axis.name);
+  for (auto& col : obs::timeline_columns()) header.push_back(std::move(col));
+
+  util::CsvWriter writer(out, header);
+  for (const auto& row : rows) {
+    std::vector<std::string> prefix;
+    prefix.reserve(1 + axes.size());
+    prefix.push_back(fmt(row.cell.linear));
+    for (std::size_t a = 0; a < axes.size(); ++a) prefix.push_back(label(row, a));
+    for (const auto& event : row.events) {
+      std::vector<std::string> fields = prefix;
+      fields.reserve(header.size());
+      for (auto& field : obs::timeline_fields(event)) fields.push_back(std::move(field));
+      writer.write_row(fields);
+    }
+  }
+}
+
+void SweepTable::save_timeline_csv_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write timeline CSV to '" + path + "'");
+  save_timeline_csv(out);
 }
 
 }  // namespace hyperdrive::core

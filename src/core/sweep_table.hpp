@@ -14,6 +14,7 @@
 
 #include "core/experiment_result.hpp"
 #include "core/sweep_spec.hpp"
+#include "obs/event.hpp"
 
 namespace hyperdrive::core {
 
@@ -22,6 +23,8 @@ struct SweepRow {
   ExperimentResult result;
   /// Values of SweepTable::extra_columns, collected in the worker.
   std::vector<double> extra;
+  /// Typed event stream of this cell's run (SweepSpec::capture_events only).
+  std::vector<obs::TraceEvent> events;
 
   /// Time-to-target in minutes, censored at the experiment end when the
   /// target was never reached — the quantity Figs. 7/9/12 plot.
@@ -66,6 +69,15 @@ class SweepTable {
   [[nodiscard]] std::string to_csv() const;
   /// save_csv to `path`; throws std::runtime_error if unwritable.
   void save_csv_file(const std::string& path) const;
+
+  /// Write every captured event stream as one timeline CSV (EXPERIMENTS.md
+  /// "Timeline CSV schema"): cell + axis-label columns prefixed onto the
+  /// obs::timeline_columns fields, rows in cell-enumeration order then event
+  /// order. Byte-deterministic across thread counts (rows land in cell
+  /// order). Empty event streams contribute no rows.
+  void save_timeline_csv(std::ostream& out) const;
+  /// save_timeline_csv to `path`; throws std::runtime_error if unwritable.
+  void save_timeline_csv_file(const std::string& path) const;
 };
 
 }  // namespace hyperdrive::core

@@ -26,7 +26,11 @@ std::uint64_t hash_doubles(std::uint64_t h, std::span<const double> xs) {
 
 CachingPredictor::CachingPredictor(std::shared_ptr<const CurvePredictor> inner,
                                    std::size_t capacity)
-    : inner_(std::move(inner)), capacity_(capacity) {
+    : CachingPredictor(std::move(inner), capacity, obs::Scope{}) {}
+
+CachingPredictor::CachingPredictor(std::shared_ptr<const CurvePredictor> inner,
+                                   std::size_t capacity, obs::Scope scope)
+    : inner_(std::move(inner)), capacity_(capacity), obs_(std::move(scope)) {
   if (!inner_) throw std::invalid_argument("CachingPredictor needs an inner predictor");
   if (capacity_ == 0) throw std::invalid_argument("cache capacity must be >= 1");
 }
@@ -45,10 +49,15 @@ CurvePrediction CachingPredictor::predict(std::span<const double> history,
     if (it != cache_.end()) {
       ++hits_;
       lru_.splice(lru_.begin(), lru_, it->second);  // promote to front
+      if (obs_.metrics != nullptr) obs_.metrics->counter("predictor.cache_hits").add();
+      // Untimed event: the predictor runs outside the simulation clock.
+      obs_.emit(obs::TraceEvent(obs::EventKind::PredictorCacheHit));
       return it->second->prediction;
     }
     ++misses_;
   }
+  if (obs_.metrics != nullptr) obs_.metrics->counter("predictor.fits").add();
+  obs_.emit(obs::TraceEvent(obs::EventKind::PredictorFit));
 
   // Compute outside the lock: concurrent misses on different keys must not
   // serialize on the inner LSQ/MCMC work (inner predictors are stateless).
@@ -82,8 +91,8 @@ std::size_t CachingPredictor::size() const noexcept {
 }
 
 std::shared_ptr<const CurvePredictor> with_cache(
-    std::shared_ptr<const CurvePredictor> inner, std::size_t capacity) {
-  return std::make_shared<CachingPredictor>(std::move(inner), capacity);
+    std::shared_ptr<const CurvePredictor> inner, std::size_t capacity, obs::Scope scope) {
+  return std::make_shared<CachingPredictor>(std::move(inner), capacity, std::move(scope));
 }
 
 }  // namespace hyperdrive::curve

@@ -21,6 +21,7 @@
 #include <unordered_map>
 
 #include "curve/predictor.hpp"
+#include "obs/scope.hpp"
 
 namespace hyperdrive::curve {
 
@@ -28,6 +29,11 @@ class CachingPredictor final : public CurvePredictor {
  public:
   /// Wraps `inner` with an LRU cache of `capacity` predictions.
   CachingPredictor(std::shared_ptr<const CurvePredictor> inner, std::size_t capacity = 256);
+  /// As above with an instrumentation scope: every predict() emits an untimed
+  /// PredictorFit (cache miss) or PredictorCacheHit event and bumps the
+  /// predictor.fits / predictor.cache_hits counters (DESIGN.md §10).
+  CachingPredictor(std::shared_ptr<const CurvePredictor> inner, std::size_t capacity,
+                   obs::Scope scope);
 
   [[nodiscard]] std::string_view name() const noexcept override { return "caching"; }
 
@@ -47,6 +53,7 @@ class CachingPredictor final : public CurvePredictor {
 
   std::shared_ptr<const CurvePredictor> inner_;
   std::size_t capacity_;
+  obs::Scope obs_;
   // LRU: most-recent at the front; map points into the list. All four
   // members below are guarded by mutex_ (predict() is const but mutates).
   mutable std::mutex mutex_;
@@ -56,8 +63,10 @@ class CachingPredictor final : public CurvePredictor {
   mutable std::size_t misses_ = 0;
 };
 
-/// Convenience: wrap a predictor.
+/// Convenience: wrap a predictor. Pass a scope to observe fit/cache-hit
+/// activity; the default detached scope adds nothing.
 [[nodiscard]] std::shared_ptr<const CurvePredictor> with_cache(
-    std::shared_ptr<const CurvePredictor> inner, std::size_t capacity = 256);
+    std::shared_ptr<const CurvePredictor> inner, std::size_t capacity = 256,
+    obs::Scope scope = {});
 
 }  // namespace hyperdrive::curve

@@ -1,0 +1,127 @@
+#include "obs/event.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace hyperdrive::obs {
+
+std::string_view to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::JobStart: return "start";
+    case EventKind::JobResume: return "resume";
+    case EventKind::EpochComplete: return "epoch";
+    case EventKind::JobComplete: return "complete";
+    case EventKind::JobSuspend: return "suspend";
+    case EventKind::JobTerminate: return "terminate";
+    case EventKind::JobRequeue: return "requeue";
+    case EventKind::JobMigrate: return "migrate";
+    case EventKind::TargetReached: return "target";
+    case EventKind::SnapshotStored: return "snapshot-stored";
+    case EventKind::SnapshotUploadFailed: return "snapshot-upload-failed";
+    case EventKind::SnapshotUploadLost: return "snapshot-upload-lost";
+    case EventKind::SnapshotCorrupted: return "snapshot-corrupted";
+    case EventKind::SnapshotRestoreFailed: return "snapshot-restore-failed";
+    case EventKind::NodeCrash: return "crash";
+    case EventKind::NodeRestart: return "restart";
+    case EventKind::NodeSuspect: return "suspect";
+    case EventKind::NodeSuspectCleared: return "suspect-cleared";
+    case EventKind::NodeQuarantine: return "quarantine";
+    case EventKind::NodeProbation: return "probation";
+    case EventKind::NodeReinstate: return "reinstate";
+    case EventKind::HangDetected: return "hang-detected";
+    case EventKind::WrongKill: return "wrong-kill";
+    case EventKind::LeaseGrant: return "lease-grant";
+    case EventKind::LeasePark: return "lease-park";
+    case EventKind::LeaseMigrate: return "lease-migrate";
+    case EventKind::StudyTimeout: return "study-timeout";
+    case EventKind::StudyCancelled: return "study-cancelled";
+    case EventKind::PolicyPromote: return "promote";
+    case EventKind::PredictorFit: return "predictor-fit";
+    case EventKind::PredictorCacheHit: return "predictor-cache-hit";
+    case EventKind::LogMessage: return "log";
+  }
+  return "?";
+}
+
+std::string legacy_text(const TraceEvent& e) {
+  const auto job = [&] { return " job=" + std::to_string(e.job); };
+  const auto machine = [&] { return " machine=" + std::to_string(e.machine); };
+  const auto epoch = [&] { return " epoch=" + std::to_string(e.epoch); };
+  switch (e.kind) {
+    case EventKind::JobStart:
+      return "start" + job() + machine();
+    case EventKind::JobResume:
+      return "resume" + job() + machine() + epoch();
+    case EventKind::EpochComplete:
+      return "epoch" + job() + epoch();
+    case EventKind::JobComplete:
+      return "complete" + job();
+    case EventKind::JobSuspend:
+      return "suspend" + job() + epoch();
+    case EventKind::JobTerminate:
+      return "terminate" + job() + epoch();
+    case EventKind::JobRequeue:
+      return "requeue" + job() + epoch();
+    case EventKind::JobMigrate:
+      return "migrate" + job() + machine() + " reason=" + e.detail;
+    case EventKind::TargetReached:
+      return "target" + job() + epoch();
+    case EventKind::SnapshotStored:
+      return "snapshot-stored" + job() + epoch();
+    case EventKind::SnapshotUploadFailed:
+      return "snapshot-upload-failed" + job();
+    case EventKind::SnapshotUploadLost:
+      return "snapshot-upload-lost" + job();
+    case EventKind::SnapshotCorrupted:
+      return "snapshot-corrupted" + job();
+    case EventKind::SnapshotRestoreFailed:
+      return "snapshot-restore-failed" + job();
+    case EventKind::NodeCrash:
+      return "crash" + machine();
+    case EventKind::NodeRestart:
+      return "restart" + machine() + (e.detail.empty() ? "" : ' ' + e.detail);
+    case EventKind::NodeSuspect:
+      return "suspect" + machine();
+    case EventKind::NodeSuspectCleared:
+      return "suspect-cleared" + machine();
+    case EventKind::NodeQuarantine:
+      return "quarantine" + machine() + (e.detail.empty() ? "" : " reason=" + e.detail);
+    case EventKind::NodeProbation:
+      return "probation" + machine() + (e.detail.empty() ? "" : ' ' + e.detail);
+    case EventKind::NodeReinstate:
+      return "reinstate" + machine();
+    case EventKind::HangDetected:
+      return "hang-detected" + job() + machine();
+    case EventKind::WrongKill:
+      return "wrong-kill" + job() + machine();
+    case EventKind::LeaseGrant:
+      return "lease-grant" + machine();
+    case EventKind::LeasePark:
+      return "lease-park" + machine() + " reason=" + e.detail;
+    case EventKind::LeaseMigrate:
+      return "lease-migrate" + job() + machine();
+    case EventKind::StudyTimeout:
+      return "study-timeout";
+    case EventKind::StudyCancelled:
+      return "study-cancelled";
+    case EventKind::PolicyPromote:
+      return "promote" + job();
+    case EventKind::PredictorFit:
+      return "predictor-fit";
+    case EventKind::PredictorCacheHit:
+      return "predictor-cache-hit";
+    case EventKind::LogMessage:
+      return "log " + e.detail;
+  }
+  return "?";
+}
+
+std::string render_line(const TraceEvent& event) {
+  std::ostringstream os;
+  os << "t=" << std::fixed << std::setprecision(9) << event.time.to_seconds() << ' ';
+  if (!event.study.empty()) os << "study=" << event.study << ' ';
+  os << legacy_text(event);
+  return os.str();
+}
+
+}  // namespace hyperdrive::obs

@@ -1,0 +1,114 @@
+// Typed trace events — the unified instrumentation vocabulary (DESIGN.md
+// §10). Every scheduling-relevant occurrence in the system (job lifecycle,
+// recovery actions, gray-failure transitions, lease protocol steps, policy
+// promotions, predictor activity) is one TraceEvent record emitted through an
+// obs::Scope. The legacy golden-trace text lines are a *rendering* of these
+// records (legacy_text / render_line below), so attaching a structured sink
+// can never change what the byte-identity tests compare.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/sim_time.hpp"
+
+namespace hyperdrive::obs {
+
+/// Everything the layers report. The first block mirrors the cluster's
+/// event-log lines one-to-one; the second block is only visible through a
+/// structured sink (no legacy line ever existed for it, and inventing one
+/// would break golden-trace byte-identity).
+enum class EventKind {
+  // --- cluster job lifecycle ----------------------------------------------
+  JobStart,          ///< "start job=J machine=M"
+  JobResume,         ///< "resume job=J machine=M epoch=E"
+  EpochComplete,     ///< "epoch job=J epoch=E"
+  JobComplete,       ///< "complete job=J"
+  JobSuspend,        ///< "suspend job=J epoch=E"
+  JobTerminate,      ///< "terminate job=J epoch=E"
+  JobRequeue,        ///< "requeue job=J epoch=E"
+  JobMigrate,        ///< "migrate job=J machine=M reason=<detail>"
+  TargetReached,     ///< "target job=J epoch=E"
+  // --- snapshots & recovery ------------------------------------------------
+  SnapshotStored,        ///< "snapshot-stored job=J epoch=E"
+  SnapshotUploadFailed,  ///< "snapshot-upload-failed job=J"
+  SnapshotUploadLost,    ///< "snapshot-upload-lost job=J"
+  SnapshotCorrupted,     ///< "snapshot-corrupted job=J"
+  SnapshotRestoreFailed, ///< "snapshot-restore-failed job=J"
+  // --- fail-stop faults ----------------------------------------------------
+  NodeCrash,    ///< "crash machine=M"
+  NodeRestart,  ///< "restart machine=M[ parked]" (detail="parked")
+  // --- gray-failure state machine ------------------------------------------
+  NodeSuspect,         ///< "suspect machine=M"
+  NodeSuspectCleared,  ///< "suspect-cleared machine=M"
+  NodeQuarantine,      ///< "quarantine machine=M[ reason=silent]"
+  NodeProbation,       ///< "probation machine=M[ parked]" (detail="parked")
+  NodeReinstate,       ///< "reinstate machine=M"
+  HangDetected,        ///< "hang-detected job=J machine=M"
+  WrongKill,           ///< "wrong-kill job=J machine=M" (ground-truth oracle)
+  // --- lease protocol / multi-study ----------------------------------------
+  LeaseGrant,      ///< "lease-grant machine=M"
+  LeasePark,       ///< "lease-park machine=M reason=<detail>"
+  LeaseMigrate,    ///< "lease-migrate job=J machine=M"
+  StudyTimeout,    ///< "study-timeout"
+  StudyCancelled,  ///< "study-cancelled"
+  // --- structured-only events (no legacy event-log line) -------------------
+  PolicyPromote,      ///< job entered a policy's promising set (POP §3.2)
+  PredictorFit,       ///< a learning-curve posterior was computed (cache miss)
+  PredictorCacheHit,  ///< a memoized posterior was served (§5.2 caching)
+  LogMessage,         ///< a util::log line routed through the obs bridge
+};
+
+[[nodiscard]] std::string_view to_string(EventKind kind) noexcept;
+
+/// One structured observation. Integer ids use -1 for "not applicable";
+/// `detail` carries the free-form qualifier of the few events that have one
+/// (migration reasons, lease-park reasons, log text). Events emitted from
+/// outside the simulation clock (predictor activity) carry time zero and are
+/// documented as untimed.
+struct TraceEvent {
+  EventKind kind = EventKind::LogMessage;
+  util::SimTime time = util::SimTime::zero();
+  std::string study;
+  std::int64_t job = -1;
+  std::int64_t machine = -1;
+  std::int64_t epoch = -1;
+  std::string detail;
+
+  TraceEvent() = default;
+  explicit TraceEvent(EventKind k) : kind(k) {}
+
+  // Fluent construction so emit sites stay one readable expression.
+  TraceEvent&& with_job(std::int64_t id) && {
+    job = id;
+    return std::move(*this);
+  }
+  TraceEvent&& with_machine(std::int64_t id) && {
+    machine = id;
+    return std::move(*this);
+  }
+  TraceEvent&& with_epoch(std::int64_t e) && {
+    epoch = e;
+    return std::move(*this);
+  }
+  TraceEvent&& with_detail(std::string d) && {
+    detail = std::move(d);
+    return std::move(*this);
+  }
+
+  [[nodiscard]] bool operator==(const TraceEvent&) const = default;
+};
+
+/// The legacy event-log body for an event — byte-for-byte the string the
+/// pre-obs cluster passed to log_event ("epoch job=3 epoch=7"). Structured-
+/// only kinds render a reasonable body of the same style; they never reach
+/// the legacy log.
+[[nodiscard]] std::string legacy_text(const TraceEvent& event);
+
+/// The full legacy event-log line: "t=<seconds, 9 decimals> [study=<label> ]
+/// <legacy_text>" — exactly what HyperDriveCluster::event_log() stores and
+/// the golden-trace determinism tests compare.
+[[nodiscard]] std::string render_line(const TraceEvent& event);
+
+}  // namespace hyperdrive::obs

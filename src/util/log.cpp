@@ -1,15 +1,19 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 
 namespace hyperdrive::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
 std::mutex g_mutex;
+LogWriter g_writer;  // guarded by g_mutex; empty = stderr
+}  // namespace
 
-const char* level_name(LogLevel level) {
+const char* to_string(LogLevel level) noexcept {
   switch (level) {
     case LogLevel::Debug: return "debug";
     case LogLevel::Info: return "info";
@@ -19,15 +23,43 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
+
+LogLevel log_level_from_string(const std::string& name) {
+  for (const auto level : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                           LogLevel::Error, LogLevel::Off}) {
+    if (name == to_string(level)) return level;
+  }
+  throw std::invalid_argument("unknown log level '" + name +
+                              "' (want debug|info|warn|error|off)");
+}
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
+bool init_log_level_from_env() {
+  const char* env = std::getenv("HD_LOG");
+  if (env == nullptr || *env == '\0') return false;
+  try {
+    set_log_level(log_level_from_string(env));
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;  // invalid HD_LOG is ignored, not fatal
+  }
+}
+
+void set_log_writer(LogWriter writer) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_writer = std::move(writer);
+}
+
 void log_line(LogLevel level, const std::string& component, const std::string& message) {
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << '[' << level_name(level) << "] " << component << ": " << message << '\n';
+  if (g_writer) {
+    g_writer(level, component, message);
+    return;
+  }
+  std::cerr << '[' << to_string(level) << "] " << component << ": " << message << '\n';
 }
 
 }  // namespace hyperdrive::util

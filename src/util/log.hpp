@@ -1,8 +1,15 @@
 // Leveled, thread-safe logging. The simulator and cluster components log at
 // Debug; experiment drivers log progress at Info. Benches default to Warn so
 // figure output stays clean.
+//
+// The level is runtime-configurable: set_log_level, the HD_LOG environment
+// variable (init_log_level_from_env, called by the executables' option
+// tables), or a driver's --log-level flag. A writer hook (set_log_writer)
+// lets the obs layer capture log lines as structured events instead of
+// stderr — see obs/log_bridge.hpp.
 #pragma once
 
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -11,11 +18,29 @@ namespace hyperdrive::util {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
+[[nodiscard]] const char* to_string(LogLevel level) noexcept;
+/// Parses "debug" | "info" | "warn" | "error" | "off"; throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] LogLevel log_level_from_string(const std::string& name);
+
 /// Process-wide minimum level; messages below it are dropped.
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
-/// Emit one line ("[level] component: message") to stderr under a lock.
+/// Apply the HD_LOG environment variable (same vocabulary as
+/// log_level_from_string) if set and valid; an unset or invalid value leaves
+/// the current level untouched. Returns true when a level was applied.
+bool init_log_level_from_env();
+
+/// Route emitted lines to `writer` instead of stderr (nullptr restores the
+/// stderr path). The writer runs under the log lock, so it may be installed
+/// and removed concurrently with emission; it must not log re-entrantly.
+using LogWriter = std::function<void(LogLevel, const std::string& component,
+                                     const std::string& message)>;
+void set_log_writer(LogWriter writer);
+
+/// Emit one line ("[level] component: message") to stderr (or the installed
+/// writer) under a lock.
 void log_line(LogLevel level, const std::string& component, const std::string& message);
 
 namespace detail {

@@ -28,6 +28,7 @@
 #include "core/experiment_runner.hpp"
 #include "core/policies/default_policy.hpp"
 #include "core/policies/pop_policy.hpp"
+#include "obs/sink.hpp"
 
 namespace hyperdrive::cluster {
 namespace {
@@ -686,22 +687,33 @@ TEST(StragglerAcceptanceTest, MitigationRecoversTimeToTargetAndEliminatesWrongKi
   const auto clean = run_cluster_experiment(trace, clean_policy, options);
   ASSERT_TRUE(clean.reached_target);
 
-  // 25% slow nodes, mitigation OFF.
+  // 25% slow nodes, mitigation OFF. Both arms record their typed event
+  // stream so the wrong-kill oracle can be re-checked as a stream query.
   auto off = options;
   off.fault_plan.slowdowns.push_back(slowdown(0, 4.0));
   off.fault_plan.slowdowns.push_back(slowdown(1, 4.0));
   auto off_policy = make_policy();
+  obs::RecordingSink off_events;
+  off.obs.sink = &off_events;
   const auto unmitigated = run_cluster_experiment(trace, off_policy, off);
 
   // Same faults, mitigation ON.
   auto on = off;
   on.health = fast_health();
   auto on_policy = make_policy();
+  obs::RecordingSink on_events;
+  on.obs.sink = &on_events;
   const auto mitigated = run_cluster_experiment(trace, on_policy, on);
 
   // The gray failure corrupts the unmitigated run: the ground-truth oracle
   // records at least one target-reaching configuration killed on a slow node.
   EXPECT_GE(unmitigated.recovery.wrong_kills, 1u);
+  // The same oracle expressed as an event-stream query (DESIGN.md §10):
+  // typed WrongKill events mirror the ground-truth counter in both arms.
+  EXPECT_EQ(off_events.count(obs::EventKind::WrongKill),
+            unmitigated.recovery.wrong_kills);
+  EXPECT_EQ(on_events.count(obs::EventKind::WrongKill),
+            mitigated.recovery.wrong_kills);
   ASSERT_TRUE(unmitigated.reached_target)
       << "scenario must leave the unmitigated run a (slow) path to the target";
 

@@ -1,22 +1,38 @@
 // Development tool: per-trace policy comparison to understand variance of
-// the fixed-configuration experiments across base-trace draws.
+// the fixed-configuration experiments across base-trace draws. Shares the
+// cli::Options flag table with hyperdrive_cli, so --help is generated and
+// the defaults are visible in one place.
 #include <cstdio>
+#include <vector>
 
 #include "core/sweep_engine.hpp"
+#include "util/cli_options.hpp"
+#include "util/log.hpp"
 #include "workload/cifar_model.hpp"
 #include "workload/lunar_model.hpp"
 #include "workload/trace_tools.hpp"
 
 using namespace hyperdrive;
 
-static void sweep(const workload::WorkloadModel& model, std::size_t machines) {
+namespace {
+
+struct ToolConfig {
+  std::size_t traces = 8;
+  std::size_t configs = 100;
+  /// Machine counts to sweep (repeatable flag; defaults to 5 and 25).
+  std::vector<std::size_t> machines;
+};
+
+void sweep(const workload::WorkloadModel& model, const ToolConfig& config,
+           std::size_t machines) {
   std::printf("== %s (%zu machines) ==\n", std::string(model.name()).c_str(), machines);
   std::printf("trace |   pop  bandit earlyterm default | winner_idx\n");
 
   std::vector<workload::Trace> traces;
   std::vector<std::string> trace_labels;
-  for (std::uint64_t t = 0; t < 8; ++t) {
-    traces.push_back(workload::suitable_trace(model, 100, 1200 + t * 37, machines));
+  for (std::uint64_t t = 0; t < config.traces; ++t) {
+    traces.push_back(
+        workload::suitable_trace(model, config.configs, 1200 + t * 37, machines));
     trace_labels.push_back(std::to_string(t));
   }
 
@@ -54,9 +70,35 @@ static void sweep(const workload::WorkloadModel& model, std::size_t machines) {
   }
 }
 
-int main() {
-  sweep(workload::CifarWorkloadModel{}, 5);
-  sweep(workload::CifarWorkloadModel{}, 25);
+}  // namespace
 
+int main(int argc, char** argv) {
+  util::init_log_level_from_env();  // HD_LOG; --log-level overrides
+  ToolConfig config;
+  cli::Options options("trace_sweep",
+                       "per-trace policy comparison across base-trace draws");
+  options.section("sweep (defaults in brackets)");
+  options.bind("--traces", "N", "base-trace draws per table  [8]", config.traces);
+  options.bind("--configs", "N", "configurations per trace  [100]", config.configs);
+  options.add("--machines", "N",
+              "machine count to sweep (repeatable)  [5 and 25]",
+              [&config](const std::string& text) {
+                std::uint64_t n = 0;
+                if (!cli::Options::parse_uint(text, n) || n == 0) return false;
+                config.machines.push_back(static_cast<std::size_t>(n));
+                return true;
+              });
+  options.add("--log-level", "LEVEL",
+              "debug|info|warn|error|off (overrides HD_LOG)  [warn]",
+              [](const std::string& level) {
+                util::set_log_level(util::log_level_from_string(level));
+                return true;
+              });
+  if (!options.parse(argc, argv)) return 2;
+  if (config.machines.empty()) config.machines = {5, 25};
+
+  for (const std::size_t machines : config.machines) {
+    sweep(workload::CifarWorkloadModel{}, config, machines);
+  }
   return 0;
 }
