@@ -54,6 +54,7 @@ inline const std::vector<core::PolicyKind>& all_policies() {
 struct BenchOptions {
   std::size_t jobs = 0;  ///< sweep threads; 0 = hardware concurrency
   std::string csv;       ///< write the sweep table here when non-empty
+  std::string out;       ///< perf_* benches: override the BENCH_*.json path
   bool smoke = false;    ///< CTest smoke mode: shrink repeat counts
 
   /// Repeats to run: the figure's count, or at most 2 under --smoke.
@@ -77,10 +78,12 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
       options.jobs = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--csv") {
       options.csv = next();
+    } else if (arg == "--out") {
+      options.out = next();
     } else if (arg == "--smoke") {
       options.smoke = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("bench options: [--jobs N] [--csv PATH] [--smoke]\n");
+      std::printf("bench options: [--jobs N] [--csv PATH] [--out PATH] [--smoke]\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown bench option: %s (try --help)\n", arg.c_str());

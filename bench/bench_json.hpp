@@ -1,0 +1,193 @@
+// BENCH_*.json writer: the perf-tracking record every perf_* bench emits so
+// the predictor/sweep throughput trajectory is comparable across PRs
+// (ROADMAP item 1; schema documented in EXPERIMENTS.md).
+//
+// Contract (locked by tests/bench/bench_json_test.cpp):
+//   - keys appear in insertion order, with "name" first and "git" second —
+//     diffs between two BENCH files line up line by line;
+//   - doubles are always rendered with %.6f, so a re-run that produces the
+//     same numbers produces the same bytes;
+//   - one flat JSON object, no nesting — trivially greppable and parseable
+//     by the minimal reader below without a JSON library.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hyperdrive::bench {
+
+/// `git describe --always --dirty` of the working tree, or "unknown" when
+/// git (or the .git directory) is unavailable — BENCH files must still be
+/// writable from an exported tarball.
+inline std::string git_describe() {
+  std::string out;
+#if defined(_WIN32)
+  FILE* pipe = nullptr;
+#else
+  FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
+#endif
+  if (pipe != nullptr) {
+    char buf[256];
+    while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+#if !defined(_WIN32)
+    ::pclose(pipe);
+#endif
+  }
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
+  return out.empty() ? std::string("unknown") : out;
+}
+
+/// Insertion-ordered flat JSON object builder for BENCH_*.json records.
+class BenchJson {
+ public:
+  /// Starts the record with the two required keys: "name" (the bench id)
+  /// and "git" (git_describe(), overridable for tests via `git`).
+  explicit BenchJson(std::string name, std::string git = git_describe()) {
+    set(/*key=*/"name", std::move(name));
+    set(/*key=*/"git", std::move(git));
+  }
+
+  /// Append (or overwrite, preserving the original position) a double
+  /// metric. Always rendered %.6f.
+  void set(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    put(key, buf, /*quoted=*/false);
+  }
+
+  void set(const std::string& key, std::string value) {
+    put(key, std::move(value), /*quoted=*/true);
+  }
+
+  /// Integers (repeat counts, walker counts) are rendered without a decimal
+  /// point so they read as what they are.
+  void set_count(const std::string& key, unsigned long long value) {
+    put(key, std::to_string(value), /*quoted=*/false);
+  }
+
+  /// Render the record: one key per line, two-space indent, insertion order.
+  [[nodiscard]] std::string to_string() const {
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out += "  \"" + entries_[i].key + "\": ";
+      if (entries_[i].quoted) {
+        out += '"' + escaped(entries_[i].value) + '"';
+      } else {
+        out += entries_[i].value;
+      }
+      if (i + 1 < entries_.size()) out += ',';
+      out += '\n';
+    }
+    out += "}\n";
+    return out;
+  }
+
+  /// Write to `path` (e.g. "BENCH_predictor.json") and echo the path.
+  void write_file(const std::string& path) const {
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) throw std::runtime_error("bench_json: cannot write " + path);
+    const std::string text = to_string();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("[bench_json] wrote %s\n", path.c_str());
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;  ///< pre-rendered
+    bool quoted = false;
+  };
+
+  void put(const std::string& key, std::string value, bool quoted) {
+    for (auto& e : entries_) {
+      if (e.key == key) {
+        e.value = std::move(value);
+        e.quoted = quoted;
+        return;
+      }
+    }
+    entries_.push_back(Entry{key, std::move(value), quoted});
+  }
+
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::vector<Entry> entries_;
+};
+
+/// Minimal reader for the flat records BenchJson writes — enough for the
+/// schema round-trip test and for tooling that compares BENCH files across
+/// PRs. Not a general JSON parser: exactly the writer's output grammar.
+struct ParsedBenchJson {
+  /// Key/value pairs in file order; string values are unescaped and
+  /// unquoted, numbers kept as their literal text (so "%.6f" is checkable).
+  std::vector<std::pair<std::string, std::string>> entries;
+
+  [[nodiscard]] const std::string* find(const std::string& key) const {
+    for (const auto& [k, v] : entries) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+inline ParsedBenchJson parse_bench_json(const std::string& text) {
+  ParsedBenchJson out;
+  std::size_t pos = 0;
+  auto skip_ws = [&] {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\n' || text[pos] == '\t' || text[pos] == '\r'))
+      ++pos;
+  };
+  auto read_string = [&]() -> std::string {
+    if (pos >= text.size() || text[pos] != '"')
+      throw std::runtime_error("bench_json: expected '\"'");
+    ++pos;
+    std::string s;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;
+      s += text[pos++];
+    }
+    if (pos >= text.size()) throw std::runtime_error("bench_json: unterminated string");
+    ++pos;
+    return s;
+  };
+  skip_ws();
+  if (pos >= text.size() || text[pos] != '{') throw std::runtime_error("bench_json: expected '{'");
+  ++pos;
+  skip_ws();
+  while (pos < text.size() && text[pos] != '}') {
+    std::string key = read_string();
+    skip_ws();
+    if (pos >= text.size() || text[pos] != ':') throw std::runtime_error("bench_json: expected ':'");
+    ++pos;
+    skip_ws();
+    std::string value;
+    if (pos < text.size() && text[pos] == '"') {
+      value = read_string();
+    } else {
+      while (pos < text.size() && text[pos] != ',' && text[pos] != '\n' && text[pos] != '}')
+        value += text[pos++];
+      while (!value.empty() && (value.back() == ' ' || value.back() == '\r')) value.pop_back();
+    }
+    out.entries.emplace_back(std::move(key), std::move(value));
+    skip_ws();
+    if (pos < text.size() && text[pos] == ',') ++pos;
+    skip_ws();
+  }
+  if (pos >= text.size()) throw std::runtime_error("bench_json: expected '}'");
+  return out;
+}
+
+}  // namespace hyperdrive::bench

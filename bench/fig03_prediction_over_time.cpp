@@ -18,7 +18,9 @@ int main() {
   const auto trace = workload::generate_trace(model, 40, /*seed=*/333);
 
   curve::PredictorConfig config;
-  config.mcmc.nwalkers = 60;
+  // Full 11-family ensemble is 48-dim: the Goodman–Weare constraint
+  // (even, >= 2 * dim) needs at least 96 walkers.
+  config.mcmc.nwalkers = 100;
   config.mcmc.nsamples = 400;
   config.mcmc.burn_in = 150;
   config.mcmc.thin = 5;

@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "curve/batch_evaluator.hpp"
 #include "curve/nelder_mead.hpp"
 
 namespace hyperdrive::curve {
@@ -49,7 +50,23 @@ void validate_request(std::span<const double> history, std::span<const double> f
   }
 }
 
-class McmcPredictor final : public CurvePredictor {
+/// Scalar reference evaluator: the generic two-pass CurveEnsemble path,
+/// kept as the ground truth the fused kernels are tested against.
+class EnsembleLogProb final : public LogProbFn {
+ public:
+  EnsembleLogProb(const CurveEnsemble& ensemble, std::span<const double> ys)
+      : ensemble_(ensemble), ys_(ys) {}
+
+  [[nodiscard]] double log_prob(std::span<const double> theta) override {
+    return ensemble_.log_posterior(theta, ys_);
+  }
+
+ private:
+  const CurveEnsemble& ensemble_;
+  std::span<const double> ys_;
+};
+
+class McmcPredictor final : public CurvePredictor, public WarmStartPredictor {
  public:
   explicit McmcPredictor(PredictorConfig config) : config_(std::move(config)) {}
 
@@ -58,49 +75,105 @@ class McmcPredictor final : public CurvePredictor {
   [[nodiscard]] CurvePrediction predict(std::span<const double> history,
                                         std::span<const double> future_epochs,
                                         double horizon) const override {
+    return predict_warm(history, future_epochs, horizon, nullptr, nullptr);
+  }
+
+  [[nodiscard]] CurvePrediction predict_warm(std::span<const double> history,
+                                             std::span<const double> future_epochs,
+                                             double horizon, const WarmPosterior* warm,
+                                             WarmPosterior* out) const override {
     validate_request(history, future_epochs, horizon);
     CurveEnsemble ensemble(models_from_config(config_), horizon, config_.prior);
     util::Rng rng(util::derive_seed(config_.seed, hash_history(history)));
+    const std::size_t dim = ensemble.dim();
 
-    const auto center = ensemble.initial_theta(history);
-    std::vector<std::vector<double>> walkers;
-    walkers.reserve(config_.mcmc.nwalkers);
-    // First walker exactly at the least-squares center, the rest jittered.
-    walkers.push_back(center);
-    for (std::size_t i = 1; i < config_.mcmc.nwalkers; ++i) {
-      walkers.push_back(ensemble.jitter(center, rng));
+    BatchEvaluator* eval = nullptr;
+    McmcResult mcmc;
+    bool sampled = false;
+    if (warm != nullptr && !warm->empty() && warm->dim == dim &&
+        warm->walkers.size() == config_.mcmc.nwalkers * dim) {
+      try {
+        mcmc = run_sampler(ensemble, history, warm->walkers, rng, eval);
+        sampled = true;
+      } catch (const std::runtime_error&) {
+        // Every warm walker fell outside the grown prefix's support. The
+        // sampler throws before consuming any randomness, so falling through
+        // to the cold start below is byte-identical to a cold-only call.
+      }
     }
-
-    auto log_prob = [&](const std::vector<double>& theta) {
-      return ensemble.log_posterior(theta, history);
-    };
-    const auto mcmc = run_ensemble_mcmc(log_prob, std::move(walkers), config_.mcmc, rng);
+    if (!sampled) {
+      const auto center = ensemble.initial_theta(history);
+      std::vector<double> walkers;
+      walkers.reserve(config_.mcmc.nwalkers * dim);
+      // First walker exactly at the least-squares center, the rest jittered.
+      walkers.insert(walkers.end(), center.begin(), center.end());
+      for (std::size_t i = 1; i < config_.mcmc.nwalkers; ++i) {
+        const auto w = ensemble.jitter(center, rng);
+        walkers.insert(walkers.end(), w.begin(), w.end());
+      }
+      mcmc = run_sampler(ensemble, history, std::move(walkers), rng, eval);
+    }
+    if (out != nullptr) {
+      out->dim = dim;
+      out->walkers = mcmc.final_walkers;
+    }
 
     // Posterior predictive over *observed* performance: latent curve plus
     // each sample's own observation noise. Reported validation accuracy is
     // noisy, and targets are detected on the noisy values, so reached-by
     // probabilities must integrate the noise (a config plateauing just below
     // the target still has real probability of an observed crossing).
-    std::vector<std::vector<double>> curves;
-    curves.reserve(mcmc.samples.size());
-    for (const auto& theta : mcmc.samples) {
+    const std::size_t width = future_epochs.size();
+    std::vector<double> flat;
+    flat.reserve(mcmc.num_samples() * width);
+    std::vector<double> row(width);
+    std::size_t kept = 0;
+    for (std::size_t s = 0; s < mcmc.num_samples(); ++s) {
+      const auto theta = mcmc.sample(s);
       const double sigma = std::exp(theta[ensemble.sigma_offset()]);
-      std::vector<double> curve(future_epochs.size());
       bool ok = true;
-      for (std::size_t e = 0; e < future_epochs.size(); ++e) {
-        curve[e] = ensemble.eval(future_epochs[e], theta) + rng.normal(0.0, sigma);
-        if (!std::isfinite(curve[e])) {
+      for (std::size_t e = 0; e < width; ++e) {
+        const double latent = eval != nullptr
+                                  ? eval->eval_curve(future_epochs[e], theta)
+                                  : ensemble.eval(future_epochs[e], theta);
+        row[e] = latent + rng.normal(0.0, sigma);
+        if (!std::isfinite(row[e])) {
           ok = false;
           break;
         }
       }
-      if (ok) curves.push_back(std::move(curve));
+      if (ok) {
+        flat.insert(flat.end(), row.begin(), row.end());
+        ++kept;
+      }
     }
     return CurvePrediction(std::vector<double>(future_epochs.begin(), future_epochs.end()),
-                           std::move(curves));
+                           std::move(flat), kept);
   }
 
  private:
+  /// Run the ensemble sampler over flat walkers, routing log-posterior
+  /// evaluation through the fused kernels (config_.batched_kernel) or the
+  /// scalar reference path. `eval_out` receives the bound evaluator (fused
+  /// path only) so the posterior-predictive stage can reuse its tables.
+  McmcResult run_sampler(const CurveEnsemble& ensemble, std::span<const double> history,
+                         std::vector<double> walkers, util::Rng& rng,
+                         BatchEvaluator*& eval_out) const {
+    if (config_.batched_kernel) {
+      // One evaluator per thread: its scratch arenas persist across predict
+      // calls, so a steady-state sweep cell allocates nothing here.
+      thread_local BatchEvaluator evaluator;
+      evaluator.reset(ensemble);
+      evaluator.bind(history);
+      eval_out = &evaluator;
+      return run_ensemble_mcmc(evaluator, std::move(walkers), ensemble.dim(),
+                               config_.mcmc, rng);
+    }
+    EnsembleLogProb fn(ensemble, history);
+    eval_out = nullptr;
+    return run_ensemble_mcmc(fn, std::move(walkers), ensemble.dim(), config_.mcmc, rng);
+  }
+
   PredictorConfig config_;
 };
 
@@ -179,8 +252,10 @@ class LsqPredictor final : public CurvePredictor {
     // and slope perturbation scaled to the residual noise. A configurable
     // fraction of samples instead follow geometrically-damped continuations
     // of the recent slope (see lsq_optimistic_fraction).
-    std::vector<std::vector<double>> curves;
-    curves.reserve(config_.lsq_samples);
+    const std::size_t width = future_epochs.size();
+    std::vector<double> flat;
+    flat.reserve(config_.lsq_samples * width);
+    std::vector<double> curve(width);
     const double n = static_cast<double>(history.size());
     for (std::size_t s = 0; s < config_.lsq_samples; ++s) {
       if (rng.bernoulli(config_.lsq_optimistic_fraction)) {
@@ -190,8 +265,7 @@ class LsqPredictor final : public CurvePredictor {
         // adds no false hope to non-learners.
         const double gamma = rng.uniform(0.80, 1.0);
         const double offset = rng.normal(0.0, sigma);
-        std::vector<double> curve(future_epochs.size());
-        for (std::size_t e = 0; e < future_epochs.size(); ++e) {
+        for (std::size_t e = 0; e < width; ++e) {
           const double steps = future_epochs[e] - n;
           const double geo = gamma >= 0.9999
                                  ? steps
@@ -199,7 +273,7 @@ class LsqPredictor final : public CurvePredictor {
           curve[e] = std::clamp(last + slope * geo + offset + rng.normal(0.0, sigma),
                                 config_.prior.y_lo, config_.prior.y_hi);
         }
-        curves.push_back(std::move(curve));
+        flat.insert(flat.end(), curve.begin(), curve.end());
         continue;
       }
       const std::size_t k = rng.categorical(weights);
@@ -207,9 +281,8 @@ class LsqPredictor final : public CurvePredictor {
       const double offset = rng.normal(0.0, sigma);
       // Uncertainty about the asymptote grows with extrapolation distance.
       const double drift = rng.normal(0.0, sigma);
-      std::vector<double> curve(future_epochs.size());
       bool ok = true;
-      for (std::size_t e = 0; e < future_epochs.size(); ++e) {
+      for (std::size_t e = 0; e < width; ++e) {
         const double x = future_epochs[e];
         double y = model.eval(x, fits[k].params);
         if (!std::isfinite(y)) {
@@ -227,10 +300,10 @@ class LsqPredictor final : public CurvePredictor {
         std::fill(curve.begin(), curve.end(), last);
         for (auto& y : curve) y += rng.normal(0.0, sigma);
       }
-      curves.push_back(std::move(curve));
+      flat.insert(flat.end(), curve.begin(), curve.end());
     }
     return CurvePrediction(std::vector<double>(future_epochs.begin(), future_epochs.end()),
-                           std::move(curves));
+                           std::move(flat), config_.lsq_samples);
   }
 
  private:
@@ -259,14 +332,15 @@ class LastValuePredictor final : public CurvePredictor {
       sigma = std::max(0.005, acc / 3.0);
     }
     const std::size_t nsamples = std::max<std::size_t>(32, config_.lsq_samples);
-    std::vector<std::vector<double>> curves(nsamples,
-                                            std::vector<double>(future_epochs.size()));
-    for (auto& curve : curves) {
+    const std::size_t width = future_epochs.size();
+    std::vector<double> flat(nsamples * width);
+    for (std::size_t s = 0; s < nsamples; ++s) {
       const double offset = rng.normal(0.0, sigma);
-      std::fill(curve.begin(), curve.end(), last + offset);
+      std::fill(flat.begin() + static_cast<std::ptrdiff_t>(s * width),
+                flat.begin() + static_cast<std::ptrdiff_t>((s + 1) * width), last + offset);
     }
     return CurvePrediction(std::vector<double>(future_epochs.begin(), future_epochs.end()),
-                           std::move(curves));
+                           std::move(flat), nsamples);
   }
 
  private:
@@ -277,58 +351,79 @@ class LastValuePredictor final : public CurvePredictor {
 
 CurvePrediction::CurvePrediction(std::vector<double> epochs,
                                  std::vector<std::vector<double>> sample_curves)
-    : epochs_(std::move(epochs)), samples_(std::move(sample_curves)) {
-  for (const auto& s : samples_) {
+    : epochs_(std::move(epochs)), nsamples_(sample_curves.size()) {
+  samples_.reserve(nsamples_ * epochs_.size());
+  for (const auto& s : sample_curves) {
     if (s.size() != epochs_.size()) {
       throw std::invalid_argument("CurvePrediction: sample width mismatch");
     }
+    samples_.insert(samples_.end(), s.begin(), s.end());
   }
-  running_max_.reserve(samples_.size());
-  for (const auto& s : samples_) {
-    std::vector<double> rm(s.size());
+  finalize();
+}
+
+CurvePrediction::CurvePrediction(std::vector<double> epochs, std::vector<double> flat_samples,
+                                 std::size_t num_samples)
+    : epochs_(std::move(epochs)), samples_(std::move(flat_samples)), nsamples_(num_samples) {
+  if (samples_.size() != nsamples_ * epochs_.size()) {
+    throw std::invalid_argument("CurvePrediction: sample width mismatch");
+  }
+  finalize();
+}
+
+void CurvePrediction::finalize() {
+  const std::size_t width = epochs_.size();
+  running_max_.resize(samples_.size());
+  for (std::size_t s = 0; s < nsamples_; ++s) {
     double acc = -std::numeric_limits<double>::infinity();
-    for (std::size_t e = 0; e < s.size(); ++e) {
-      acc = std::max(acc, s[e]);
-      rm[e] = acc;
+    for (std::size_t e = 0; e < width; ++e) {
+      acc = std::max(acc, samples_[s * width + e]);
+      running_max_[s * width + e] = acc;
     }
-    running_max_.push_back(std::move(rm));
   }
 }
 
 double CurvePrediction::mean_at(std::size_t epoch_idx) const {
-  if (samples_.empty()) return 0.0;
+  if (nsamples_ == 0) return 0.0;
+  if (epoch_idx >= epochs_.size()) throw std::out_of_range("CurvePrediction: epoch index");
+  const std::size_t width = epochs_.size();
   double s = 0.0;
-  for (const auto& c : samples_) s += c.at(epoch_idx);
-  return s / static_cast<double>(samples_.size());
+  for (std::size_t r = 0; r < nsamples_; ++r) s += samples_[r * width + epoch_idx];
+  return s / static_cast<double>(nsamples_);
 }
 
 double CurvePrediction::stddev_at(std::size_t epoch_idx) const {
-  if (samples_.size() < 2) return 0.0;
+  if (nsamples_ < 2) return 0.0;
   const double m = mean_at(epoch_idx);
+  const std::size_t width = epochs_.size();
   double acc = 0.0;
-  for (const auto& c : samples_) {
-    const double d = c.at(epoch_idx) - m;
+  for (std::size_t r = 0; r < nsamples_; ++r) {
+    const double d = samples_[r * width + epoch_idx] - m;
     acc += d * d;
   }
-  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+  return std::sqrt(acc / static_cast<double>(nsamples_ - 1));
 }
 
 double CurvePrediction::prob_at_least(std::size_t epoch_idx, double y) const {
-  if (samples_.empty()) return 0.0;
+  if (nsamples_ == 0) return 0.0;
+  if (epoch_idx >= epochs_.size()) throw std::out_of_range("CurvePrediction: epoch index");
+  const std::size_t width = epochs_.size();
   std::size_t hits = 0;
-  for (const auto& c : samples_) {
-    if (c.at(epoch_idx) >= y) ++hits;
+  for (std::size_t r = 0; r < nsamples_; ++r) {
+    if (samples_[r * width + epoch_idx] >= y) ++hits;
   }
-  return static_cast<double>(hits) / static_cast<double>(samples_.size());
+  return static_cast<double>(hits) / static_cast<double>(nsamples_);
 }
 
 double CurvePrediction::prob_reached_by(std::size_t epoch_idx, double y) const {
-  if (running_max_.empty()) return 0.0;
+  if (nsamples_ == 0) return 0.0;
+  if (epoch_idx >= epochs_.size()) throw std::out_of_range("CurvePrediction: epoch index");
+  const std::size_t width = epochs_.size();
   std::size_t hits = 0;
-  for (const auto& rm : running_max_) {
-    if (rm.at(epoch_idx) >= y) ++hits;
+  for (std::size_t r = 0; r < nsamples_; ++r) {
+    if (running_max_[r * width + epoch_idx] >= y) ++hits;
   }
-  return static_cast<double>(hits) / static_cast<double>(running_max_.size());
+  return static_cast<double>(hits) / static_cast<double>(nsamples_);
 }
 
 std::unique_ptr<CurvePredictor> make_mcmc_predictor(PredictorConfig config) {

@@ -20,14 +20,21 @@
 namespace hyperdrive::curve {
 
 /// Posterior over future performance at a set of absolute future epochs.
+/// Samples are stored as one flat row-major matrix (num_samples() rows of
+/// epochs().size() values) so a predict call makes O(1) bulk allocations
+/// instead of one vector per sampled curve.
 class CurvePrediction {
  public:
   CurvePrediction() = default;
   CurvePrediction(std::vector<double> epochs, std::vector<std::vector<double>> sample_curves);
+  /// Flat constructor: `flat_samples` holds `num_samples` rows of
+  /// `epochs.size()` values each, row-major.
+  CurvePrediction(std::vector<double> epochs, std::vector<double> flat_samples,
+                  std::size_t num_samples);
 
   [[nodiscard]] const std::vector<double>& epochs() const noexcept { return epochs_; }
-  [[nodiscard]] std::size_t num_samples() const noexcept { return samples_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] std::size_t num_samples() const noexcept { return nsamples_; }
+  [[nodiscard]] bool empty() const noexcept { return nsamples_ == 0; }
 
   /// Posterior mean of y(epoch_idx).
   [[nodiscard]] double mean_at(std::size_t epoch_idx) const;
@@ -40,17 +47,24 @@ class CurvePrediction {
   /// which makes the ERT pmf (Eq. 2) non-negative by construction.
   [[nodiscard]] double prob_reached_by(std::size_t epoch_idx, double y) const;
 
-  /// Raw sample access for plotting confidence bands (Fig. 2c / Fig. 3).
-  [[nodiscard]] const std::vector<std::vector<double>>& samples() const noexcept {
-    return samples_;
+  /// Raw sample access for plotting confidence bands (Fig. 2c / Fig. 3):
+  /// the flat row-major matrix, and one row as a span.
+  [[nodiscard]] const std::vector<double>& samples() const noexcept { return samples_; }
+  [[nodiscard]] std::span<const double> sample(std::size_t s) const {
+    return std::span<const double>(samples_).subspan(s * epochs_.size(), epochs_.size());
   }
 
  private:
+  void finalize();
+
   std::vector<double> epochs_;
-  /// samples_[s][e] = sampled performance of curve s at epochs_[e].
-  std::vector<std::vector<double>> samples_;
-  /// running_max_[s][e] = max over samples_[s][0..e]; cached for prob_reached_by.
-  std::vector<std::vector<double>> running_max_;
+  /// samples_[s * epochs_.size() + e] = sampled performance of curve s at
+  /// epochs_[e].
+  std::vector<double> samples_;
+  /// Row-major running max over each row of samples_; cached for
+  /// prob_reached_by.
+  std::vector<double> running_max_;
+  std::size_t nsamples_ = 0;
 };
 
 struct PredictorConfig {
@@ -69,6 +83,22 @@ struct PredictorConfig {
   double lsq_optimistic_fraction = 0.35;
   EnsemblePrior prior;
   std::uint64_t seed = 0x5eed;
+  /// Route MCMC log-posterior evaluation through the fused BatchEvaluator
+  /// kernels instead of the generic CurveEnsemble path. Bit-identical results
+  /// (enforced by predictor_equivalence_test), ~5x faster; off = the scalar
+  /// reference path, kept for equivalence testing and custom model families.
+  bool batched_kernel = true;
+};
+
+/// Posterior walker state exported by a warm-startable predictor: the final
+/// MCMC walker positions of a fit, usable to seed the next fit on a grown
+/// prefix of the same curve (DESIGN.md §11).
+struct WarmPosterior {
+  std::size_t dim = 0;
+  /// Flat nwalkers x dim walker matrix; empty means "no state".
+  std::vector<double> walkers;
+
+  [[nodiscard]] bool empty() const noexcept { return walkers.empty(); }
 };
 
 class CurvePredictor {
@@ -84,7 +114,27 @@ class CurvePredictor {
                                                 double horizon) const = 0;
 };
 
+/// Mixin for predictors whose fit can be seeded from a previous posterior
+/// (detected via dynamic_cast by CachingPredictor's warm-start mode).
+class WarmStartPredictor {
+ public:
+  virtual ~WarmStartPredictor() = default;
+
+  /// As predict(), but: if `warm` is non-null, non-empty and dimensionally
+  /// compatible, seed the sampler's walkers from it instead of the cold
+  /// LSQ+jitter start (falling back to cold if every warm walker lies
+  /// outside the new prefix's support — the fallback consumes no extra
+  /// randomness, so it is byte-identical to a cold-only call). If `out` is
+  /// non-null, export this fit's final walker state into it.
+  [[nodiscard]] virtual CurvePrediction predict_warm(std::span<const double> history,
+                                                     std::span<const double> future_epochs,
+                                                     double horizon,
+                                                     const WarmPosterior* warm,
+                                                     WarmPosterior* out) const = 0;
+};
+
 /// Full probabilistic predictor: 11-family ensemble + affine-invariant MCMC.
+/// Implements WarmStartPredictor.
 [[nodiscard]] std::unique_ptr<CurvePredictor> make_mcmc_predictor(PredictorConfig config);
 
 /// Fast approximation: per-family least-squares fits + residual bootstrap.

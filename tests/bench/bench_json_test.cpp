@@ -1,0 +1,105 @@
+// Schema lock for the BENCH_*.json perf-tracking records (EXPERIMENTS.md):
+// required keys present, insertion order stable, doubles always %.6f. The
+// cross-PR perf trajectory is only diffable if two runs that measure the
+// same numbers produce the same bytes.
+#include "bench_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hyperdrive::bench {
+namespace {
+
+TEST(BenchJsonTest, RequiredKeysLeadInInsertionOrder) {
+  BenchJson json("perf_predictor", /*git=*/"v1.2.3-4-gabc");
+  json.set("wall_ms", 1234.5);
+  json.set("cells_per_s", 7.25);
+  json.set_count("threads", 8);
+
+  const auto parsed = parse_bench_json(json.to_string());
+  ASSERT_EQ(parsed.entries.size(), 5u);
+  EXPECT_EQ(parsed.entries[0].first, "name");
+  EXPECT_EQ(parsed.entries[0].second, "perf_predictor");
+  EXPECT_EQ(parsed.entries[1].first, "git");
+  EXPECT_EQ(parsed.entries[1].second, "v1.2.3-4-gabc");
+  EXPECT_EQ(parsed.entries[2].first, "wall_ms");
+  EXPECT_EQ(parsed.entries[3].first, "cells_per_s");
+  EXPECT_EQ(parsed.entries[4].first, "threads");
+}
+
+TEST(BenchJsonTest, DoublesAlwaysRenderAsFixedSixDigits) {
+  BenchJson json("n", "g");
+  json.set("a", 1234.5);
+  json.set("b", 0.125);
+  json.set("c", 10.0);
+  const auto parsed = parse_bench_json(json.to_string());
+  EXPECT_EQ(*parsed.find("a"), "1234.500000");
+  EXPECT_EQ(*parsed.find("b"), "0.125000");
+  EXPECT_EQ(*parsed.find("c"), "10.000000");
+  // Counts stay integral — no decimal point.
+  json.set_count("n_cells", 24);
+  EXPECT_EQ(*parse_bench_json(json.to_string()).find("n_cells"), "24");
+}
+
+TEST(BenchJsonTest, OverwriteKeepsOriginalPosition) {
+  BenchJson json("n", "g");
+  json.set("first", 1.0);
+  json.set("second", 2.0);
+  json.set("first", 3.0);  // overwrite must not reorder
+  const auto parsed = parse_bench_json(json.to_string());
+  ASSERT_EQ(parsed.entries.size(), 4u);
+  EXPECT_EQ(parsed.entries[2].first, "first");
+  EXPECT_EQ(parsed.entries[2].second, "3.000000");
+  EXPECT_EQ(parsed.entries[3].first, "second");
+}
+
+TEST(BenchJsonTest, RoundTripsThroughDisk) {
+  BenchJson json("perf_sweep_cell", "deadbeef-dirty");
+  json.set("wall_ms", 98.7654321);  // rounds to %.6f
+  json.set("cells_per_s", 3.5);
+  json.set("note", R"(quo"te\slash)");
+  const std::string path = ::testing::TempDir() + "bench_json_roundtrip.json";
+  json.write_file(path);
+
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), json.to_string());
+
+  const auto parsed = parse_bench_json(buf.str());
+  EXPECT_EQ(*parsed.find("name"), "perf_sweep_cell");
+  EXPECT_EQ(*parsed.find("git"), "deadbeef-dirty");
+  EXPECT_EQ(*parsed.find("wall_ms"), "98.765432");
+  EXPECT_EQ(*parsed.find("note"), R"(quo"te\slash)");
+  EXPECT_EQ(parsed.find("missing"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(BenchJsonTest, IdenticalMetricsProduceIdenticalBytes) {
+  auto make = [] {
+    BenchJson json("perf_predictor", "abc123");
+    json.set("wall_ms", 41.0 / 7.0);
+    json.set("speedup_batched", 5.5);
+    return json.to_string();
+  };
+  EXPECT_EQ(make(), make());
+}
+
+TEST(BenchJsonTest, GitDescribeNeverReturnsEmpty) {
+  // Inside a repo: some describe/hash string; outside: the "unknown"
+  // fallback. Either way the required key is always populated.
+  EXPECT_FALSE(git_describe().empty());
+}
+
+TEST(BenchJsonTest, ParserRejectsMalformedRecords) {
+  EXPECT_THROW(parse_bench_json(""), std::runtime_error);
+  EXPECT_THROW(parse_bench_json("{\"a\": 1"), std::runtime_error);
+  EXPECT_THROW(parse_bench_json("\"a\": 1}"), std::runtime_error);
+  EXPECT_THROW(parse_bench_json("{\"a\" 1}"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hyperdrive::bench

@@ -27,7 +27,7 @@ TEST(EnsembleMcmcTest, Samples1dGaussian) {
   const auto result = run_ensemble_mcmc(log_prob, walkers, quick_options(), rng);
 
   std::vector<double> xs;
-  for (const auto& s : result.samples) xs.push_back(s[0]);
+  for (std::size_t i = 0; i < result.num_samples(); ++i) xs.push_back(result.sample(i)[0]);
   ASSERT_GT(xs.size(), 1000u);
   EXPECT_NEAR(util::mean(xs), 0.0, 0.1);
   EXPECT_NEAR(util::stddev(xs), 1.0, 0.15);
@@ -46,9 +46,9 @@ TEST(EnsembleMcmcTest, Samples2dGaussianWithDifferentScales) {
   const auto result = run_ensemble_mcmc(log_prob, walkers, opts, rng);
 
   std::vector<double> x0s, x1s;
-  for (const auto& s : result.samples) {
-    x0s.push_back(s[0]);
-    x1s.push_back(s[1]);
+  for (std::size_t i = 0; i < result.num_samples(); ++i) {
+    x0s.push_back(result.sample(i)[0]);
+    x1s.push_back(result.sample(i)[1]);
   }
   EXPECT_NEAR(util::mean(x0s), 0.0, 0.15);
   EXPECT_NEAR(util::mean(x1s), 3.0, 0.1);
@@ -75,15 +75,13 @@ TEST(EnsembleMcmcTest, RespectsHardSupportBoundary) {
   std::vector<std::vector<double>> walkers;
   for (int i = 0; i < 32; ++i) walkers.push_back({rng.uniform(0.3, 0.7)});
   const auto result = run_ensemble_mcmc(log_prob, walkers, quick_options(), rng);
-  for (const auto& s : result.samples) {
-    EXPECT_GE(s[0], 0.0);
-    EXPECT_LE(s[0], 1.0);
+  for (const double x : result.samples) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
   }
   // And it should actually spread over the support.
-  std::vector<double> xs;
-  for (const auto& s : result.samples) xs.push_back(s[0]);
-  EXPECT_LT(util::min_of(xs), 0.15);
-  EXPECT_GT(util::max_of(xs), 0.85);
+  EXPECT_LT(util::min_of(result.samples), 0.15);
+  EXPECT_GT(util::max_of(result.samples), 0.85);
 }
 
 TEST(EnsembleMcmcTest, InvalidStartsAreNudgedOntoValidOne) {
@@ -97,7 +95,7 @@ TEST(EnsembleMcmcTest, InvalidStartsAreNudgedOntoValidOne) {
   for (int i = 1; i < 16; ++i) walkers.push_back({-1.0});
   const auto result = run_ensemble_mcmc(log_prob, walkers, quick_options(), rng);
   EXPECT_FALSE(result.samples.empty());
-  for (const auto& s : result.samples) EXPECT_GE(s[0], 0.0);
+  for (const double x : result.samples) EXPECT_GE(x, 0.0);
 }
 
 TEST(EnsembleMcmcTest, ThrowsWhenNoValidStart) {
@@ -121,6 +119,31 @@ TEST(EnsembleMcmcTest, ValidatesWalkerSetup) {
                std::invalid_argument);
 }
 
+TEST(EnsembleMcmcTest, RejectsOddWalkerCount) {
+  // The documented Goodman–Weare constraint: even and >= max(4, 2 * dim).
+  auto log_prob = [](const std::vector<double>&) { return 0.0; };
+  util::Rng rng(7);
+  std::vector<std::vector<double>> odd(5, std::vector<double>{0.0});
+  EXPECT_THROW(run_ensemble_mcmc(log_prob, odd, quick_options(), rng),
+               std::invalid_argument);
+}
+
+TEST(EnsembleMcmcTest, RejectsFewerWalkersThanTwiceDim) {
+  // 4 walkers are fine in 1-2 dims but cannot span a 3-dim space with
+  // stretch moves (the mcmc.hpp contract the old code under-enforced).
+  auto log_prob = [](const std::vector<double>&) { return 0.0; };
+  util::Rng rng(7);
+  std::vector<std::vector<double>> narrow(4, std::vector<double>{0.0, 0.0, 0.0});
+  EXPECT_THROW(run_ensemble_mcmc(log_prob, narrow, quick_options(), rng),
+               std::invalid_argument);
+  // 6 walkers satisfy the constraint at dim 3.
+  std::vector<std::vector<double>> enough(6, std::vector<double>{0.0, 0.0, 0.0});
+  McmcOptions opts = quick_options();
+  opts.nsamples = 20;
+  opts.burn_in = 5;
+  EXPECT_NO_THROW((void)run_ensemble_mcmc(log_prob, enough, opts, rng));
+}
+
 TEST(EnsembleMcmcTest, SampleCountMatchesSchedule) {
   auto log_prob = [](const std::vector<double>& x) { return -0.5 * x[0] * x[0]; };
   util::Rng rng(8);
@@ -133,7 +156,9 @@ TEST(EnsembleMcmcTest, SampleCountMatchesSchedule) {
   opts.thin = 10;
   const auto result = run_ensemble_mcmc(log_prob, walkers, opts, rng);
   // Kept steps: ceil((100-40)/10) = 6 -> 6 * 16 walkers.
-  EXPECT_EQ(result.samples.size(), 6u * 16u);
+  EXPECT_EQ(result.num_samples(), 6u * 16u);
+  EXPECT_EQ(result.samples.size(), 6u * 16u * result.dim);
+  EXPECT_EQ(result.final_walkers.size(), 16u * result.dim);
 }
 
 TEST(EnsembleMcmcTest, DeterministicGivenSeed) {
@@ -150,8 +175,39 @@ TEST(EnsembleMcmcTest, DeterministicGivenSeed) {
   const auto b = run();
   ASSERT_EQ(a.samples.size(), b.samples.size());
   for (std::size_t i = 0; i < a.samples.size(); ++i) {
-    EXPECT_EQ(a.samples[i][0], b.samples[i][0]);
+    EXPECT_EQ(a.samples[i], b.samples[i]);
   }
+}
+
+TEST(EnsembleMcmcTest, FlatOverloadMatchesFunctionOverload) {
+  // The LogProbFn overload must be draw-for-draw identical to the
+  // std::function overload when the evaluators agree.
+  class Gauss final : public LogProbFn {
+   public:
+    [[nodiscard]] double log_prob(std::span<const double> x) override {
+      return -0.5 * x[0] * x[0];
+    }
+  };
+  auto fn = [](const std::vector<double>& x) { return -0.5 * x[0] * x[0]; };
+
+  util::Rng rng_a(17);
+  std::vector<std::vector<double>> nested;
+  for (int i = 0; i < 16; ++i) nested.push_back({rng_a.normal(0.0, 1.0)});
+  McmcOptions opts = quick_options();
+  opts.nwalkers = 16;
+  const auto a = run_ensemble_mcmc(fn, nested, opts, rng_a);
+
+  util::Rng rng_b(17);
+  std::vector<double> flat;
+  for (int i = 0; i < 16; ++i) flat.push_back(rng_b.normal(0.0, 1.0));
+  Gauss gauss;
+  const auto b = run_ensemble_mcmc(gauss, flat, 1, opts, rng_b);
+
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i], b.samples[i]);
+  }
+  EXPECT_EQ(a.final_walkers, b.final_walkers);
 }
 
 }  // namespace
