@@ -15,6 +15,7 @@
 #include "cluster/cluster.hpp"
 #include "core/experiment_runner.hpp"
 #include "core/policies/barrier_policy.hpp"
+#include "core/study/coordinator.hpp"
 #include "core/study/study_manager.hpp"
 #include "core/sweep_engine.hpp"
 #include "core/policies/hyperband_policy.hpp"
@@ -61,6 +62,16 @@ struct CliConfig {
   /// Multi-study mode (§9): study spec files sharing one cluster.
   std::vector<std::string> studies;
   std::string arbitration = "fair";
+  /// Coordinator crash-recovery (DESIGN.md §12; multi-study mode only).
+  std::string checkpoint_out;
+  double checkpoint_every_s = 0.0;
+  std::string resume_from;
+  std::size_t kill_after_checkpoints = 0;
+
+  [[nodiscard]] bool any_checkpointing() const {
+    return !checkpoint_out.empty() || checkpoint_every_s > 0.0 || !resume_from.empty() ||
+           kill_after_checkpoints != 0;
+  }
 };
 
 /// The full flag table; --help is generated from it, so the usage screen and
@@ -175,6 +186,26 @@ cli::Options make_options(CliConfig& config) {
                "static|fair|deadline capacity arbitration  [fair]\n"
                "(--csv then writes the multi-study table)",
                config.arbitration);
+
+  options.section("coordinator crash-recovery (multi-study mode; DESIGN.md \"Crash "
+                  "recovery\")");
+  options.bind("--checkpoint-out", "DIR",
+               "write durable coordinator checkpoints into DIR\n"
+               "(atomic ckpt-NNNNNN.hdck frames)",
+               config.checkpoint_out);
+  options.bind("--checkpoint-every", "SECONDS",
+               "periodic checkpoint cadence in simulated seconds\n"
+               "(0 = only the final frame)  [0]",
+               config.checkpoint_every_s);
+  options.bind("--resume-from", "DIR",
+               "resume from the newest valid checkpoint in DIR\n"
+               "(replays and byte-verifies; --study flags optional —\n"
+               "the frame records the original specs)",
+               config.resume_from);
+  options.bind("--kill-after-checkpoints", "N",
+               "testing: SIGKILL this process right after the Nth\n"
+               "durable checkpoint write (CI crash-resume smoke)  [0]",
+               config.kill_after_checkpoints);
   return options;
 }
 
@@ -257,6 +288,7 @@ int run_studies(const CliConfig& config) {
   manager_options.machines = config.machines;
   manager_options.seed = config.seed;
   manager_options.health.enabled = config.health;
+  manager_options.fault_plan = config.fault_plan;
   try {
     manager_options.arbitration = core::arbitration_from_string(config.arbitration);
   } catch (const std::exception& e) {
@@ -271,6 +303,7 @@ int run_studies(const CliConfig& config) {
   obs::RecordingSink sink;
   if (!config.metrics_out.empty()) {
     cluster::preregister_cluster_metrics(registry);
+    if (config.any_checkpointing()) core::preregister_checkpoint_metrics(registry);
     manager_options.obs.metrics = &registry;
   }
   if (!config.trace_out.empty()) manager_options.obs.sink = &sink;
@@ -279,8 +312,22 @@ int run_studies(const CliConfig& config) {
               specs.size(), config.machines,
               std::string(core::to_string(manager_options.arbitration)).c_str());
   core::MultiStudyResult result;
+  core::CoordinatorRecoveryStats recovery;
   try {
-    result = core::run_multi_study(specs, manager_options);
+    if (config.any_checkpointing()) {
+      // Recoverable path: checkpoints, crash events, resume. The legacy path
+      // below stays byte-untouched when no checkpoint flag is given.
+      core::CheckpointOptions ckpt;
+      ckpt.dir = config.resume_from.empty() ? config.checkpoint_out : config.resume_from;
+      ckpt.every = util::SimTime::seconds(config.checkpoint_every_s);
+      ckpt.resume = !config.resume_from.empty();
+      ckpt.kill_after_checkpoints = config.kill_after_checkpoints;
+      auto run = core::run_recoverable_multi_study(specs, manager_options, ckpt);
+      result = std::move(run.result);
+      recovery = run.recovery;
+    } else {
+      result = core::run_multi_study(specs, manager_options);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "multi-study run failed: %s\n", e.what());
     return 2;
@@ -302,6 +349,17 @@ int run_studies(const CliConfig& config) {
   }
   std::printf("total %s, rebalances=%zu\n",
               util::format_duration(result.total_time).c_str(), result.rebalances);
+  if (config.any_checkpointing()) {
+    std::printf("recovery: checkpoints=%llu (%llu bytes) crashes=%llu loads=%llu "
+                "fallbacks=%llu cold-restarts=%llu verified-replays=%llu\n",
+                static_cast<unsigned long long>(recovery.checkpoints_written),
+                static_cast<unsigned long long>(recovery.checkpoint_bytes_total),
+                static_cast<unsigned long long>(recovery.coordinator_crashes),
+                static_cast<unsigned long long>(recovery.checkpoint_loads),
+                static_cast<unsigned long long>(recovery.checkpoint_fallbacks),
+                static_cast<unsigned long long>(recovery.cold_restarts),
+                static_cast<unsigned long long>(recovery.replay_verifications));
+  }
   if (!config.csv.empty()) {
     std::ofstream out(config.csv);
     result.save_csv(out);
@@ -326,7 +384,18 @@ int main(int argc, char** argv) {
   CliConfig config;
   const cli::Options options = make_options(config);
   if (!options.parse(argc, argv)) return 2;
-  if (!config.studies.empty()) return run_studies(config);
+  if (!config.resume_from.empty() && !config.checkpoint_out.empty()) {
+    std::fprintf(stderr, "--resume-from and --checkpoint-out are mutually exclusive "
+                         "(resume keeps writing into its own directory)\n");
+    return 2;
+  }
+  if (!config.studies.empty() || !config.resume_from.empty()) return run_studies(config);
+  if (config.any_checkpointing()) {
+    std::fprintf(stderr,
+                 "--checkpoint-out/--checkpoint-every/--kill-after-checkpoints require "
+                 "multi-study mode (--study or --resume-from)\n");
+    return 2;
+  }
   if (config.fault_plan.any() && config.substrate != "cluster") {
     std::fprintf(stderr, "fault injection requires --substrate cluster\n");
     return 2;

@@ -1361,6 +1361,175 @@ core::ExperimentResult HyperDriveCluster::collect() {
   return result_;
 }
 
+void HyperDriveCluster::encode_state(util::ByteWriter& w) const {
+  const auto time = [&w](util::SimTime t) { w.f64(t.to_seconds()); };
+  const auto rng = [&w](const util::RngState& s) {
+    for (const std::uint64_t word : s.state) w.u64(word);
+    w.u64(s.seed);
+    w.f64(s.spare_normal);
+    w.u8(s.has_spare_normal ? 1 : 0);
+  };
+
+  // Machines: membership, lease, occupancy.
+  w.u32(static_cast<std::uint32_t>(rm_.configured()));
+  for (MachineId m = 0; m < rm_.configured(); ++m) {
+    std::uint8_t bits = 0;
+    if (rm_.is_online(m)) bits |= 1;
+    if (rm_.is_parked(m)) bits |= 2;
+    if (rm_.is_busy(m)) bits |= 4;
+    w.u8(bits);
+  }
+
+  // Jobs: every lifecycle field except sim event handles (those are process-
+  // local names for closures the replay rebuilds deterministically).
+  w.u64(jm_.idle_counter());
+  w.u32(static_cast<std::uint32_t>(jm_.all().size()));
+  for (const auto& [id, job] : jm_.all()) {
+    w.u64(id);
+    w.u8(static_cast<std::uint8_t>(job.status));
+    w.u64(job.epochs_done);
+    w.f64(job.priority);
+    w.u64(job.idle_seq);
+    w.u8(static_cast<std::uint8_t>((job.idle ? 1 : 0) | (job.epoch_in_flight ? 2 : 0) |
+                                   (job.waiting_decision ? 4 : 0) |
+                                   (job.suspend_in_flight ? 8 : 0) |
+                                   (job.deadline_armed ? 16 : 0)));
+    w.u32(job.machine ? *job.machine + 1 : 0);
+    time(job.execution_time);
+    time(job.training_time);
+    time(job.normalized_training_time);
+    w.u64(job.times_suspended);
+    time(job.epoch_started_at);
+    time(job.wait_started_at);
+    time(job.epoch_expected);
+    w.u64(job.incarnation);
+
+    // AppStatDb fingerprint for this job: contiguous history values plus a
+    // summary of every durable snapshot (image bytes digested by CRC — the
+    // images themselves can dwarf the rest of the checkpoint).
+    const auto& history = db_.perf_history(id);
+    w.u32(static_cast<std::uint32_t>(db_.stats(id).size()));
+    w.u32(static_cast<std::uint32_t>(history.size()));
+    for (const double y : history) w.f64(y);
+    const auto& snaps = db_.snapshots(id);
+    w.u32(static_cast<std::uint32_t>(snaps.size()));
+    for (const ModelSnapshot& snap : snaps) {
+      w.u64(snap.epoch);
+      w.f64(snap.size_bytes);
+      w.u64(snap.image.size());
+      w.u32(crc32(snap.image.data(), snap.image.size()));
+      time(snap.stored_at);
+    }
+  }
+  w.u32(static_cast<std::uint32_t>(db_.suspend_samples().size()));
+
+  // Node agents (execution accounting + heartbeat sequencing).
+  for (const NodeAgent& agent : agents_) {
+    time(agent.busy_time());
+    w.u64(agent.epochs_run());
+    w.u64(agent.predictions_run());
+    w.u64(agent.heartbeats_sent());
+  }
+
+  // RNG streams: the cluster's jitter/latency stream and the injector's
+  // fault-decision stream.
+  rng(rng_.state());
+  rng(injector_.rng_state());
+
+  // Message fabric: logical traffic so far plus in-flight deliveries.
+  const MessageBusStats& bus = bus_.stats();
+  w.u64(bus.messages);
+  w.f64(bus.bytes);
+  w.u32(static_cast<std::uint32_t>(bus.per_type.size()));
+  for (const auto& [type, count] : bus.per_type) {
+    w.u8(static_cast<std::uint8_t>(type));
+    w.u64(count);
+  }
+  w.u64(bus.retransmissions);
+  w.f64(bus.retransmitted_bytes);
+  w.u64(bus.acks_sent);
+  w.f64(bus.ack_bytes);
+  w.u64(bus.dropped);
+  w.u64(bus.dropped_endpoint_down);
+  w.u64(bus.duplicates_suppressed);
+  w.u64(bus.duplicates_delivered);
+  w.u64(bus.delayed);
+  w.u64(bus.undeliverable);
+  w.u64(bus_.in_flight());
+
+  // Fault + health accounting.
+  const FaultStats& faults = injector_.stats();
+  w.u64(faults.messages_dropped);
+  w.u64(faults.messages_duplicated);
+  w.u64(faults.messages_delayed);
+  w.u64(faults.snapshot_uploads_failed);
+  w.u64(faults.snapshots_corrupted);
+  w.u64(faults.node_crashes);
+  w.u64(faults.epochs_slowed);
+  w.u64(faults.epochs_stalled);
+  w.u64(faults.epochs_hung);
+  for (MachineId m = 0; m < rm_.configured(); ++m) {
+    w.u8(static_cast<std::uint8_t>(health_.health(m)));
+    w.f64(health_.speed_score(m));
+    w.u8(health_.is_excluded(m) ? 1 : 0);
+  }
+  const HealthStats& hs = health_.stats();
+  w.u64(hs.heartbeats_received);
+  w.u64(hs.suspects_declared);
+  w.u64(hs.suspects_recovered);
+  w.u64(hs.slow_strikes);
+  w.u64(hs.quarantines);
+  w.u64(hs.probations);
+  w.u64(hs.reinstatements);
+
+  // Result accumulators mutated mid-run.
+  w.u8(result_.reached_target ? 1 : 0);
+  time(result_.time_to_target);
+  w.u64(result_.winning_job);
+  w.f64(result_.best_perf);
+  w.u64(result_.suspends);
+  w.u64(result_.terminations);
+  w.u64(result_.jobs_started);
+  w.u64(result_.recovery.node_crashes);
+  w.u64(result_.recovery.node_restarts);
+  w.u64(result_.recovery.jobs_requeued);
+  w.u64(result_.recovery.epochs_lost);
+  w.u64(result_.recovery.snapshots_lost);
+  w.u64(result_.recovery.snapshot_restore_failures);
+  w.u64(result_.recovery.stat_reports_lost);
+  w.u64(result_.recovery.duplicate_stats_ignored);
+  w.u64(result_.recovery.jobs_migrated);
+  w.u64(result_.recovery.nodes_quarantined);
+  w.u64(result_.recovery.nodes_reinstated);
+  w.u64(result_.recovery.hung_jobs_detected);
+  w.u64(result_.recovery.wrong_kills);
+
+  // Tenant / lease protocol state.
+  w.u8(static_cast<std::uint8_t>((done_ ? 1 : 0) | (tenant_ ? 2 : 0) |
+                                 (timeout_armed_ ? 4 : 0)));
+  w.u64(lease_target_);
+  w.u32(static_cast<std::uint32_t>(pending_reclaim_.size()));
+  for (const MachineId m : pending_reclaim_) w.u32(m);
+  w.u32(static_cast<std::uint32_t>(parked_sick_.size()));
+  for (const MachineId m : parked_sick_) w.u32(m);
+  w.u32(static_cast<std::uint32_t>(pending_quarantine_.size()));
+  for (const MachineId m : pending_quarantine_) w.u32(m);
+  time(finished_at_);
+  time(slot_seconds_);
+  time(slots_accrued_until_);
+  w.u64(lease_grants_);
+  w.u64(lease_reclaims_);
+
+  // Event log digest: order-sensitive rolling CRC mix, no concatenation.
+  w.u64(event_log_.size());
+  std::uint64_t digest = 0;
+  for (const std::string& line : event_log_) {
+    digest = digest * 1099511628211ULL +
+             crc32(reinterpret_cast<const std::uint8_t*>(line.data()), line.size());
+  }
+  w.u64(digest);
+}
+
 core::ExperimentResult run_cluster_experiment(const workload::Trace& trace,
                                               core::SchedulingPolicy& policy,
                                               const ClusterOptions& options) {

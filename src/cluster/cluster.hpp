@@ -54,6 +54,7 @@
 #include "core/sap.hpp"
 #include "obs/scope.hpp"
 #include "sim/simulation.hpp"
+#include "util/bytes.hpp"
 #include "workload/trace.hpp"
 
 namespace hyperdrive::cluster {
@@ -181,6 +182,15 @@ class HyperDriveCluster final : public core::SchedulerOps {
   [[nodiscard]] const std::vector<std::string>& event_log() const noexcept {
     return event_log_;
   }
+
+  /// Serialize everything that determines the remainder of this cluster's
+  /// run — job/machine/lease state, RNG streams, AppStatDb fingerprints, bus
+  /// and fault accounting — into `w`. Coordinator checkpoints (DESIGN.md §12)
+  /// store these bytes as an opaque, replay-verified state fingerprint; they
+  /// are compared, never decoded, so the layout can evolve freely as long as
+  /// equal states produce equal bytes and diverged states almost surely do
+  /// not.
+  void encode_state(util::ByteWriter& w) const;
 
   // --- SchedulerOps -------------------------------------------------------
   [[nodiscard]] std::optional<core::JobId> get_idle_job() override;

@@ -31,6 +31,8 @@ bool FaultPlan::any_gray() const noexcept {
   return !slowdowns.empty() || !hangs.empty();
 }
 
+bool FaultPlan::any_coordinator() const noexcept { return !coordinator_crashes.empty(); }
+
 FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t run_seed)
     : plan_(std::move(plan)),
       rng_(util::derive_seed(plan_.seed ^ run_seed, 0xFA17)) {}
@@ -214,6 +216,10 @@ FaultPlan load_fault_plan(std::istream& in) {
         hang.clear_after = util::SimTime::seconds(*clear);
       }
       plan.hangs.push_back(hang);
+    } else if (directive == "coordinator-crash") {
+      CoordinatorCrashEvent crash;
+      crash.at = util::SimTime::seconds(parser.number("crash time"));
+      plan.coordinator_crashes.push_back(crash);
     } else if (directive == "snapshot-fail") {
       plan.snapshot_upload_fail_prob = parser.number("probability");
     } else if (directive == "snapshot-corrupt") {
@@ -256,6 +262,9 @@ void save_fault_plan(const FaultPlan& plan, std::ostream& out) {
       out << ' ' << hang.clear_after.to_seconds();
     }
     out << '\n';
+  }
+  for (const CoordinatorCrashEvent& crash : plan.coordinator_crashes) {
+    out << "coordinator-crash " << crash.at.to_seconds() << '\n';
   }
   if (plan.snapshot_upload_fail_prob > 0.0) {
     out << "snapshot-fail " << plan.snapshot_upload_fail_prob << '\n';

@@ -79,6 +79,17 @@ struct HungJobEvent {
   util::SimTime clear_after = util::SimTime::infinity();
 };
 
+/// A scheduled *coordinator* death: at time `at` the whole scheduling process
+/// (StudyManager + every tenant cluster) is killed and restarted from its
+/// newest durable checkpoint (DESIGN.md §12). Unlike the node-level fault
+/// classes this is not consumed by the FaultInjector — the coordinator
+/// runtime in core::run_recoverable_multi_study schedules and handles it —
+/// but it lives in the FaultPlan so crash scenarios share the text format,
+/// seed plumbing, and round-trip guarantees of every other fault class.
+struct CoordinatorCrashEvent {
+  util::SimTime at = util::SimTime::zero();
+};
+
 /// Everything that can go wrong in one run, as data. Defaults are a perfect
 /// world, so a default-constructed plan reproduces the fault-free cluster.
 struct FaultPlan {
@@ -90,6 +101,11 @@ struct FaultPlan {
   /// Gray (fail-slow) faults: deterministic, time-indexed, RNG-free.
   std::vector<NodeSlowdownEvent> slowdowns;
   std::vector<HungJobEvent> hangs;
+  /// Coordinator kills handled by the recovery runtime, not the injector.
+  /// Deliberately excluded from any(): scheduling a coordinator crash must
+  /// not flip on MessageBus reliability or any node-level fault machinery,
+  /// or the pre-crash trace would diverge from the fault-free golden trace.
+  std::vector<CoordinatorCrashEvent> coordinator_crashes;
   /// A suspend's snapshot capture/upload aborts before transmission (the
   /// agent-side failure mode; the in-flight loss mode is drop_prob on
   /// SnapshotUpload messages).
@@ -102,6 +118,8 @@ struct FaultPlan {
   [[nodiscard]] bool any() const noexcept;
   /// Does this plan contain gray (fail-slow / hang) faults?
   [[nodiscard]] bool any_gray() const noexcept;
+  /// Does this plan kill the coordinator? (Not part of any(): see above.)
+  [[nodiscard]] bool any_coordinator() const noexcept;
 
   /// Uniform message-fault shorthand: apply `profile` to every data message
   /// type (acks keep the default profile unless set explicitly).
@@ -168,6 +186,10 @@ class FaultInjector {
   /// never completes.
   [[nodiscard]] util::SimTime hang_stall(MachineId machine, util::SimTime start,
                                          util::SimTime duration) const;
+
+  /// Generator state for coordinator checkpoints: the injector's decision
+  /// stream is part of the resumable state captured in encode_state().
+  [[nodiscard]] util::RngState rng_state() const noexcept { return rng_.state(); }
 
   void note_crash() noexcept { ++stats_.node_crashes; }
   void note_slow_epoch() noexcept { ++stats_.epochs_slowed; }

@@ -90,6 +90,10 @@ class JobManager {
   }
   [[nodiscard]] std::map<core::JobId, ManagedJob>& all() noexcept { return jobs_; }
 
+  /// FIFO tiebreak counter behind idle_seq — part of the scheduling state a
+  /// coordinator checkpoint must fingerprint (cluster::encode_state).
+  [[nodiscard]] std::uint64_t idle_counter() const noexcept { return idle_counter_; }
+
  private:
   std::map<core::JobId, ManagedJob> jobs_;  // ordered for determinism
   std::uint64_t idle_counter_ = 0;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/bytes.hpp"
+
 namespace hyperdrive::cluster {
 
 namespace {
@@ -13,78 +15,6 @@ constexpr std::uint32_t kVersion = 1;
 constexpr std::uint8_t kTagDouble = 0;
 constexpr std::uint8_t kTagInt = 1;
 constexpr std::uint8_t kTagString = 2;
-
-class Writer {
- public:
-  void u8(std::uint8_t v) { bytes_.push_back(v); }
-  void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void f64(double v) {
-    std::uint64_t bits;
-    std::memcpy(&bits, &v, sizeof(bits));
-    u64(bits);
-  }
-  void str(const std::string& s) {
-    u32(static_cast<std::uint32_t>(s.size()));
-    bytes_.insert(bytes_.end(), s.begin(), s.end());
-  }
-  std::vector<std::uint8_t>& bytes() { return bytes_; }
-
- private:
-  std::vector<std::uint8_t> bytes_;
-};
-
-class Reader {
- public:
-  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
-
-  bool u8(std::uint8_t& v) {
-    if (pos_ + 1 > bytes_.size()) return false;
-    v = bytes_[pos_++];
-    return true;
-  }
-  bool u32(std::uint32_t& v) {
-    if (pos_ + 4 > bytes_.size()) return false;
-    v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
-    return true;
-  }
-  bool u64(std::uint64_t& v) {
-    if (pos_ + 8 > bytes_.size()) return false;
-    v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
-    return true;
-  }
-  bool f64(double& v) {
-    std::uint64_t bits;
-    if (!u64(bits)) return false;
-    std::memcpy(&v, &bits, sizeof(v));
-    return true;
-  }
-  bool str(std::string& s) {
-    std::uint32_t len;
-    if (!u32(len)) return false;
-    if (pos_ + len > bytes_.size()) return false;
-    s.assign(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
-             bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
-    pos_ += len;
-    return true;
-  }
-  bool skip(std::size_t n) {
-    if (pos_ + n > bytes_.size()) return false;
-    pos_ += n;
-    return true;
-  }
-  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
-
- private:
-  const std::vector<std::uint8_t>& bytes_;
-  std::size_t pos_ = 0;
-};
 
 const std::uint32_t* crc_table() {
   static const auto table = [] {
@@ -110,9 +40,21 @@ std::uint32_t crc32(const std::uint8_t* data, std::size_t size) noexcept {
   return crc ^ 0xFFFFFFFFu;
 }
 
+const char* to_string(SnapshotDecodeError error) noexcept {
+  switch (error) {
+    case SnapshotDecodeError::Truncated: return "truncated";
+    case SnapshotDecodeError::BadMagic: return "bad-magic";
+    case SnapshotDecodeError::UnknownVersion: return "unknown-version";
+    case SnapshotDecodeError::Malformed: return "malformed";
+    case SnapshotDecodeError::TrailingGarbage: return "trailing-garbage";
+    case SnapshotDecodeError::BadChecksum: return "bad-checksum";
+  }
+  return "unknown";
+}
+
 std::vector<std::uint8_t> SnapshotCodec::encode(const JobSnapshotState& state,
                                                 std::size_t min_bytes) {
-  Writer w;
+  util::ByteWriter w;
   w.u32(kMagic);
   w.u32(kVersion);
   w.u64(state.job_id);
@@ -139,83 +81,97 @@ std::vector<std::uint8_t> SnapshotCodec::encode(const JobSnapshotState& state,
   for (const double s : state.secondary) w.f64(s);
 
   // Padding to the requested image size (framework / process state).
-  const std::size_t body = w.bytes().size() + 4 /*pad len*/ + 4 /*crc*/;
+  const std::size_t body = w.size() + 4 /*pad len*/ + 4 /*crc*/;
   const std::size_t padding = min_bytes > body ? min_bytes - body : 0;
   w.u32(static_cast<std::uint32_t>(padding));
   w.bytes().insert(w.bytes().end(), padding, 0);
 
-  w.u32(crc32(w.bytes().data(), w.bytes().size()));
+  w.u32(crc32(w.bytes().data(), w.size()));
   return std::move(w.bytes());
 }
 
-std::optional<JobSnapshotState> SnapshotCodec::decode(
-    const std::vector<std::uint8_t>& image) {
-  if (image.size() < 4) return std::nullopt;
-  // Verify the trailing checksum first.
+SnapshotDecodeResult SnapshotCodec::decode_ex(const std::vector<std::uint8_t>& image) {
+  const auto fail = [](SnapshotDecodeError e) { return SnapshotDecodeResult{std::nullopt, e}; };
+  if (image.size() < 4) return fail(SnapshotDecodeError::Truncated);
   const std::size_t body = image.size() - 4;
-  std::uint32_t stored = 0;
-  for (int i = 0; i < 4; ++i) stored |= static_cast<std::uint32_t>(image[body + i]) << (8 * i);
-  if (crc32(image.data(), body) != stored) return std::nullopt;
 
-  Reader r(image);
+  // Parse the structure first (bounded to the body), so truncation and
+  // unknown versions get their own verdicts instead of drowning in the CRC.
+  util::ByteReader r(image.data(), body);
   std::uint32_t magic, version;
-  if (!r.u32(magic) || magic != kMagic) return std::nullopt;
-  if (!r.u32(version) || version != kVersion) return std::nullopt;
+  if (!r.u32(magic)) return fail(SnapshotDecodeError::Truncated);
+  if (magic != kMagic) return fail(SnapshotDecodeError::BadMagic);
+  if (!r.u32(version)) return fail(SnapshotDecodeError::Truncated);
+  if (version != kVersion) return fail(SnapshotDecodeError::UnknownVersion);
 
   JobSnapshotState state;
   std::uint64_t job_id, epoch;
-  if (!r.u64(job_id) || !r.u64(epoch)) return std::nullopt;
+  if (!r.u64(job_id) || !r.u64(epoch)) return fail(SnapshotDecodeError::Truncated);
   state.job_id = job_id;
   state.epoch = epoch;
 
   std::uint32_t n_params;
-  if (!r.u32(n_params)) return std::nullopt;
+  if (!r.u32(n_params)) return fail(SnapshotDecodeError::Truncated);
   for (std::uint32_t i = 0; i < n_params; ++i) {
     std::string name;
     std::uint8_t tag;
-    if (!r.str(name) || !r.u8(tag)) return std::nullopt;
+    if (!r.str(name) || !r.u8(tag)) return fail(SnapshotDecodeError::Truncated);
     switch (tag) {
       case kTagDouble: {
         double v;
-        if (!r.f64(v)) return std::nullopt;
+        if (!r.f64(v)) return fail(SnapshotDecodeError::Truncated);
         state.config.set(name, v);
         break;
       }
       case kTagInt: {
         std::uint64_t v;
-        if (!r.u64(v)) return std::nullopt;
+        if (!r.u64(v)) return fail(SnapshotDecodeError::Truncated);
         state.config.set(name, static_cast<std::int64_t>(v));
         break;
       }
       case kTagString: {
         std::string v;
-        if (!r.str(v)) return std::nullopt;
+        if (!r.str(v)) return fail(SnapshotDecodeError::Truncated);
         state.config.set(name, v);
         break;
       }
       default:
-        return std::nullopt;
+        return fail(SnapshotDecodeError::Malformed);
     }
   }
 
+  // A count claiming more 8-byte elements than the reader holds is provably
+  // truncated; reject it before resize() hands a hostile image gigabytes.
   std::uint32_t n_history;
-  if (!r.u32(n_history)) return std::nullopt;
+  if (!r.u32(n_history)) return fail(SnapshotDecodeError::Truncated);
+  if (n_history > r.remaining() / 8) return fail(SnapshotDecodeError::Truncated);
   state.history.resize(n_history);
   for (auto& y : state.history) {
-    if (!r.f64(y)) return std::nullopt;
+    if (!r.f64(y)) return fail(SnapshotDecodeError::Truncated);
   }
   std::uint32_t n_secondary;
-  if (!r.u32(n_secondary)) return std::nullopt;
+  if (!r.u32(n_secondary)) return fail(SnapshotDecodeError::Truncated);
+  if (n_secondary > r.remaining() / 8) return fail(SnapshotDecodeError::Truncated);
   state.secondary.resize(n_secondary);
   for (auto& s : state.secondary) {
-    if (!r.f64(s)) return std::nullopt;
+    if (!r.f64(s)) return fail(SnapshotDecodeError::Truncated);
   }
 
   std::uint32_t padding;
-  if (!r.u32(padding)) return std::nullopt;
-  if (!r.skip(padding)) return std::nullopt;
-  if (r.pos() != body) return std::nullopt;  // trailing garbage
-  return state;
+  if (!r.u32(padding)) return fail(SnapshotDecodeError::Truncated);
+  if (!r.skip(padding)) return fail(SnapshotDecodeError::Truncated);
+  if (r.pos() != body) return fail(SnapshotDecodeError::TrailingGarbage);
+
+  // Structure is sound; the trailing checksum has the last word.
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) stored |= static_cast<std::uint32_t>(image[body + i]) << (8 * i);
+  if (crc32(image.data(), body) != stored) return fail(SnapshotDecodeError::BadChecksum);
+  return SnapshotDecodeResult{std::move(state), std::nullopt};
+}
+
+std::optional<JobSnapshotState> SnapshotCodec::decode(
+    const std::vector<std::uint8_t>& image) {
+  return decode_ex(image).state;
 }
 
 }  // namespace hyperdrive::cluster

@@ -44,6 +44,27 @@ struct JobSnapshotState {
 /// CRC-32 (IEEE 802.3, reflected) over a byte span.
 [[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t size) noexcept;
 
+/// Why a snapshot image failed to decode. Best-effort classification: a bit
+/// flip inside a length field can masquerade as truncation, so the taxonomy
+/// is for diagnostics and recovery-ladder decisions, never for trusting a
+/// frame — every error means "do not resume from this image".
+enum class SnapshotDecodeError {
+  Truncated,        ///< image ends before the structure does
+  BadMagic,         ///< not a snapshot frame at all
+  UnknownVersion,   ///< framed by a newer (or corrupt) codec revision
+  Malformed,        ///< structure intact but a field value is invalid
+  TrailingGarbage,  ///< structure ends before the image does
+  BadChecksum,      ///< structure parses but the trailing CRC disagrees
+};
+
+[[nodiscard]] const char* to_string(SnapshotDecodeError error) noexcept;
+
+/// decode_ex result: exactly one of {state, error} is set.
+struct SnapshotDecodeResult {
+  std::optional<JobSnapshotState> state;
+  std::optional<SnapshotDecodeError> error;
+};
+
 class SnapshotCodec {
  public:
   /// Serialize `state`, padding the image up to at least `min_bytes` (0 =
@@ -55,6 +76,10 @@ class SnapshotCodec {
   /// a corrupt snapshot must never resume as a silently-wrong job.
   [[nodiscard]] static std::optional<JobSnapshotState> decode(
       const std::vector<std::uint8_t>& image);
+
+  /// Decode with an explicit error taxonomy (same acceptance set as decode:
+  /// an image decodes via decode() iff decode_ex() yields a state).
+  [[nodiscard]] static SnapshotDecodeResult decode_ex(const std::vector<std::uint8_t>& image);
 };
 
 }  // namespace hyperdrive::cluster

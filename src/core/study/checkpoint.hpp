@@ -1,0 +1,103 @@
+// Durable coordinator checkpoints (DESIGN.md §12).
+//
+// A CoordinatorCheckpoint is everything a fresh process needs to reproduce a
+// StudyManager run up to a given tick and prove it got there:
+//
+//   * the *inputs* — study specs and the fault plan as their canonical text
+//     forms (the same fixed-point formats the CLI files use), plus the scalar
+//     StudyManagerOptions image — so `--resume-from` needs no other flags;
+//   * the *progress* — checkpoint sequence, sim tick, rebalance count, and
+//     how many coordinator crashes earlier incarnations already took;
+//   * the *state fingerprint* — StudyManager::capture()'s opaque bytes,
+//     compared (never decoded) against a replay's re-capture to verify the
+//     resumed run reconverged byte-for-byte before it continues live.
+//
+// The frame borrows the SnapshotCodec discipline: magic, version, body,
+// trailing CRC-32, with the same explicit error taxonomy
+// (cluster::SnapshotDecodeError) so the recovery ladder can tell a truncated
+// file from a bit flip from a frame written by a newer coordinator.
+//
+// CheckpointStore maps frames onto a directory of `ckpt-<seq>.hdck` files
+// with atomic tmp-file + rename writes, so a SIGKILL mid-write can never
+// leave a torn frame that masquerades as the newest checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/snapshot_codec.hpp"
+#include "core/study/study_manager.hpp"
+#include "core/study/study_spec.hpp"
+
+namespace hyperdrive::core {
+
+struct CoordinatorCheckpoint {
+  /// Scalar options image: everything in StudyManagerOptions that shapes the
+  /// run (callbacks and obs handles are process-local and deliberately
+  /// absent; fault plan and specs travel as text below).
+  StudyManagerOptions options;
+  /// Admitted studies in admission order (save_study_spec text).
+  std::vector<std::string> spec_texts;
+  /// save_fault_plan text (includes coordinator-crash directives).
+  std::string fault_plan_text;
+  // --- progress -------------------------------------------------------------
+  std::uint64_t sequence = 0;
+  util::SimTime tick = util::SimTime::zero();
+  std::uint64_t rebalances = 0;
+  /// Coordinator crashes already taken when this frame was written. Not a
+  /// pure function of `tick`: a replay that re-writes an old sequence number
+  /// carries its own (higher) count, which is why checkpoint files may
+  /// legitimately differ byte-wise from the frames they replace. Always
+  /// >= the number of plan crashes at or before `tick`, so remaining crash
+  /// events always lie strictly after the resume point.
+  std::uint64_t crashes_taken = 0;
+  // --- state ----------------------------------------------------------------
+  /// Opaque replay-verification fingerprint (StudyManager::capture()).
+  std::vector<std::uint8_t> state;
+
+  [[nodiscard]] std::vector<StudySpec> specs() const;
+  [[nodiscard]] cluster::FaultPlan fault_plan() const;
+};
+
+/// Decode verdict: exactly one of {checkpoint, error} is set. Reuses the
+/// snapshot codec's taxonomy — the recovery ladder logs and counts by it.
+struct CheckpointDecodeResult {
+  std::optional<CoordinatorCheckpoint> checkpoint;
+  std::optional<cluster::SnapshotDecodeError> error;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_checkpoint(const CoordinatorCheckpoint& cp);
+[[nodiscard]] CheckpointDecodeResult decode_checkpoint(const std::vector<std::uint8_t>& image);
+
+/// Build the input sections of a checkpoint from live run parameters (the
+/// progress/state sections are filled per capture).
+[[nodiscard]] CoordinatorCheckpoint make_checkpoint_inputs(
+    const std::vector<StudySpec>& specs, const StudyManagerOptions& options);
+
+/// A directory of checkpoint frames, newest preferred.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// Atomically write `cp` as ckpt-<seq>.hdck (tmp + rename). Returns the
+  /// frame size in bytes. Throws std::runtime_error on I/O failure.
+  std::size_t write(const CoordinatorCheckpoint& cp);
+
+  /// Sequence numbers present on disk, newest (highest) first.
+  [[nodiscard]] std::vector<std::uint64_t> list() const;
+
+  /// Decode the frame for `sequence`; nullopt checkpoint + error on failure
+  /// (missing file reads as Truncated).
+  [[nodiscard]] CheckpointDecodeResult load(std::uint64_t sequence) const;
+
+  [[nodiscard]] std::string path_for(std::uint64_t sequence) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace hyperdrive::core

@@ -1,0 +1,307 @@
+#include "core/study/coordinator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "cluster/fault_injector.hpp"
+
+namespace hyperdrive::core {
+
+namespace {
+
+void emit_recovery(obs::EventSink* sink, obs::EventKind kind, util::SimTime time,
+                   std::string detail) {
+  if (sink == nullptr) return;
+  obs::TraceEvent event(kind);
+  event.time = time;
+  event.detail = std::move(detail);
+  sink->on_event(event);
+}
+
+/// Plan crashes in firing order — the same ordering StudyManager::run uses to
+/// schedule them, so `crashes_taken` indexes consistently on both sides.
+std::vector<cluster::CoordinatorCrashEvent> sorted_crashes(const cluster::FaultPlan& plan) {
+  std::vector<cluster::CoordinatorCrashEvent> crashes = plan.coordinator_crashes;
+  std::stable_sort(crashes.begin(), crashes.end(),
+                   [](const auto& a, const auto& b) { return a.at < b.at; });
+  return crashes;
+}
+
+}  // namespace
+
+void preregister_checkpoint_metrics(obs::MetricsRegistry& registry) {
+  // Must list, in order, exactly the metrics the recovery runtime touches —
+  // registration order is write_csv emission order, which keeps --metrics-out
+  // byte-deterministic under --jobs N (the same contract as
+  // cluster::preregister_cluster_metrics).
+  for (const char* name : {
+           "checkpoint.bytes",
+           "checkpoint.writes",
+           "recovery.checkpoint_loads",
+           "recovery.checkpoint_fallbacks",
+           "recovery.cold_restarts",
+           "recovery.coordinator_crashes",
+           "recovery.replay_verifications",
+       }) {
+    (void)registry.counter(name);
+  }
+  // Wall-clock write latency; observed only on durable disk writes, so runs
+  // without --checkpoint-out export it with zero observations (trend-only
+  // metric, excluded from byte-identity comparisons across machines).
+  (void)registry.histogram("checkpoint.write_ms", {0.5, 1.0, 2.0, 5.0, 10.0, 50.0, 100.0});
+}
+
+RecoverableRunResult run_recoverable_multi_study(const std::vector<StudySpec>& specs,
+                                                 const StudyManagerOptions& options,
+                                                 const CheckpointOptions& checkpoint,
+                                                 const AdmitStudyFn& admit) {
+  CoordinatorRecoveryStats stats;
+  obs::EventSink* const recovery_sink = checkpoint.recovery_sink;
+  obs::MetricsRegistry* const metrics = options.obs.metrics;
+
+  std::optional<CheckpointStore> store;
+  if (!checkpoint.dir.empty()) store.emplace(checkpoint.dir);
+
+  // The run's effective inputs. A fresh start takes them from the caller; a
+  // resume takes them from the adopted frame (so `--resume-from` needs no
+  // other flags and tampering with the command line cannot skew the replay).
+  StudyManagerOptions base = options;
+  base.checkpoint_every = checkpoint.every;
+  std::vector<StudySpec> run_specs = specs;
+
+  std::optional<CoordinatorCheckpoint> target;  // frame the next replay must reconverge to
+  bool verified = false;          // replay proved byte-identical to `target`
+  std::size_t taken = 0;          // plan crashes consumed by earlier incarnations
+  std::set<std::uint64_t> poisoned;  // sequences rejected by the ladder
+  std::optional<CoordinatorCheckpoint> latest;  // newest frame, in memory
+  std::size_t disk_writes_this_process = 0;
+
+  // Adopt a frame as the resume target and swap the run inputs to its record.
+  const auto adopt = [&](CoordinatorCheckpoint&& frame) {
+    base = frame.options;
+    base.obs = options.obs;  // process-local handles stay the caller's
+    base.fault_plan = frame.fault_plan();
+    run_specs = frame.specs();
+    target = std::move(frame);
+    verified = false;
+    ++stats.checkpoint_loads;
+    emit_recovery(recovery_sink, obs::EventKind::CheckpointLoaded, target->tick,
+                  "seq=" + std::to_string(target->sequence) +
+                      " bytes=" + std::to_string(target->state.size()));
+  };
+
+  // Walk the durable frames newest-first past poisoned / undecodable ones.
+  // Returns false when the ladder is exhausted (caller cold-restarts).
+  const auto adopt_newest_valid = [&]() -> bool {
+    if (!store) {
+      if (latest && poisoned.count(latest->sequence) == 0) {
+        adopt(CoordinatorCheckpoint(*latest));
+        return true;
+      }
+      return false;
+    }
+    for (const std::uint64_t seq : store->list()) {
+      if (poisoned.count(seq) != 0) continue;
+      CheckpointDecodeResult decoded = store->load(seq);
+      if (decoded.checkpoint) {
+        adopt(std::move(*decoded.checkpoint));
+        return true;
+      }
+      ++stats.checkpoint_fallbacks;
+      poisoned.insert(seq);
+      emit_recovery(recovery_sink, obs::EventKind::CheckpointFallback, util::SimTime::zero(),
+                    std::string(cluster::to_string(*decoded.error)) + " seq=" + std::to_string(seq));
+    }
+    return false;
+  };
+
+  const auto cold_restart = [&](const char* reason) {
+    target.reset();
+    verified = false;
+    ++stats.cold_restarts;
+    emit_recovery(recovery_sink, obs::EventKind::ColdRestart, util::SimTime::zero(), reason);
+  };
+
+  if (checkpoint.resume) {
+    if (!store) throw std::runtime_error("resume requested without a checkpoint directory");
+    if (adopt_newest_valid()) {
+      taken = target->crashes_taken;
+    } else {
+      cold_restart("no-usable-checkpoint");
+      if (run_specs.empty()) {
+        throw std::runtime_error(
+            "resume found no usable checkpoint in " + checkpoint.dir +
+            " and no study specs were given for a cold restart");
+      }
+    }
+  }
+
+  // Every incarnation consumes at least one plan crash or one ladder rung, so
+  // this bound is unreachable unless recovery stops making progress.
+  const std::size_t max_attempts = base.fault_plan.coordinator_crashes.size() +
+                                   (store ? store->list().size() : 0) + 10;
+
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    // The inputs record written into every frame this incarnation produces.
+    const CoordinatorCheckpoint inputs = make_checkpoint_inputs(run_specs, base);
+
+    obs::RecordingSink attempt_sink;
+    StudyManagerOptions opt = base;
+    opt.obs.sink = &attempt_sink;  // forwarded to the caller's sink on success
+    opt.coordinator_crashes_to_skip = taken;
+    opt.crash_floor = target ? target->tick : util::SimTime::zero();
+    bool diverged = false;
+    opt.on_checkpoint = [&](ManagerCheckpoint&& cp) -> bool {
+      if (target && !verified && cp.sequence == target->sequence) {
+        if (cp.tick == target->tick && cp.rebalances == target->rebalances &&
+            cp.state == target->state) {
+          verified = true;
+          ++stats.replay_verifications;
+          emit_recovery(recovery_sink, obs::EventKind::CoordinatorResume, cp.tick,
+                        "seq=" + std::to_string(cp.sequence));
+        } else {
+          diverged = true;
+          return false;  // halt the replay; the ladder picks an older frame
+        }
+      }
+      CoordinatorCheckpoint frame = inputs;
+      frame.sequence = cp.sequence;
+      frame.tick = cp.tick;
+      frame.rebalances = cp.rebalances;
+      frame.crashes_taken = taken;
+      frame.state = std::move(cp.state);
+      ++stats.checkpoints_written;
+      stats.checkpoint_bytes_last = frame.state.size();
+      if (store) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::size_t bytes = store->write(frame);
+        const auto t1 = std::chrono::steady_clock::now();
+        stats.checkpoint_bytes_total += bytes;
+        stats.checkpoint_bytes_last = bytes;
+        if (metrics != nullptr) {
+          metrics->counter("checkpoint.bytes").add(bytes);
+          metrics->counter("checkpoint.writes").add(1);
+          metrics
+              ->histogram("checkpoint.write_ms", {0.5, 1.0, 2.0, 5.0, 10.0, 50.0, 100.0})
+              .observe(std::chrono::duration<double, std::milli>(t1 - t0).count());
+        }
+        ++disk_writes_this_process;
+        if (checkpoint.kill_after_checkpoints != 0 &&
+            disk_writes_this_process == checkpoint.kill_after_checkpoints) {
+          // CI crash-resume smoke: die exactly like a real coordinator crash,
+          // with the frame just written as the newest durable state.
+          std::raise(SIGKILL);
+        }
+      }
+      latest = std::move(frame);
+      return true;
+    };
+
+    StudyManager manager(opt);
+    for (const StudySpec& spec : run_specs) {
+      if (admit) {
+        admit(manager, spec);
+      } else {
+        manager.add_study(spec);
+      }
+    }
+    MultiStudyResult result = manager.run();
+
+    switch (manager.exit_status()) {
+      case ManagerExit::Completed: {
+        // Captured at most ONCE per completed incarnation: capture() embeds
+        // the checkpoint sequence counter, so a second capture would yield
+        // different bytes and could never re-verify on a later resume.
+        std::optional<ManagerCheckpoint> fin;
+        if ((target && !verified) || store) fin = manager.capture_checkpoint();
+        if (target && !verified) {
+          // The replay finished without reaching the target's sequence — the
+          // target is the final on-demand frame of a completed run (resume
+          // after the last study finished) or a frame past this run's actual
+          // end. The final state must still reconverge byte-for-byte.
+          if (fin->tick == target->tick && fin->rebalances == target->rebalances &&
+              fin->state == target->state) {
+            verified = true;
+            ++stats.replay_verifications;
+            emit_recovery(recovery_sink, obs::EventKind::CoordinatorResume, fin->tick,
+                          "seq=" + std::to_string(target->sequence) + " final");
+          } else {
+            ++stats.checkpoint_fallbacks;
+            poisoned.insert(target->sequence);
+            emit_recovery(recovery_sink, obs::EventKind::CheckpointFallback, target->tick,
+                          "divergence seq=" + std::to_string(target->sequence));
+            if (!adopt_newest_valid()) cold_restart("replay-divergence");
+            break;  // next attempt
+          }
+        }
+        if (store) {
+          // Final on-demand frame: lets a later process resume a finished run
+          // (replays to the end, verifies, and returns the same artifacts).
+          CoordinatorCheckpoint frame = inputs;
+          frame.sequence = fin->sequence;
+          frame.tick = fin->tick;
+          frame.rebalances = fin->rebalances;
+          frame.crashes_taken = taken;
+          frame.state = std::move(fin->state);
+          stats.checkpoint_bytes_last = store->write(frame);
+          stats.checkpoint_bytes_total += stats.checkpoint_bytes_last;
+          ++stats.checkpoints_written;
+          if (metrics != nullptr) {
+            metrics->counter("checkpoint.bytes").add(stats.checkpoint_bytes_last);
+            metrics->counter("checkpoint.writes").add(1);
+          }
+        }
+        // Only the surviving incarnation's events reach the caller's sink —
+        // its replay regenerates the complete deterministic stream, so trace
+        // artifacts come out whole even after crashes and resumes.
+        if (options.obs.sink != nullptr) {
+          for (const obs::TraceEvent& event : attempt_sink.events) {
+            options.obs.sink->on_event(event);
+          }
+        }
+        if (metrics != nullptr) {
+          metrics->counter("recovery.checkpoint_loads").add(stats.checkpoint_loads);
+          metrics->counter("recovery.checkpoint_fallbacks").add(stats.checkpoint_fallbacks);
+          metrics->counter("recovery.cold_restarts").add(stats.cold_restarts);
+          metrics->counter("recovery.coordinator_crashes").add(stats.coordinator_crashes);
+          metrics->counter("recovery.replay_verifications").add(stats.replay_verifications);
+        }
+        return RecoverableRunResult{std::move(result), stats};
+      }
+      case ManagerExit::Crashed: {
+        const auto crashes = sorted_crashes(base.fault_plan);
+        const util::SimTime when = taken < crashes.size() ? crashes[taken].at
+                                                          : util::SimTime::zero();
+        ++taken;
+        ++stats.coordinator_crashes;
+        emit_recovery(recovery_sink, obs::EventKind::CoordinatorCrash, when,
+                      "index=" + std::to_string(taken - 1));
+        // Recover from the newest usable frame; with none, replay from zero.
+        if (!adopt_newest_valid()) cold_restart("no-usable-checkpoint");
+        break;
+      }
+      case ManagerExit::Halted: {
+        // The checkpoint sink vetoed at the target sequence: the replay's
+        // re-captured state diverged from the durable frame. Poison it and
+        // step down the ladder.
+        ++stats.checkpoint_fallbacks;
+        if (target) {
+          poisoned.insert(target->sequence);
+          emit_recovery(recovery_sink, obs::EventKind::CheckpointFallback, target->tick,
+                        "divergence seq=" + std::to_string(target->sequence));
+        }
+        (void)diverged;
+        if (!adopt_newest_valid()) cold_restart("replay-divergence");
+        break;
+      }
+    }
+  }
+  throw std::runtime_error("coordinator recovery failed to make progress");
+}
+
+}  // namespace hyperdrive::core

@@ -381,6 +381,10 @@ void StudyManager::on_study_finished(std::size_t index) {
       sim_->cancel(arbitration_event_);
       arbitration_armed_ = false;
     }
+    if (checkpoint_armed_) {
+      sim_->cancel(checkpoint_event_);
+      checkpoint_armed_ = false;
+    }
     sim_->stop();
   }
 }
@@ -421,6 +425,9 @@ MultiStudyResult StudyManager::run() {
                        ? cluster::lunar_criu_overhead_model()
                        : cluster::cifar_overhead_model();
     co.health = options_.health;
+    // Tenants share the node-level fault plan; coordinator crashes in it are
+    // the manager's business (scheduled below) and are ignored by clusters.
+    co.fault_plan = options_.fault_plan;
     // A lone study writes unprefixed lines — byte-identical to the
     // single-tenant cluster's own event log.
     co.study_label = tenants_.size() > 1 ? t.spec.name : "";
@@ -468,7 +475,73 @@ MultiStudyResult StudyManager::run() {
     arbitration_armed_ = true;
   }
 
+  // Periodic checkpoint capture (priority 30: after cancel-at and the
+  // arbitration tick of the same instant, so a checkpoint always sees the
+  // tick's final state). The CheckpointWritten event rides the deterministic
+  // timeline: it fires at the same tick in every run with the same cadence,
+  // interrupted or not, so resumed traces stay byte-identical.
+  const std::function<void()> checkpoint_tick = [this, &checkpoint_tick] {
+    checkpoint_armed_ = false;
+    if (all_finished()) return;
+    ManagerCheckpoint cp;
+    cp.sequence = ++checkpoint_seq_;
+    cp.tick = sim_->now();
+    cp.rebalances = rebalances_;
+    cp.state = capture();
+    obs::TraceEvent event(obs::EventKind::CheckpointWritten);
+    event.time = sim_->now();
+    event.detail = "seq=" + std::to_string(cp.sequence) +
+                   " bytes=" + std::to_string(cp.state.size());
+    options_.obs.emit(std::move(event));
+    if (options_.on_checkpoint && !options_.on_checkpoint(std::move(cp))) {
+      exit_ = ManagerExit::Halted;
+      sim_->stop();
+      return;
+    }
+    checkpoint_event_ = sim_->schedule_after(options_.checkpoint_every, checkpoint_tick,
+                                             /*priority=*/30);
+    checkpoint_armed_ = true;
+  };
+  if (options_.checkpoint_every > util::SimTime::zero()) {
+    checkpoint_event_ = sim_->schedule_after(options_.checkpoint_every, checkpoint_tick,
+                                             /*priority=*/30);
+    checkpoint_armed_ = true;
+  }
+
+  // Coordinator crashes (priority 40: a same-tick checkpoint lands first, so
+  // "crash right at the checkpoint" still has that checkpoint to resume
+  // from). Crashes already taken by earlier incarnations are a sorted prefix;
+  // the crash_floor guard additionally drops anything a tampered checkpoint
+  // would place in the replayed past.
+  if (options_.fault_plan.any_coordinator()) {
+    auto crashes = options_.fault_plan.coordinator_crashes;
+    std::stable_sort(crashes.begin(), crashes.end(),
+                     [](const auto& a, const auto& b) { return a.at < b.at; });
+    for (std::size_t i = options_.coordinator_crashes_to_skip; i < crashes.size(); ++i) {
+      if (crashes[i].at < options_.crash_floor) continue;
+      sim_->schedule_at(
+          crashes[i].at,
+          [this] {
+            if (all_finished()) return;
+            exit_ = ManagerExit::Crashed;
+            sim_->stop();
+          },
+          /*priority=*/40);
+    }
+  }
+
   sim_->run_until(options_.max_time);
+
+  if (exit_ != ManagerExit::Completed) {
+    // Crashed (CoordinatorCrashEvent) or halted (checkpoint sink veto): this
+    // incarnation is dead. Do not collect the tenants — collect() finalizes
+    // results and publishes cluster metrics into the (shared) registry, and a
+    // doomed incarnation must leave no trace there. The recovery runtime
+    // discards this result and replays in a fresh manager.
+    MultiStudyResult dead;
+    dead.rebalances = rebalances_;
+    return dead;
+  }
 
   MultiStudyResult result;
   result.rebalances = rebalances_;
@@ -486,6 +559,44 @@ MultiStudyResult StudyManager::run() {
     result.studies.push_back(std::move(outcome));
   }
   return result;
+}
+
+std::vector<std::uint8_t> StudyManager::capture() const {
+  util::ByteWriter w;
+  w.f64(sim_->now().to_seconds());
+  w.u64(rebalances_);
+  w.u64(checkpoint_seq_);
+  w.u8(arbitration_armed_ ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(boost_key_.size()));
+  for (const char k : boost_key_) w.u8(static_cast<std::uint8_t>(k));
+  w.u32(static_cast<std::uint32_t>(boost_targets_.size()));
+  for (const std::size_t t : boost_targets_) w.u64(t);
+  // Merged event-log digest (order-sensitive): any divergence in the golden
+  // trace up to this tick fails the resume verification.
+  w.u64(event_log_.size());
+  std::uint64_t digest = 0;
+  for (const std::string& line : event_log_) {
+    digest = digest * 1099511628211ULL +
+             cluster::crc32(reinterpret_cast<const std::uint8_t*>(line.data()), line.size());
+  }
+  w.u64(digest);
+  w.u32(static_cast<std::uint32_t>(tenants_.size()));
+  for (const auto& t : tenants_) {
+    w.str(t->spec.name);
+    w.u8(static_cast<std::uint8_t>((t->cancelled ? 1 : 0) | (t->urgent_latched ? 2 : 0)));
+    t->cluster->encode_state(w);
+  }
+  return std::move(w.bytes());
+}
+
+ManagerCheckpoint StudyManager::capture_checkpoint() {
+  if (sim_ == nullptr) throw std::logic_error("capture_checkpoint before run()");
+  ManagerCheckpoint cp;
+  cp.sequence = ++checkpoint_seq_;
+  cp.tick = sim_->now();
+  cp.rebalances = rebalances_;
+  cp.state = capture();
+  return cp;
 }
 
 ExperimentResult MultiStudyResult::aggregate() const {

@@ -57,6 +57,24 @@ enum class ArbitrationMode {
 /// Parses "static" | "fair" | "deadline"; throws std::invalid_argument.
 [[nodiscard]] ArbitrationMode arbitration_from_string(const std::string& name);
 
+/// One captured coordinator state (DESIGN.md §12): everything the recovery
+/// runtime needs to decide whether a resumed replay reconverged. `state` is
+/// the opaque fingerprint written by StudyManager::capture — compared
+/// byte-for-byte against the replay's re-capture, never decoded.
+struct ManagerCheckpoint {
+  std::uint64_t sequence = 0;
+  util::SimTime tick = util::SimTime::zero();
+  std::size_t rebalances = 0;
+  std::vector<std::uint8_t> state;
+};
+
+/// How a StudyManager::run ended.
+enum class ManagerExit {
+  Completed,  ///< every study finished (or max_time truncated the run)
+  Crashed,    ///< a CoordinatorCrashEvent killed the coordinator mid-run
+  Halted,     ///< the on_checkpoint sink returned false (replay divergence)
+};
+
 struct StudyManagerOptions {
   /// Total machine slots shared by all studies.
   std::size_t machines = 8;
@@ -76,9 +94,27 @@ struct StudyManagerOptions {
   double epoch_jitter_sigma = 0.04;
   /// Gray-failure detection & mitigation, applied to every tenant.
   cluster::HealthOptions health;
+  /// Faults injected into every tenant cluster. Coordinator crashes in the
+  /// plan are scheduled by the manager itself (the tenants ignore them).
+  cluster::FaultPlan fault_plan;
   /// Instrumentation handle shared by every tenant cluster (DESIGN.md §10);
   /// each tenant stamps its study name onto the events it emits.
   obs::Scope obs;
+  // --- coordinator crash-recovery (DESIGN.md §12) ---------------------------
+  /// Checkpoint-capture cadence; zero (default) disables checkpointing and
+  /// keeps the run byte-identical to the pre-recovery manager.
+  util::SimTime checkpoint_every = util::SimTime::zero();
+  /// Receives every periodic checkpoint. Returning false halts the run with
+  /// ManagerExit::Halted — the recovery runtime aborts a resumed replay this
+  /// way when its re-captured state diverges from the durable checkpoint.
+  std::function<bool(ManagerCheckpoint&&)> on_checkpoint;
+  /// Leading entries of fault_plan.coordinator_crashes (sorted by time)
+  /// already taken by earlier incarnations of this process; not rescheduled.
+  std::size_t coordinator_crashes_to_skip = 0;
+  /// Defensive resume guard: crash events strictly before this time are
+  /// skipped even beyond the prefix above, so a hand-edited checkpoint can
+  /// never re-fire a crash from its own past and loop the coordinator.
+  util::SimTime crash_floor = util::SimTime::zero();
 };
 
 /// What one study got out of the shared cluster.
@@ -131,6 +167,16 @@ class StudyManager {
   /// cancel-at) under the configured arbitration. Single-use.
   [[nodiscard]] MultiStudyResult run();
 
+  /// How run() ended. Completed unless a scheduled coordinator crash fired
+  /// (Crashed) or the on_checkpoint sink vetoed continuation (Halted).
+  [[nodiscard]] ManagerExit exit_status() const noexcept { return exit_; }
+
+  /// Capture a checkpoint outside the periodic cadence — the "on demand"
+  /// path. Callable after run() returns (the simulation and tenants stay
+  /// alive), which is how the recovery runtime persists the final state so a
+  /// resume after the last study finished replays nothing.
+  [[nodiscard]] ManagerCheckpoint capture_checkpoint();
+
  private:
   struct Tenant;
 
@@ -151,6 +197,9 @@ class StudyManager {
   void on_study_finished(std::size_t index);
   [[nodiscard]] std::size_t held_total() const;
   [[nodiscard]] bool all_finished() const;
+  /// Serialize the full resumable coordinator state (manager bookkeeping +
+  /// every tenant's cluster state) into the opaque checkpoint fingerprint.
+  [[nodiscard]] std::vector<std::uint8_t> capture() const;
 
   StudyManagerOptions options_;
   std::vector<std::unique_ptr<Tenant>> tenants_;
@@ -165,6 +214,11 @@ class StudyManager {
   std::vector<std::size_t> boost_targets_;
   std::size_t rebalances_ = 0;
   bool ran_ = false;
+  // --- coordinator crash-recovery (DESIGN.md §12) ---------------------------
+  std::uint64_t checkpoint_seq_ = 0;
+  sim::EventHandle checkpoint_event_ = 0;
+  bool checkpoint_armed_ = false;
+  ManagerExit exit_ = ManagerExit::Completed;
 };
 
 /// Convenience wrapper: admit `specs` into a fresh manager and run.

@@ -39,6 +39,12 @@ std::string_view to_string(EventKind kind) noexcept {
     case EventKind::PredictorFit: return "predictor-fit";
     case EventKind::PredictorCacheHit: return "predictor-cache-hit";
     case EventKind::LogMessage: return "log";
+    case EventKind::CheckpointWritten: return "checkpoint-written";
+    case EventKind::CheckpointLoaded: return "checkpoint-loaded";
+    case EventKind::CheckpointFallback: return "checkpoint-fallback";
+    case EventKind::CoordinatorCrash: return "coordinator-crash";
+    case EventKind::CoordinatorResume: return "coordinator-resume";
+    case EventKind::ColdRestart: return "cold-restart";
   }
   return "?";
 }
@@ -112,6 +118,18 @@ std::string legacy_text(const TraceEvent& e) {
       return "predictor-cache-hit";
     case EventKind::LogMessage:
       return "log " + e.detail;
+    case EventKind::CheckpointWritten:
+      return "checkpoint-written" + (e.detail.empty() ? "" : ' ' + e.detail);
+    case EventKind::CheckpointLoaded:
+      return "checkpoint-loaded" + (e.detail.empty() ? "" : ' ' + e.detail);
+    case EventKind::CheckpointFallback:
+      return "checkpoint-fallback" + (e.detail.empty() ? "" : " reason=" + e.detail);
+    case EventKind::CoordinatorCrash:
+      return "coordinator-crash";
+    case EventKind::CoordinatorResume:
+      return "coordinator-resume" + (e.detail.empty() ? "" : ' ' + e.detail);
+    case EventKind::ColdRestart:
+      return "cold-restart" + (e.detail.empty() ? "" : " reason=" + e.detail);
   }
   return "?";
 }

@@ -58,6 +58,17 @@ enum class EventKind {
   PredictorFit,       ///< a learning-curve posterior was computed (cache miss)
   PredictorCacheHit,  ///< a memoized posterior was served (§5.2 caching)
   LogMessage,         ///< a util::log line routed through the obs bridge
+  // --- coordinator crash-recovery (DESIGN.md §12; structured-only) ----------
+  // CheckpointWritten rides the deterministic timeline (it fires at a sim
+  // tick in every run, interrupted or not); the rest describe one concrete
+  // process's recovery journey and are emitted only through the coordinator's
+  // recovery sink, never the golden trace.
+  CheckpointWritten,   ///< a coordinator checkpoint was captured (seq/bytes)
+  CheckpointLoaded,    ///< a durable checkpoint was loaded for resume
+  CheckpointFallback,  ///< newest checkpoint unusable; trying an older one
+  CoordinatorCrash,    ///< the coordinator died (in-sim CoordinatorCrashEvent)
+  CoordinatorResume,   ///< replay caught up with a loaded checkpoint
+  ColdRestart,         ///< no usable checkpoint; restarting from study specs
 };
 
 [[nodiscard]] std::string_view to_string(EventKind kind) noexcept;

@@ -1,0 +1,110 @@
+// Little-endian byte (de)serialization primitives shared by every framed
+// binary format in the repo (job snapshots in cluster::SnapshotCodec,
+// coordinator checkpoints in core::CoordinatorCheckpoint).
+//
+// ByteWriter appends; ByteReader consumes with bool-returning accessors so
+// decoders can classify *where* a truncated or malformed image failed instead
+// of throwing. Both are deliberately dumb: framing, versioning and checksums
+// belong to the codecs built on top.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace hyperdrive::util {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+  void raw(const std::uint8_t* data, std::size_t size) { bytes_.insert(bytes_.end(), data, data + size); }
+  void blob(const std::vector<std::uint8_t>& b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    raw(b.data(), b.size());
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t>& bytes() noexcept { return bytes_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  bool u8(std::uint8_t& v) {
+    if (pos_ + 1 > size_) return false;
+    v = data_[pos_++];
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    if (pos_ + 4 > size_) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    if (pos_ + 8 > size_) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return true;
+  }
+  bool f64(double& v) {
+    std::uint64_t bits;
+    if (!u64(bits)) return false;
+    std::memcpy(&v, &bits, sizeof(v));
+    return true;
+  }
+  bool str(std::string& s) {
+    std::uint32_t len;
+    if (!u32(len)) return false;
+    if (pos_ + len > size_) return false;
+    s.assign(reinterpret_cast<const char*>(data_) + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool blob(std::vector<std::uint8_t>& b) {
+    std::uint32_t len;
+    if (!u32(len)) return false;
+    if (pos_ + len > size_) return false;
+    b.assign(data_ + pos_, data_ + pos_ + len);
+    pos_ += len;
+    return true;
+  }
+  bool skip(std::size_t n) {
+    if (pos_ + n > size_) return false;
+    pos_ += n;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace hyperdrive::util

@@ -13,6 +13,16 @@
 
 namespace hyperdrive::util {
 
+/// Complete generator state, exposed for coordinator checkpoints (DESIGN.md
+/// §12). Restoring it resumes the exact deviate sequence — including the
+/// cached Box-Muller spare, which an in-flight normal() may have left behind.
+struct RngState {
+  std::array<std::uint64_t, 4> state{};
+  std::uint64_t seed = 0;
+  double spare_normal = 0.0;
+  bool has_spare_normal = false;
+};
+
 /// SplitMix64: used to expand a single 64-bit seed into a full generator
 /// state and to derive independent child seeds from a parent seed + stream id.
 [[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
@@ -67,6 +77,17 @@ class Rng {
 
   /// Fork an independent child generator for the given stream id.
   [[nodiscard]] Rng fork(std::uint64_t stream) const noexcept;
+
+  /// Capture / restore the full state (checkpoint support).
+  [[nodiscard]] RngState state() const noexcept {
+    return RngState{state_, seed_, spare_normal_, has_spare_normal_};
+  }
+  void restore(const RngState& s) noexcept {
+    state_ = s.state;
+    seed_ = s.seed;
+    spare_normal_ = s.spare_normal;
+    has_spare_normal_ = s.has_spare_normal;
+  }
 
  private:
   std::array<std::uint64_t, 4> state_{};

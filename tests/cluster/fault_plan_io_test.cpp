@@ -62,6 +62,10 @@ FaultPlan full_plan() {
   dead.at = SimTime::hours(1);
   plan.hangs.push_back(dead);
 
+  CoordinatorCrashEvent coord;
+  coord.at = SimTime::seconds(1234.5);
+  plan.coordinator_crashes.push_back(coord);
+
   plan.snapshot_upload_fail_prob = 0.05;
   plan.snapshot_corrupt_prob = 0.01;
   return plan;
@@ -102,6 +106,8 @@ TEST(FaultPlanIoTest, SaveLoadSaveIsAFixedPoint) {
   ASSERT_EQ(reloaded.hangs.size(), 2u);
   EXPECT_EQ(reloaded.hangs[0].clear_after, SimTime::seconds(90));
   EXPECT_EQ(reloaded.hangs[1].clear_after, SimTime::infinity());
+  ASSERT_EQ(reloaded.coordinator_crashes.size(), 1u);
+  EXPECT_EQ(reloaded.coordinator_crashes[0].at, SimTime::seconds(1234.5));
   EXPECT_DOUBLE_EQ(reloaded.snapshot_corrupt_prob, 0.01);
 }
 
@@ -148,6 +154,25 @@ TEST(FaultPlanIoTest, EmptyInputIsAFaultFreePlan) {
   EXPECT_FALSE(load("# only comments\n\n").any());
 }
 
+TEST(FaultPlanIoTest, CoordinatorCrashesStayOutOfAny) {
+  // any() gates cluster-side fault machinery (and flips the MessageBus into
+  // reliable mode); a coordinator-only plan must leave the tenants byte-
+  // identical to a fault-free run, so it reports through any_coordinator().
+  const FaultPlan plan = load("coordinator-crash 3600\n");
+  ASSERT_EQ(plan.coordinator_crashes.size(), 1u);
+  EXPECT_EQ(plan.coordinator_crashes[0].at, SimTime::seconds(3600));
+  EXPECT_FALSE(plan.any());
+  EXPECT_FALSE(plan.any_gray());
+  EXPECT_TRUE(plan.any_coordinator());
+  EXPECT_FALSE(FaultPlan{}.any_coordinator());
+
+  // Pre-recovery plan files (no coordinator-crash directive) keep loading
+  // byte-compatibly and leave the new list empty.
+  const FaultPlan legacy = load("seed 7\ndrop * 0.1\n");
+  EXPECT_TRUE(legacy.coordinator_crashes.empty());
+  EXPECT_FALSE(legacy.any_coordinator());
+}
+
 void expect_error(const std::string& text, const std::string& needle) {
   try {
     (void)load(text);
@@ -165,6 +190,8 @@ TEST(FaultPlanIoTest, ErrorsCarryLineNumbers) {
   expect_error("crash 0\n", "missing crash time");
   expect_error("slowdown 0 0 100 2.0 60\n", "missing duty");  // period without duty
   expect_error("hang 0 10 20 30\n", "trailing token");
+  expect_error("coordinator-crash\n", "crash time");
+  expect_error("coordinator-crash 10 20\n", "trailing token");
 }
 
 }  // namespace

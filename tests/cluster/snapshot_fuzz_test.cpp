@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -124,6 +126,109 @@ TEST(SnapshotFuzzTest, EmptyAndGarbageBuffersAreRejected) {
     for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
     EXPECT_FALSE(SnapshotCodec::decode(garbage).has_value()) << "trial " << trial;
   }
+}
+
+// --- decode_ex error taxonomy ------------------------------------------------
+
+TEST(SnapshotFuzzTest, DecodeExAgreesWithDecodeOnEveryMutation) {
+  // decode() is documented as decode_ex() minus the taxonomy: an image
+  // decodes via one iff it decodes via the other. Fuzz that equivalence over
+  // round-trips, truncations and bit flips.
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    util::Rng rng(seed);
+    const auto image = SnapshotCodec::encode(random_state(rng));
+    const auto ok = SnapshotCodec::decode_ex(image);
+    ASSERT_TRUE(ok.state.has_value()) << "seed " << seed;
+    EXPECT_FALSE(ok.error.has_value()) << "seed " << seed;
+
+    for (int trial = 0; trial < 32; ++trial) {
+      auto corrupted = image;
+      const auto byte = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(image.size()) - 1));
+      corrupted[byte] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+      const auto ex = SnapshotCodec::decode_ex(corrupted);
+      EXPECT_EQ(SnapshotCodec::decode(corrupted).has_value(), ex.state.has_value())
+          << "seed " << seed << " trial " << trial;
+      EXPECT_NE(ex.state.has_value(), ex.error.has_value())
+          << "seed " << seed << " trial " << trial;
+    }
+  }
+}
+
+TEST(SnapshotFuzzTest, DecodeExClassifiesHandBuiltFailures) {
+  util::Rng rng(7);
+  const auto image = SnapshotCodec::encode(random_state(rng));
+
+  const auto error_of = [](const std::vector<std::uint8_t>& img) {
+    const auto ex = SnapshotCodec::decode_ex(img);
+    EXPECT_FALSE(ex.state.has_value());
+    return ex.error;
+  };
+
+  EXPECT_EQ(error_of({}), SnapshotDecodeError::Truncated);
+  EXPECT_EQ(error_of({0x53, 0x53}), SnapshotDecodeError::Truncated);
+  EXPECT_EQ(error_of({image.begin(), image.begin() + 12}), SnapshotDecodeError::Truncated);
+
+  auto bad_magic = image;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_EQ(error_of(bad_magic), SnapshotDecodeError::BadMagic);
+
+  auto bad_version = image;
+  bad_version[4] = 0x7F;  // version 1 -> 127; CRC no longer matters
+  EXPECT_EQ(error_of(bad_version), SnapshotDecodeError::UnknownVersion);
+
+  auto trailing = image;
+  trailing.insert(trailing.end(), {0xDE, 0xAD, 0xBE, 0xEF});
+  EXPECT_EQ(error_of(trailing), SnapshotDecodeError::TrailingGarbage);
+
+  // Flip a bit inside a history value: the structure still parses (lengths
+  // untouched), so only the CRC catches it.
+  JobSnapshotState simple;
+  simple.job_id = 1;
+  simple.history = {0.5};
+  auto flipped = SnapshotCodec::encode(simple);
+  // Layout tail: history f64 (8) | secondary count (4) | pad len (4) | crc
+  // (4); size-16 lands inside the f64.
+  flipped[flipped.size() - 16] ^= 0x01;
+  EXPECT_EQ(error_of(flipped), SnapshotDecodeError::BadChecksum);
+
+  EXPECT_STREQ(to_string(SnapshotDecodeError::Truncated), "truncated");
+  EXPECT_STREQ(to_string(SnapshotDecodeError::BadChecksum), "bad-checksum");
+}
+
+// --- persisted regression corpus ---------------------------------------------
+// Every image that ever exposed a decoder bug (plus one exemplar per verdict)
+// lives in tests/corpus/snapshot/, with MANIFEST mapping file -> expected
+// verdict. CI replays the corpus on every run, so a codec change can never
+// silently reclassify (or worse, accept) a known-bad frame.
+
+TEST(SnapshotFuzzTest, RegressionCorpusVerdictsAreStable) {
+  const std::string dir = HD_SNAPSHOT_CORPUS_DIR;
+  std::ifstream manifest(dir + "/MANIFEST");
+  ASSERT_TRUE(manifest.is_open()) << "missing corpus manifest in " << dir;
+
+  std::size_t entries = 0;
+  std::string line;
+  while (std::getline(manifest, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string file, verdict;
+    ASSERT_TRUE(fields >> file >> verdict) << "bad manifest line: " << line;
+    ++entries;
+
+    std::ifstream in(dir + "/" + file, std::ios::binary);
+    ASSERT_TRUE(in.is_open()) << "corpus file missing: " << file;
+    std::vector<std::uint8_t> image((std::istreambuf_iterator<char>(in)),
+                                    std::istreambuf_iterator<char>());
+    const auto ex = SnapshotCodec::decode_ex(image);
+    if (verdict == "ok") {
+      EXPECT_TRUE(ex.state.has_value()) << file;
+    } else {
+      ASSERT_TRUE(ex.error.has_value()) << file << ": decoded but expected " << verdict;
+      EXPECT_STREQ(to_string(*ex.error), verdict.c_str()) << file;
+    }
+  }
+  EXPECT_GE(entries, 10u) << "corpus unexpectedly small — MANIFEST truncated?";
 }
 
 }  // namespace
