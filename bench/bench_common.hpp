@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/experiment_runner.hpp"
+#include "core/policy_registry.hpp"
 #include "core/sweep_engine.hpp"
 #include "util/stats.hpp"
 #include "workload/cifar_model.hpp"
@@ -31,23 +32,23 @@ using workload::reachable_trace;
 using workload::renoise;
 using workload::suitable_trace;
 
-/// Standard policy spec with the fast LSQ predictor (core library rule).
-inline core::PolicySpec policy_spec(core::PolicyKind kind, std::uint64_t seed,
-                                    util::SimTime tmax = util::SimTime::hours(48)) {
-  return core::standard_policy_spec(kind, seed, tmax);
+/// Fresh policy instance by registry name with the standard fast-LSQ
+/// predictor wiring (core::make_standard_policy; DESIGN.md §13).
+inline std::unique_ptr<core::SchedulingPolicy> make_bench_policy(
+    const std::string& name, std::uint64_t seed,
+    util::SimTime tmax = util::SimTime::hours(48)) {
+  return core::make_standard_policy(name, seed, tmax);
 }
 
-inline const std::vector<core::PolicyKind>& evaluated_policies() {
-  static const std::vector<core::PolicyKind> kinds = {
-      core::PolicyKind::Pop, core::PolicyKind::Bandit, core::PolicyKind::EarlyTerm};
-  return kinds;
+inline const std::vector<std::string>& evaluated_policies() {
+  static const std::vector<std::string> names = {"pop", "bandit", "earlyterm"};
+  return names;
 }
 
-inline const std::vector<core::PolicyKind>& all_policies() {
-  static const std::vector<core::PolicyKind> kinds = {
-      core::PolicyKind::Pop, core::PolicyKind::Bandit, core::PolicyKind::EarlyTerm,
-      core::PolicyKind::Default};
-  return kinds;
+inline const std::vector<std::string>& all_policies() {
+  static const std::vector<std::string> names = {"pop", "bandit", "earlyterm",
+                                                 "default"};
+  return names;
 }
 
 /// Common bench command line (see header comment).

@@ -40,8 +40,8 @@ int main(int argc, char** argv) {
     return bench::reachable_trace(model, 64, 3100 + cell.at(repeat_ax) * 71);
   };
   spec.policy = [&](const core::SweepCell& cell) {
-    return core::make_policy(bench::policy_spec(
-        bench::all_policies()[cell.at(policy_ax)], cell.at(repeat_ax)));
+    return bench::make_bench_policy(bench::all_policies()[cell.at(policy_ax)],
+                                    cell.at(repeat_ax));
   };
   spec.options = [&](const core::SweepCell&) {
     core::RunnerOptions options;
@@ -55,8 +55,7 @@ int main(int argc, char** argv) {
   const double repeats = static_cast<double>(table.axes[repeat_ax].values.size());
 
   std::printf("%-10s %16s %18s\n", "policy", "time-to-35%(days)", "machine-days spent");
-  for (const auto kind : bench::all_policies()) {
-    const std::string label(core::to_string(kind));
+  for (const auto& label : bench::all_policies()) {
     double days_total = 0.0, machine_days_total = 0.0;
     for (const auto* row : table.where("policy", label)) {
       days_total += row->hours_to_target() / 24.0;

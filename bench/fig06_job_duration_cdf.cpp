@@ -20,8 +20,8 @@ int main(int argc, char** argv) {
     return bench::reachable_trace(model, 100, 600 + cell.at(repeat_ax) * 13);
   };
   spec.policy = [&](const core::SweepCell& cell) {
-    return core::make_policy(bench::policy_spec(
-        bench::evaluated_policies()[cell.at(policy_ax)], cell.at(repeat_ax)));
+    return bench::make_bench_policy(bench::evaluated_policies()[cell.at(policy_ax)],
+                                    cell.at(repeat_ax));
   };
   spec.options = [&](const core::SweepCell& cell) {
     core::RunnerOptions options;
@@ -34,8 +34,7 @@ int main(int argc, char** argv) {
 
   const auto table = bench::run_bench_sweep(spec, bench_options);
 
-  for (const auto kind : bench::evaluated_policies()) {
-    const std::string label(core::to_string(kind));
+  for (const auto& label : bench::evaluated_policies()) {
     // Aggregate across the experiment repetitions for a smooth CDF. Jobs
     // never scheduled before the experiment stopped count as zero execution
     // time: Fig. 6 is a distribution over the whole set.

@@ -25,8 +25,8 @@ int main(int argc, char** argv) {
     return bench::renoise(model, base, 0xF167 ^ cell.at(repeat_ax));
   };
   spec.policy = [&](const core::SweepCell& cell) {
-    return core::make_policy(
-        bench::policy_spec(bench::all_policies()[cell.at(policy_ax)], cell.at(repeat_ax)));
+    return bench::make_bench_policy(bench::all_policies()[cell.at(policy_ax)],
+                                    cell.at(repeat_ax));
   };
   spec.options = [&](const core::SweepCell& cell) {
     core::RunnerOptions options;
@@ -40,20 +40,18 @@ int main(int argc, char** argv) {
 
   const auto table = bench::run_bench_sweep(spec, bench_options);
 
-  for (const auto kind : bench::all_policies()) {
-    const std::string label(core::to_string(kind));
+  for (const auto& label : bench::all_policies()) {
     bench::print_box(label, table.minutes_where("policy", label), "min");
   }
 
   // Speedups keyed by policy label (never by all_policies() position).
-  const auto mean_of = [&](core::PolicyKind kind) {
-    return util::mean(table.minutes_where("policy", std::string(core::to_string(kind))));
+  const auto mean_of = [&](const std::string& label) {
+    return util::mean(table.minutes_where("policy", label));
   };
-  const double pop = mean_of(core::PolicyKind::Pop);
+  const double pop = mean_of("pop");
   std::printf("\nspeedups (mean): POP vs Bandit %.2fx (paper 1.6x), "
               "POP vs EarlyTerm %.2fx (paper 2.1x), POP vs Default %.2fx (paper up to 6.7x)\n",
-              mean_of(core::PolicyKind::Bandit) / pop,
-              mean_of(core::PolicyKind::EarlyTerm) / pop,
-              mean_of(core::PolicyKind::Default) / pop);
+              mean_of("bandit") / pop, mean_of("earlyterm") / pop,
+              mean_of("default") / pop);
   return 0;
 }

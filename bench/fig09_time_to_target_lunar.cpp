@@ -23,8 +23,8 @@ int main(int argc, char** argv) {
     return bench::renoise(model, base, 0xF169 ^ cell.at(repeat_ax));
   };
   spec.policy = [&](const core::SweepCell& cell) {
-    return core::make_policy(bench::policy_spec(
-        bench::evaluated_policies()[cell.at(policy_ax)], cell.at(repeat_ax)));
+    return bench::make_bench_policy(bench::evaluated_policies()[cell.at(policy_ax)],
+                                    cell.at(repeat_ax));
   };
   spec.options = [&](const core::SweepCell& cell) {
     core::RunnerOptions options;
@@ -39,16 +39,16 @@ int main(int argc, char** argv) {
   const auto table = bench::run_bench_sweep(spec, bench_options);
 
   // Keyed by policy label — never by evaluated_policies() position.
-  const auto minutes_of = [&](core::PolicyKind kind) {
-    return table.minutes_where("policy", std::string(core::to_string(kind)));
+  const auto minutes_of = [&](const std::string& label) {
+    return table.minutes_where("policy", label);
   };
-  for (const auto kind : bench::evaluated_policies()) {
-    bench::print_box(std::string(core::to_string(kind)), minutes_of(kind), "min");
+  for (const auto& label : bench::evaluated_policies()) {
+    bench::print_box(label, minutes_of(label), "min");
   }
 
-  const auto pop = minutes_of(core::PolicyKind::Pop);
-  const auto bandit = minutes_of(core::PolicyKind::Bandit);
-  const auto earlyterm = minutes_of(core::PolicyKind::EarlyTerm);
+  const auto pop = minutes_of("pop");
+  const auto bandit = minutes_of("bandit");
+  const auto earlyterm = minutes_of("earlyterm");
   std::printf("\nmedian speedups: POP vs Bandit %.2fx (paper 2.07x), "
               "POP vs EarlyTerm %.2fx (paper 1.26x)\n",
               util::median(bandit) / util::median(pop),

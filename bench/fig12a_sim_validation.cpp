@@ -24,8 +24,8 @@ int main(int argc, char** argv) {
     return bench::reachable_trace(model, 100, 1100 + cell.at(repeat_ax) * 31);
   };
   spec.policy = [&](const core::SweepCell& cell) {
-    return core::make_policy(bench::policy_spec(
-        bench::evaluated_policies()[cell.at(policy_ax)], cell.at(repeat_ax)));
+    return bench::make_bench_policy(bench::evaluated_policies()[cell.at(policy_ax)],
+                                    cell.at(repeat_ax));
   };
   spec.options = [&](const core::SweepCell& cell) {
     core::RunnerOptions options;
@@ -46,8 +46,7 @@ int main(int argc, char** argv) {
 
   std::printf("policy      live(min)  sim(min)  error%%\n");
   double max_error = 0.0;
-  for (const auto kind : bench::evaluated_policies()) {
-    const std::string label(core::to_string(kind));
+  for (const auto& label : bench::evaluated_policies()) {
     double live_total = 0.0, sim_total = 0.0;
     for (const auto* row : table.where("policy", label)) {
       const bool live = table.label(*row, "substrate") == "live";

@@ -26,8 +26,8 @@ int main(int argc, char** argv) {
     return bench::suitable_trace(model, 100, 1200 + cell.at(repeat_ax) * 37, 25);
   };
   spec.policy = [&](const core::SweepCell& cell) {
-    return core::make_policy(
-        bench::policy_spec(bench::all_policies()[cell.at(policy_ax)], cell.at(repeat_ax)));
+    return bench::make_bench_policy(bench::all_policies()[cell.at(policy_ax)],
+                                    cell.at(repeat_ax));
   };
   spec.options = [&](const core::SweepCell& cell) {
     core::RunnerOptions options;
@@ -40,8 +40,8 @@ int main(int argc, char** argv) {
   const auto table = bench::run_bench_sweep(spec, bench_options);
 
   std::printf("machines |");
-  for (const auto kind : bench::all_policies()) {
-    std::printf(" %10s", std::string(core::to_string(kind)).c_str());
+  for (const auto& label : bench::all_policies()) {
+    std::printf(" %10s", label.c_str());
   }
   std::printf("   (mean minutes to target)\n");
 
@@ -49,14 +49,13 @@ int main(int argc, char** argv) {
     std::printf("%8s |", capacity.c_str());
     double pop_mean = 0.0;
     std::vector<double> others;
-    for (const auto kind : bench::all_policies()) {
-      const std::string label(core::to_string(kind));
+    for (const auto& label : bench::all_policies()) {
       std::vector<double> minutes;
       for (const auto* row : table.where("machines", capacity)) {
         if (table.label(*row, "policy") == label) minutes.push_back(row->minutes_to_target());
       }
       const double mean = util::mean(minutes);
-      if (kind == core::PolicyKind::Pop) pop_mean = mean; else others.push_back(mean);
+      if (label == "pop") pop_mean = mean; else others.push_back(mean);
       std::printf(" %10.1f", mean);
     }
     std::printf("   pop lead over 2nd-best %.2fx\n", util::min_of(others) / pop_mean);

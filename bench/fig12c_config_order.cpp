@@ -27,8 +27,8 @@ int main(int argc, char** argv) {
   const auto order_ax = spec.add_axis("order", order_labels);
   spec.trace = [&](const core::SweepCell& cell) { return orders[cell.at(order_ax)]; };
   spec.policy = [&](const core::SweepCell& cell) {
-    return core::make_policy(bench::policy_spec(
-        bench::all_policies()[cell.at(policy_ax)], cell.at(order_ax)));
+    return bench::make_bench_policy(bench::all_policies()[cell.at(policy_ax)],
+                                    cell.at(order_ax));
   };
   spec.options = [&](const core::SweepCell&) {
     core::RunnerOptions options;
@@ -41,8 +41,7 @@ int main(int argc, char** argv) {
   const auto table = bench::run_bench_sweep(spec, bench_options);
 
   std::printf("policy      spread(h)\n");
-  for (const auto kind : bench::all_policies()) {
-    const std::string label(core::to_string(kind));
+  for (const auto& label : bench::all_policies()) {
     const auto hours = core::SweepTable::collect(
         table.where("policy", label),
         [](const core::SweepRow& row) { return row.hours_to_target(); });

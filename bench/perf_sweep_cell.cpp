@@ -27,8 +27,8 @@ int main(int argc, char** argv) {
     return bench::renoise(model, base, 0xF167 ^ cell.at(repeat_ax));
   };
   spec.policy = [&](const core::SweepCell& cell) {
-    return core::make_policy(
-        bench::policy_spec(bench::all_policies()[cell.at(policy_ax)], cell.at(repeat_ax)));
+    return bench::make_bench_policy(bench::all_policies()[cell.at(policy_ax)],
+                                    cell.at(repeat_ax));
   };
   spec.options = [&](const core::SweepCell& cell) {
     core::RunnerOptions runner;

@@ -22,8 +22,7 @@ int main(int argc, char** argv) {
     return bench::reachable_trace(model, 100, 800 + cell.at(repeat_ax) * 19);
   };
   spec.policy = [&](const core::SweepCell& cell) {
-    return core::make_policy(
-        bench::policy_spec(core::PolicyKind::Pop, cell.at(repeat_ax)));
+    return bench::make_bench_policy("pop", cell.at(repeat_ax));
   };
   spec.options = [&](const core::SweepCell& cell) {
     core::RunnerOptions options;

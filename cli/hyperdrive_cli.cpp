@@ -17,8 +17,8 @@
 #include "core/policies/barrier_policy.hpp"
 #include "core/study/coordinator.hpp"
 #include "core/study/study_manager.hpp"
+#include "core/policy_registry.hpp"
 #include "core/sweep_engine.hpp"
-#include "core/policies/hyperband_policy.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
@@ -36,6 +36,8 @@ namespace {
 struct CliConfig {
   std::string workload = "cifar10";
   std::string policy = "pop";
+  /// Raw --policy-opt KEY=VALUE tokens, validated against the registry.
+  std::vector<std::string> policy_opts;
   std::string generator = "random";
   std::string substrate = "replay";
   std::string save_trace;
@@ -82,8 +84,18 @@ cli::Options make_options(CliConfig& config) {
   options.section("experiment (defaults in brackets)");
   options.bind("--workload", "NAME", "cifar10|lunarlander|ptb_lstm  [cifar10]",
                config.workload);
-  options.bind("--policy", "NAME", "pop|bandit|earlyterm|default|hyperband  [pop]",
+  // Both the help text and the validation come from the PolicyRegistry, so
+  // adding a policy there is all it takes to expose it here.
+  options.bind("--policy", "NAME",
+               core::PolicyRegistry::instance().name_list('|') + "  [pop]",
                config.policy);
+  options.add("--policy-opt", "K=V",
+              "policy-specific option, e.g. eta=4 (repeatable;\n"
+              "valid keys per policy in DESIGN.md \"Scheduler zoo\")",
+              [&config](const std::string& kv) {
+                config.policy_opts.push_back(kv);
+                return true;
+              });
   options.bind("--generator", "NAME", "random|grid|adaptive|tpe  [random]",
                config.generator);
   options.bind("--substrate", "NAME", "replay|cluster  [replay]", config.substrate);
@@ -209,10 +221,10 @@ cli::Options make_options(CliConfig& config) {
   return options;
 }
 
-std::unique_ptr<workload::WorkloadModel> make_workload(const std::string& name) {
-  if (name == "cifar10") return std::make_unique<workload::CifarWorkloadModel>();
-  if (name == "lunarlander") return std::make_unique<workload::LunarWorkloadModel>();
-  if (name == "ptb_lstm") return std::make_unique<workload::PtbLstmWorkloadModel>();
+std::shared_ptr<workload::WorkloadModel> make_workload(const std::string& name) {
+  if (name == "cifar10") return std::make_shared<workload::CifarWorkloadModel>();
+  if (name == "lunarlander") return std::make_shared<workload::LunarWorkloadModel>();
+  if (name == "ptb_lstm") return std::make_shared<workload::PtbLstmWorkloadModel>();
   std::fprintf(stderr, "unknown workload: %s\n", name.c_str());
   std::exit(2);
 }
@@ -228,41 +240,34 @@ std::unique_ptr<core::HyperparameterGenerator> make_generator(
   std::exit(2);
 }
 
-std::unique_ptr<core::SchedulingPolicy> make_base_policy(const CliConfig& config,
-                                                         std::uint64_t repeat);
-
+/// Registry-backed policy construction (DESIGN.md §13): --policy selects the
+/// factory, --policy-opt key=value feeds its typed parameter bag, and
+/// --barrier wraps whatever came out — so barrier composes with every
+/// registered policy, not a hand-maintained subset.
 std::unique_ptr<core::SchedulingPolicy> make_cli_policy(const CliConfig& config,
                                                         std::uint64_t repeat) {
-  auto policy = make_base_policy(config, repeat);
+  core::PolicyContext ctx;
+  ctx.seed = config.seed ^ repeat;
+  ctx.tmax = util::SimTime::hours(config.tmax_hours);
+  auto policy = core::make_registry_policy(
+      config.policy, core::PolicyParams::parse(config.policy_opts), ctx);
   if (config.barrier) {
     return std::make_unique<core::BarrierPolicy>(std::move(policy));
   }
   return policy;
 }
 
-std::unique_ptr<core::SchedulingPolicy> make_base_policy(const CliConfig& config,
-                                                         std::uint64_t repeat) {
-  if (config.policy == "hyperband") {
-    return std::make_unique<core::HyperbandPolicy>();
+/// Fail fast (before any sweep thread spins up) on an unknown policy name or
+/// a malformed/unaccepted --policy-opt. The throwaway instance exercises the
+/// same factory the sweep cells will use.
+bool validate_cli_policy(const CliConfig& config) {
+  try {
+    (void)make_cli_policy(config, 0);
+    return true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return false;
   }
-  core::PolicySpec spec;
-  if (config.policy == "pop") {
-    spec.kind = core::PolicyKind::Pop;
-  } else if (config.policy == "bandit") {
-    spec.kind = core::PolicyKind::Bandit;
-  } else if (config.policy == "earlyterm") {
-    spec.kind = core::PolicyKind::EarlyTerm;
-  } else if (config.policy == "default") {
-    spec.kind = core::PolicyKind::Default;
-  } else {
-    std::fprintf(stderr, "unknown policy: %s\n", config.policy.c_str());
-    std::exit(2);
-  }
-  const auto predictor = core::make_default_predictor(config.seed ^ repeat);
-  spec.pop.predictor = predictor;
-  spec.pop.tmax = util::SimTime::hours(config.tmax_hours);
-  spec.earlyterm.predictor = predictor;
-  return core::make_policy(spec);
 }
 
 /// Multi-study mode: every --study file becomes a tenant of one shared
@@ -404,6 +409,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--health requires --substrate cluster\n");
     return 2;
   }
+  if (!validate_cli_policy(config)) return 2;
 
   const auto model = make_workload(config.workload);
   const auto generator =
@@ -464,6 +470,10 @@ int main(int argc, char** argv) {
     ropts.fault_plan = config.fault_plan;
     ropts.health.enabled = config.health;
     if (!config.metrics_out.empty()) ropts.obs.metrics = &registry;
+    // Weight-migration hook (inert unless the policy calls clone_job; only
+    // PBT does). Seeded by the clone stream, not the cell, so it stays
+    // byte-invisible to every non-cloning policy.
+    ropts.explore = core::make_model_explore(model);
     return ropts;
   };
 

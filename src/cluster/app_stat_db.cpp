@@ -22,6 +22,21 @@ bool AppStatDb::record_stat(const AppStat& stat) {
   return true;
 }
 
+void AppStatDb::adopt_history(core::JobId target, core::JobId donor, std::size_t epochs) {
+  stats_.erase(target);
+  perf_.erase(target);
+  by_epoch_.erase(target);
+  snapshots_.erase(target);
+  const auto it = stats_.find(donor);
+  if (it == stats_.end()) return;
+  for (const AppStat& stat : it->second) {
+    if (stat.epoch > epochs) continue;
+    AppStat copy = stat;
+    copy.job_id = target;
+    record_stat(copy);
+  }
+}
+
 const std::vector<AppStat>& AppStatDb::stats(core::JobId job) const {
   const auto it = stats_.find(job);
   return it == stats_.end() ? kEmptyStats : it->second;

@@ -54,6 +54,13 @@ class AppStatDb {
   /// i+1) — what the SAP consumes.
   [[nodiscard]] const std::vector<double>& perf_history(core::JobId job) const;
 
+  /// Weight migration (PBT exploit, DESIGN.md §13): the target job's record
+  /// is reset and replaced by the donor's stats up to and including `epochs`
+  /// (job_id rewritten; re-recorded through record_stat so dedup/contiguity
+  /// invariants hold). The target's stored snapshots are dropped — the clone
+  /// gets exactly one fresh snapshot minted by the caller.
+  void adopt_history(core::JobId target, core::JobId donor, std::size_t epochs);
+
   void store_snapshot(ModelSnapshot snapshot);
   [[nodiscard]] std::optional<ModelSnapshot> latest_snapshot(core::JobId job) const;
   /// Every stored snapshot of a job, oldest first. Recovery walks this list

@@ -236,6 +236,69 @@ util::SimTime HyperDriveCluster::normalized_epoch_duration(core::JobId job) cons
   return j.normalized_training_time / static_cast<double>(j.epochs_done);
 }
 
+bool HyperDriveCluster::supports_clone() const {
+  return static_cast<bool>(options_.explore);
+}
+
+bool HyperDriveCluster::clone_job(core::JobId id, core::JobId donor, std::uint64_t stream) {
+  if (!options_.explore || id == donor) return false;
+  auto& job = jm_.job(id);
+  const auto& src = jm_.job(donor);
+  if (!job.idle) return false;
+  if (job.status != core::JobStatus::Pending && job.status != core::JobStatus::Suspended) {
+    return false;
+  }
+  // The donated state is the donor's durable record (§5.1): the AppStatDb's
+  // contiguous stat prefix, which is also as far as any stored weight
+  // snapshot can reach. An untrained donor has nothing to donate.
+  const std::size_t epoch = db_.perf_history(donor).size();
+  if (epoch == 0) return false;
+
+  auto continued = std::make_unique<workload::TraceJob>(
+      options_.explore(*job.spec, *src.spec, epoch, stream));
+  continued->job_id = id;
+  // A continuation with nothing left to train would park the clone forever.
+  if (continued->curve.perf.size() <= epoch) return false;
+
+  // The target adopts the donor's stats up to the clone epoch and gets
+  // exactly one durable snapshot there, so the ordinary start_job resume path
+  // restores it like any suspended job: ship the image, decode, install the
+  // history on the new host's agent, charge the resume-transfer cost.
+  if (job.status == core::JobStatus::Pending) ++result_.jobs_started;
+  db_.adopt_history(id, donor, epoch);
+  double size_bytes;
+  if (const auto donor_snap = db_.latest_snapshot(donor)) {
+    size_bytes = donor_snap->size_bytes;  // the model being copied
+  } else {
+    size_bytes = options_.overheads.sample_suspend(rng_).snapshot_bytes;
+  }
+  JobSnapshotState state;
+  state.job_id = id;
+  state.epoch = epoch;
+  state.config = continued->config;
+  state.history = db_.perf_history(id);
+  ModelSnapshot snapshot;
+  snapshot.job_id = id;
+  snapshot.epoch = epoch;
+  snapshot.size_bytes = size_bytes;
+  snapshot.image = SnapshotCodec::encode(state);
+  snapshot.stored_at = simulation_.now();
+  db_.store_snapshot(std::move(snapshot));
+
+  job.spec = continued.get();
+  cloned_jobs_.push_back(std::move(continued));
+  job.epochs_done = epoch;
+  // Any in-flight decision or deadline for the pre-clone job is stale now.
+  ++job.incarnation;
+  job.status = core::JobStatus::Suspended;
+  ++result_.clones;
+  record(obs::TraceEvent(obs::EventKind::JobClone)
+             .with_job(static_cast<std::int64_t>(id))
+             .with_epoch(static_cast<std::int64_t>(epoch))
+             .with_detail(std::to_string(donor)));
+  return true;
+}
+
 void HyperDriveCluster::begin_epoch(core::JobId id) {
   if (done_) return;
   auto& job = jm_.job(id);
@@ -1129,7 +1192,7 @@ void preregister_cluster_metrics(obs::MetricsRegistry& registry) {
   // Must list, in order, exactly the metrics publish_metrics() touches.
   for (const char* name : {
            "cluster.jobs_started", "cluster.suspends", "cluster.terminations",
-           "cluster.epochs_trained", "cluster.retransmissions",
+           "cluster.clones", "cluster.epochs_trained", "cluster.retransmissions",
            "recovery.node_crashes", "recovery.node_restarts", "recovery.jobs_requeued",
            "recovery.epochs_lost", "recovery.snapshots_lost",
            "recovery.snapshot_restore_failures", "recovery.stat_reports_lost",
@@ -1161,6 +1224,7 @@ void HyperDriveCluster::publish_metrics() {
   add("cluster.jobs_started", result_.jobs_started);
   add("cluster.suspends", result_.suspends);
   add("cluster.terminations", result_.terminations);
+  add("cluster.clones", result_.clones);
   add("cluster.epochs_trained", epochs_trained);
   add("cluster.retransmissions", result_.retransmissions);
   const core::RecoveryStats& rec = result_.recovery;
@@ -1490,6 +1554,7 @@ void HyperDriveCluster::encode_state(util::ByteWriter& w) const {
   w.u64(result_.suspends);
   w.u64(result_.terminations);
   w.u64(result_.jobs_started);
+  w.u64(result_.clones);
   w.u64(result_.recovery.node_crashes);
   w.u64(result_.recovery.node_restarts);
   w.u64(result_.recovery.jobs_requeued);

@@ -101,6 +101,12 @@ struct ClusterOptions {
   /// perturbing the simulation. An attached registry receives end-of-run
   /// counters in finalize_result().
   obs::Scope obs;
+  /// Exploit/explore continuation hook (PBT; DESIGN.md §13). When set, the
+  /// cluster supports SchedulerOps::clone_job: the target adopts the donor's
+  /// stats prefix, receives a freshly minted snapshot at the donor's epoch,
+  /// and the normal resume path restores it onto the continuation curve this
+  /// hook returns. Unset = cloning unsupported (the default).
+  workload::ExploreFn explore;
   // --- multi-study tenancy (DESIGN.md §9) ----------------------------------
   /// Slots online at start when the cluster is a StudyManager tenant; the
   /// remaining machines start parked (leasable later). 0 = all online, the
@@ -206,6 +212,12 @@ class HyperDriveCluster final : public core::SchedulerOps {
   [[nodiscard]] std::size_t epochs_done(core::JobId job) const override;
   [[nodiscard]] double host_speed(core::JobId job) const override;
   [[nodiscard]] util::SimTime normalized_epoch_duration(core::JobId job) const override;
+  // Weight migration (PBT; DESIGN.md §13): available iff an explore hook is
+  // configured. The clone itself is a storage-side bookkeeping operation
+  // (history adoption + snapshot mint); the transfer cost is charged when the
+  // cloned job is next scheduled, through the ordinary resume-overhead path.
+  [[nodiscard]] bool supports_clone() const override;
+  bool clone_job(core::JobId job, core::JobId donor, std::uint64_t stream) override;
   [[nodiscard]] std::size_t max_epochs() const override { return trace_.max_epochs; }
   [[nodiscard]] double target_performance() const override {
     return trace_.target_performance;
@@ -311,6 +323,9 @@ class HyperDriveCluster final : public core::SchedulerOps {
   /// Machines whose slow-quarantine is decided but whose job is still being
   /// cleanly suspended off them; finalized when the machine is released.
   std::set<MachineId> pending_quarantine_;
+  /// Continuation ground truth minted by clone_job (PBT exploit, DESIGN.md
+  /// §13); owned here because the input trace is frozen and shared.
+  std::vector<std::unique_ptr<workload::TraceJob>> cloned_jobs_;
   std::vector<std::string> event_log_;
   bool done_ = false;
   // --- tenant mode state (DESIGN.md §9) ------------------------------------

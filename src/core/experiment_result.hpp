@@ -111,6 +111,8 @@ struct ExperimentResult {
   std::size_t suspends = 0;
   std::size_t terminations = 0;
   std::size_t jobs_started = 0;
+  /// PBT exploit clones performed by the substrate (DESIGN.md §13).
+  std::size_t clones = 0;
   std::vector<JobRunStats> job_stats;
   std::vector<SuspendSample> suspend_samples;
   /// Fault-recovery accounting (all zero when no faults were injected).

@@ -72,6 +72,7 @@ ExperimentResult run_experiment(const workload::Trace& trace, SchedulingPolicy& 
     replay.max_experiment_time = options.max_experiment_time;
     replay.stop_on_target = options.stop_on_target;
     replay.stop_criterion = options.stop_criterion;
+    replay.explore = options.explore;
     return sim::replay_experiment(trace, policy, replay);
   }
   cluster::ClusterOptions copts;
@@ -87,6 +88,7 @@ ExperimentResult run_experiment(const workload::Trace& trace, SchedulingPolicy& 
   copts.decision_latency = options.decision_latency;
   copts.overlap_decisions = options.overlap_decisions;
   copts.obs = options.obs;
+  copts.explore = options.explore;
   return cluster::run_cluster_experiment(trace, policy, copts);
 }
 

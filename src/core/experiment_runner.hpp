@@ -95,6 +95,10 @@ struct RunnerOptions {
   /// §10). TraceReplay ignores it (the idealized simulator has no event
   /// vocabulary). Detached by default: zero overhead.
   obs::Scope obs;
+  /// Exploit/explore continuation hook (PBT; DESIGN.md §13), forwarded to
+  /// both substrates. When set the substrate supports
+  /// SchedulerOps::clone_job; unset = cloning unsupported (the default).
+  workload::ExploreFn explore;
 };
 
 /// Run one experiment of `spec` over `trace`.

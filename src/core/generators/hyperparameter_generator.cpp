@@ -91,40 +91,9 @@ class AdaptiveGenerator final : public HyperparameterGenerator {
   }
 
  private:
-  /// Gaussian perturbation per dimension, in log space for log-scaled
-  /// domains, clamped back into the box. Categoricals resample with small
-  /// probability.
+  /// The shared exploit/explore move (perturb_configuration below).
   [[nodiscard]] workload::Configuration perturb(const workload::Configuration& base) {
-    workload::Configuration out;
-    for (const auto& [name, domain] : space_.dims()) {
-      if (const auto* c = std::get_if<workload::ContinuousDomain>(&domain)) {
-        double v = base.get_double(name);
-        if (c->log_scale) {
-          const double span = std::log(c->hi) - std::log(c->lo);
-          v = std::exp(std::log(v) + rng_.normal(0.0, perturb_scale_ * span));
-        } else {
-          v += rng_.normal(0.0, perturb_scale_ * (c->hi - c->lo));
-        }
-        out.set(name, std::clamp(v, c->lo, c->hi));
-      } else if (const auto* i = std::get_if<workload::IntegerDomain>(&domain)) {
-        double v = static_cast<double>(base.get_int(name));
-        const double span = static_cast<double>(i->hi - i->lo);
-        v += rng_.normal(0.0, std::max(1.0, perturb_scale_ * span));
-        const auto iv = std::clamp<std::int64_t>(
-            static_cast<std::int64_t>(std::llround(v)), i->lo, i->hi);
-        out.set(name, iv);
-      } else {
-        const auto& cat = std::get<workload::CategoricalDomain>(domain);
-        if (rng_.bernoulli(perturb_scale_)) {
-          const auto idx = static_cast<std::size_t>(
-              rng_.uniform_int(0, static_cast<std::int64_t>(cat.options.size()) - 1));
-          out.set(name, cat.options[idx]);
-        } else {
-          out.set(name, base.get_categorical(name));
-        }
-      }
-    }
-    return out;
+    return perturb_configuration(space_, base, rng_, perturb_scale_);
   }
 
   const workload::HyperparameterSpace& space_;
@@ -332,6 +301,76 @@ std::unique_ptr<HyperparameterGenerator> make_tpe_generator(
     const workload::HyperparameterSpace& space, std::uint64_t seed, std::size_t warmup,
     double gamma, std::size_t n_candidates) {
   return std::make_unique<TpeGenerator>(space, seed, warmup, gamma, n_candidates);
+}
+
+workload::Configuration perturb_configuration(const workload::HyperparameterSpace& space,
+                                              const workload::Configuration& base,
+                                              util::Rng& rng, double scale) {
+  // Gaussian perturbation per dimension, in log space for log-scaled
+  // domains, clamped back into the box. Categoricals resample with small
+  // probability. Draw order is fixed (space order, one draw per dimension).
+  workload::Configuration out;
+  for (const auto& [name, domain] : space.dims()) {
+    if (const auto* c = std::get_if<workload::ContinuousDomain>(&domain)) {
+      double v = base.get_double(name);
+      if (c->log_scale) {
+        const double span = std::log(c->hi) - std::log(c->lo);
+        v = std::exp(std::log(v) + rng.normal(0.0, scale * span));
+      } else {
+        v += rng.normal(0.0, scale * (c->hi - c->lo));
+      }
+      out.set(name, std::clamp(v, c->lo, c->hi));
+    } else if (const auto* i = std::get_if<workload::IntegerDomain>(&domain)) {
+      double v = static_cast<double>(base.get_int(name));
+      const double span = static_cast<double>(i->hi - i->lo);
+      v += rng.normal(0.0, std::max(1.0, scale * span));
+      const auto iv = std::clamp<std::int64_t>(
+          static_cast<std::int64_t>(std::llround(v)), i->lo, i->hi);
+      out.set(name, iv);
+    } else {
+      const auto& cat = std::get<workload::CategoricalDomain>(domain);
+      if (rng.bernoulli(scale)) {
+        const auto idx = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(cat.options.size()) - 1));
+        out.set(name, cat.options[idx]);
+      } else {
+        out.set(name, base.get_categorical(name));
+      }
+    }
+  }
+  return out;
+}
+
+workload::ExploreFn make_model_explore(
+    std::shared_ptr<const workload::WorkloadModel> model, double perturb_scale) {
+  return [model, perturb_scale](const workload::TraceJob& target,
+                                const workload::TraceJob& donor, std::size_t epoch,
+                                std::uint64_t stream) {
+    util::Rng rng(stream);
+    workload::TraceJob out;
+    out.job_id = target.job_id;
+    out.config = perturb_configuration(model->space(), donor.config, rng, perturb_scale);
+    out.curve = model->realize(out.config, stream);
+    // Splice: the donor's observed epochs are ground truth for the clone
+    // (same weights), and the realized continuation is shifted so the curve
+    // is continuous at the clone epoch — the clone resumes from the donor's
+    // weights, it does not restart the perturbed config from scratch.
+    const auto& donor_perf = donor.curve.perf;
+    const std::size_t prefix =
+        std::min({epoch, donor_perf.size(), out.curve.perf.size()});
+    const double offset =
+        prefix > 0 ? donor_perf[prefix - 1] - out.curve.perf[prefix - 1] : 0.0;
+    for (std::size_t e = 0; e < out.curve.perf.size(); ++e) {
+      out.curve.perf[e] = e < prefix ? donor_perf[e]
+                                     : std::clamp(out.curve.perf[e] + offset, 0.0, 1.0);
+    }
+    if (out.curve.secondary.size() == donor.curve.secondary.size()) {
+      const std::size_t sec_prefix = std::min(prefix, out.curve.secondary.size());
+      for (std::size_t e = 0; e < sec_prefix; ++e)
+        out.curve.secondary[e] = donor.curve.secondary[e];
+    }
+    return out;
+  };
 }
 
 }  // namespace hyperdrive::core

@@ -19,6 +19,7 @@
 #include "core/sap.hpp"
 #include "util/rng.hpp"
 #include "workload/hyperparameters.hpp"
+#include "workload/trace.hpp"
 
 namespace hyperdrive::core {
 
@@ -63,5 +64,24 @@ class HyperparameterGenerator {
 [[nodiscard]] std::unique_ptr<HyperparameterGenerator> make_tpe_generator(
     const workload::HyperparameterSpace& space, std::uint64_t seed,
     std::size_t warmup = 15, double gamma = 0.25, std::size_t n_candidates = 24);
+
+/// Gaussian perturbation of `base`, per dimension of `space`: log-space for
+/// log-scaled continuous domains, clamped back into the box; integer domains
+/// round to the nearest step; categoricals resample with probability
+/// `scale`. This is the exploit/explore move shared by the adaptive
+/// generator and PBT's explore step — one rng draw per dimension, in
+/// space order.
+[[nodiscard]] workload::Configuration perturb_configuration(
+    const workload::HyperparameterSpace& space, const workload::Configuration& base,
+    util::Rng& rng, double scale);
+
+/// Model-backed explore hook for PBT (workload::ExploreFn): perturb the
+/// donor's configuration via perturb_configuration with an Rng seeded from
+/// `stream`, re-realize it against `model` under the same stream, then
+/// splice — the donor's observed epochs are adopted verbatim and the
+/// realized continuation is shifted so the curve is continuous at the clone
+/// epoch (the clone resumes from the donor's weights, not from scratch).
+[[nodiscard]] workload::ExploreFn make_model_explore(
+    std::shared_ptr<const workload::WorkloadModel> model, double perturb_scale = 0.15);
 
 }  // namespace hyperdrive::core

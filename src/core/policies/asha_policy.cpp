@@ -1,0 +1,104 @@
+#include "core/policies/asha_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+namespace hyperdrive::core {
+
+AshaPolicy::AshaPolicy(AshaConfig config) : config_(config) {
+  if (config_.eta <= 1.0) throw std::invalid_argument("asha eta must be > 1");
+}
+
+std::size_t AshaPolicy::rung_at(std::size_t epoch) const {
+  double rung = static_cast<double>(config_.min_rung);
+  while (static_cast<std::size_t>(std::llround(rung)) < epoch) rung *= config_.eta;
+  return static_cast<std::size_t>(std::llround(rung));
+}
+
+bool AshaPolicy::promotable(const Paused& at) const {
+  const auto it = rung_scores_.find(at.rung);
+  if (it == rung_scores_.end()) return false;
+  const auto& scores = it->second;
+  if (scores.size() < config_.min_rung_population) return false;
+  std::size_t strictly_better = 0;
+  for (const double s : scores) {
+    if (s > at.score) ++strictly_better;
+  }
+  const double rank =
+      static_cast<double>(strictly_better) / static_cast<double>(scores.size());
+  return rank <= 1.0 / config_.eta;
+}
+
+void AshaPolicy::on_allocate(SchedulerOps& ops) {
+  // 1. Promotions: paused jobs whose rung rank has risen into the top 1/eta
+  //    as later arrivals filled the rung. Best score first, ties by id.
+  while (ops.idle_machines() > 0) {
+    std::optional<JobId> best;
+    double best_score = 0.0;
+    for (const auto& [job, at] : paused_) {
+      if (ops.job_status(job) != JobStatus::Suspended) continue;
+      if (!promotable(at)) continue;
+      if (!best || at.score > best_score) {
+        best = job;
+        best_score = at.score;
+      }
+    }
+    if (!best) break;
+    if (!ops.start_job(*best)) return;
+    paused_.erase(*best);
+    ++late_promotions_;
+  }
+  // 2. Pending jobs, FIFO — grow the rung populations with fresh configs.
+  while (ops.idle_machines() > 0) {
+    std::optional<JobId> pending;
+    for (const auto job : ops.active_jobs()) {
+      if (ops.job_status(job) == JobStatus::Pending) {
+        pending = job;
+        break;
+      }
+    }
+    if (!pending) break;
+    if (!ops.start_job(*pending)) return;
+  }
+  // 3. Backfill: nothing promotable or pending, so run the best idle job
+  //    rather than stranding the machine (suspended jobs carry no label, so
+  //    get_idle_job yields them in FIFO order of suspension).
+  if (config_.strict_promotion) return;
+  while (ops.idle_machines() > 0) {
+    const auto job = ops.get_idle_job();
+    if (!job) return;
+    if (!ops.start_job(*job)) return;
+    if (paused_.erase(*job) > 0) ++backfills_;
+  }
+}
+
+JobDecision AshaPolicy::on_iteration_finish(SchedulerOps& ops, const JobEvent& event) {
+  // Resolve the first rung lazily against the workload if unset.
+  if (config_.min_rung == 0)
+    config_.min_rung = std::max<std::size_t>(1, ops.evaluation_boundary());
+
+  const std::size_t rung = rung_at(event.epoch);
+  if (rung != event.epoch) return JobDecision::Continue;
+
+  auto& scores = rung_scores_[rung];
+  scores.push_back(event.perf);
+  if (scores.size() < config_.min_rung_population) return JobDecision::Continue;
+
+  std::size_t strictly_better = 0;
+  for (const double s : scores) {
+    if (s > event.perf) ++strictly_better;
+  }
+  const double rank =
+      static_cast<double>(strictly_better) / static_cast<double>(scores.size());
+  if (rank <= 1.0 / config_.eta) {
+    ++promotions_;
+    return JobDecision::Continue;
+  }
+  ++pauses_;
+  paused_[event.job_id] = Paused{rung, event.perf};
+  return JobDecision::Suspend;
+}
+
+}  // namespace hyperdrive::core

@@ -1,0 +1,85 @@
+// ASHA — asynchronous successive halving (Li et al., "A System for
+// Massively Parallel Hyperparameter Tuning"), implemented as a SAP.
+//
+// Like the HyperbandPolicy, jobs are checked at geometrically spaced rungs
+// min_rung * eta^k (epochs) and survive a rung only when their score ranks
+// in the top 1/eta of everything recorded at that rung so far. The
+// difference is what happens to the losers: HyperbandPolicy *terminates*
+// them, ASHA *pauses* them. A paused job stays resumable — as later
+// arrivals fill in the rung its rank can rise into the promotion zone, and
+// on_allocate resumes it ahead of pending work. That asynchronous
+// promote-when-ranked rule is what makes the halving schedule-free: no
+// bracket ever blocks waiting for stragglers, and no job is irrevocably
+// killed on a provisional rank (zero wrong-kills by construction).
+//
+// Allocation order at every idle resource:
+//   1. paused jobs whose rung rank has risen into the top 1/eta (best score
+//      first) — the ASHA promotion rule;
+//   2. pending jobs in FIFO order — grow the rung populations;
+//   3. opportunistic backfill: the best idle job by queue priority, so
+//      machines never sit idle while unpromotable work exists (mirrors
+//      POP's opportunistic pool; disable via strict_promotion).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/policies/default_policy.hpp"
+
+namespace hyperdrive::core {
+
+struct AshaConfig {
+  /// First rung (epochs); 0 = use the workload's evaluation boundary.
+  std::size_t min_rung = 0;
+  /// Downsampling rate between rungs: the top 1/eta of a rung is promoted.
+  double eta = 3.0;
+  /// Don't pause at a rung before it has seen this many scores.
+  std::size_t min_rung_population = 3;
+  /// When true, idle machines are only given to promotable or pending jobs
+  /// (textbook ASHA: losers wait for their rank to rise). Default keeps the
+  /// backfill rule so fixed-size traces don't strand capacity.
+  bool strict_promotion = false;
+};
+
+class AshaPolicy final : public DefaultPolicy {
+ public:
+  explicit AshaPolicy(AshaConfig config = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "asha"; }
+
+  void on_allocate(SchedulerOps& ops) override;
+  JobDecision on_iteration_finish(SchedulerOps& ops, const JobEvent& event) override;
+
+  /// Rung survivals: jobs that ranked in the top 1/eta when they reported.
+  [[nodiscard]] std::size_t promotions() const noexcept { return promotions_; }
+  /// Jobs paused at a rung (may later resume).
+  [[nodiscard]] std::size_t pauses() const noexcept { return pauses_; }
+  /// Paused jobs resumed because their rung rank rose into the top 1/eta.
+  [[nodiscard]] std::size_t late_promotions() const noexcept { return late_promotions_; }
+  /// Paused jobs resumed by the opportunistic backfill rule.
+  [[nodiscard]] std::size_t backfills() const noexcept { return backfills_; }
+
+ private:
+  struct Paused {
+    std::size_t rung = 0;
+    double score = 0.0;
+  };
+
+  /// Smallest rung >= epoch (0 if epoch is below the first rung); returns
+  /// epoch itself iff epoch is a rung.
+  [[nodiscard]] std::size_t rung_at(std::size_t epoch) const;
+  /// Whether `score` ranks in the top 1/eta of `rung`'s records right now.
+  [[nodiscard]] bool promotable(const Paused& at) const;
+
+  AshaConfig config_;
+  /// rung -> scores recorded so far (single shared bracket).
+  std::map<std::size_t, std::vector<double>> rung_scores_;
+  /// Jobs this policy paused, with the rung and score they paused at.
+  std::map<JobId, Paused> paused_;
+  std::size_t promotions_ = 0;
+  std::size_t pauses_ = 0;
+  std::size_t late_promotions_ = 0;
+  std::size_t backfills_ = 0;
+};
+
+}  // namespace hyperdrive::core

@@ -1,0 +1,103 @@
+#include "core/policies/pbt_policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hyperdrive::core {
+
+namespace {
+// Seed streams (see util::derive_seed): donor draws vs per-clone explore
+// streams must never collide.
+constexpr std::uint64_t kDonorDrawStream = 0x10B7;
+constexpr std::uint64_t kCloneStreamBase = 0xC10E0000;
+}  // namespace
+
+PbtPolicy::PbtPolicy(PbtConfig config)
+    : config_(config), rng_(util::derive_seed(config.seed, kDonorDrawStream)) {
+  if (config_.bottom_quantile <= 0.0 || config_.bottom_quantile >= 1.0)
+    throw std::invalid_argument("pbt bottom quantile must be in (0, 1)");
+  if (config_.top_quantile <= 0.0 || config_.top_quantile >= 1.0)
+    throw std::invalid_argument("pbt top quantile must be in (0, 1)");
+  if (config_.min_population < 2)
+    throw std::invalid_argument("pbt needs a population of at least 2");
+}
+
+void PbtPolicy::on_allocate(SchedulerOps& ops) {
+  // Perform the recorded exploits first: each target was suspended at its
+  // decision boundary and is clonable once the substrate reports it idle.
+  for (auto it = intents_.begin(); it != intents_.end();) {
+    const auto status = ops.job_status(it->target);
+    if (status == JobStatus::Running) {
+      ++it;  // suspend still in flight (e.g. barrier round); retry next call
+      continue;
+    }
+    if (status == JobStatus::Pending || status == JobStatus::Suspended) {
+      const auto stream =
+          util::derive_seed(config_.seed, kCloneStreamBase + streams_issued_++);
+      if (ops.clone_job(it->target, it->donor, stream)) ++exploits_;
+    }
+    // Drop the intent whether or not the clone happened (the donor may have
+    // no trained state yet; the target will simply resume unchanged).
+    it = intents_.erase(it);
+  }
+  DefaultPolicy::on_allocate(ops);
+}
+
+JobDecision PbtPolicy::on_iteration_finish(SchedulerOps& ops, const JobEvent& event) {
+  const std::size_t boundary =
+      config_.boundary != 0 ? config_.boundary
+                            : std::max<std::size_t>(1, ops.evaluation_boundary());
+  if (event.epoch % boundary != 0) return JobDecision::Continue;
+  if (!ops.supports_clone()) return JobDecision::Continue;
+
+  // Rank the population by latest observed performance (best first, ties by
+  // id so the order is deterministic across substrates).
+  std::vector<std::pair<double, JobId>> ranked;
+  for (const auto job : ops.active_jobs()) {
+    const auto& history = ops.perf_history(job);
+    if (history.empty()) continue;
+    ranked.emplace_back(history.back(), job);
+  }
+  if (ranked.size() < config_.min_population) return JobDecision::Continue;
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+
+  const auto quantile_count = [&](double q) {
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(ranked.size()) * q));
+  };
+  const std::size_t top = quantile_count(config_.top_quantile);
+  const std::size_t bottom = quantile_count(config_.bottom_quantile);
+
+  std::size_t position = ranked.size();
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i].second == event.job_id) {
+      position = i;
+      break;
+    }
+  }
+  if (position < ranked.size() - bottom) return JobDecision::Continue;
+  if (position < top) return JobDecision::Continue;  // degenerate tiny pools
+
+  // Donor pool: the top quantile, minus jobs already slated as exploit
+  // targets (their ground truth is about to change under them).
+  std::vector<JobId> donors;
+  for (std::size_t i = 0; i < top; ++i) {
+    const JobId candidate = ranked[i].second;
+    const bool is_target =
+        std::any_of(intents_.begin(), intents_.end(),
+                    [&](const Intent& intent) { return intent.target == candidate; });
+    if (!is_target && candidate != event.job_id) donors.push_back(candidate);
+  }
+  if (donors.empty()) return JobDecision::Continue;
+
+  const auto pick = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(donors.size()) - 1));
+  intents_.push_back(Intent{event.job_id, donors[pick]});
+  ++intents_recorded_;
+  return JobDecision::Suspend;
+}
+
+}  // namespace hyperdrive::core

@@ -1,0 +1,70 @@
+// PBT — population based training (Jaderberg et al.), implemented as a SAP
+// on top of the substrate clone hook (SchedulerOps::clone_job).
+//
+// At every exploit boundary a job in the bottom quantile of the population
+// (ranked by latest observed performance) *exploits* a donor drawn uniformly
+// from the top quantile: the substrate clones the donor's trained weights
+// into it via the snapshot migration path and *explores* by perturbing the
+// donor's hyperparameters through the generator layer with a seed-derived
+// RNG stream. The loser resumes training from the donor's snapshot epoch
+// under the perturbed configuration.
+//
+// Cloning mutates the target job's ground truth, so it is never done while
+// the decision for that job is still in flight: on_iteration_finish only
+// records an exploit *intent* and suspends the target; the clone itself
+// happens in the next on_allocate, once the target is provably idle. PBT
+// never terminates a job — the wrong-kill oracle reports zero by
+// construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/policies/default_policy.hpp"
+#include "util/rng.hpp"
+
+namespace hyperdrive::core {
+
+struct PbtConfig {
+  /// Exploit cadence in epochs; 0 = use the workload's evaluation boundary.
+  std::size_t boundary = 0;
+  /// A job ranked in the bottom `bottom_quantile` of the population exploits.
+  double bottom_quantile = 0.25;
+  /// Donors are drawn uniformly from the top `top_quantile`.
+  double top_quantile = 0.25;
+  /// Jobs with at least one observation required before exploits begin.
+  std::size_t min_population = 4;
+  /// Root seed: donor draws and the per-clone RNG streams handed to
+  /// SchedulerOps::clone_job are both derived from it.
+  std::uint64_t seed = 1;
+};
+
+class PbtPolicy final : public DefaultPolicy {
+ public:
+  explicit PbtPolicy(PbtConfig config = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "pbt"; }
+
+  void on_allocate(SchedulerOps& ops) override;
+  JobDecision on_iteration_finish(SchedulerOps& ops, const JobEvent& event) override;
+
+  /// Exploit intents recorded (bottom-quantile jobs suspended toward a clone).
+  [[nodiscard]] std::size_t exploit_intents() const noexcept { return intents_recorded_; }
+  /// Clones actually performed by the substrate.
+  [[nodiscard]] std::size_t exploits() const noexcept { return exploits_; }
+
+ private:
+  struct Intent {
+    JobId target = 0;
+    JobId donor = 0;
+  };
+
+  PbtConfig config_;
+  util::Rng rng_;
+  std::vector<Intent> intents_;
+  std::size_t intents_recorded_ = 0;
+  std::size_t exploits_ = 0;
+  std::uint64_t streams_issued_ = 0;
+};
+
+}  // namespace hyperdrive::core

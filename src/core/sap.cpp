@@ -8,6 +8,12 @@ util::SimTime SchedulerOps::normalized_epoch_duration(JobId job) const {
   return avg_epoch_duration(job);
 }
 
+bool SchedulerOps::supports_clone() const { return false; }
+
+bool SchedulerOps::clone_job(JobId /*job*/, JobId /*donor*/, std::uint64_t /*stream*/) {
+  return false;
+}
+
 void SchedulingPolicy::on_application_stat(SchedulerOps& /*ops*/, const JobEvent& /*event*/) {}
 
 void SchedulingPolicy::on_experiment_start(SchedulerOps& /*ops*/) {}

@@ -104,6 +104,21 @@ class SchedulerOps {
   /// masquerade as a slow configuration.
   [[nodiscard]] virtual util::SimTime normalized_epoch_duration(JobId job) const;
 
+  // --- Weight migration (PBT exploit/explore, DESIGN.md §13) --------------
+  // Substrates that can clone one job's trained state into another expose
+  // the pair below; the defaults (no support) keep existing policies and
+  // test fakes compiling and behaving unchanged.
+  /// Whether clone_job is implemented by this substrate.
+  [[nodiscard]] virtual bool supports_clone() const;
+  /// Clone `donor`'s latest trained state into the idle job `job`: the
+  /// target adopts the donor's weights (via the substrate's snapshot
+  /// migration path) and observed history up to the donor's last completed
+  /// epoch, with hyperparameters re-drawn by the substrate's explore hook
+  /// from the seed-derived RNG `stream`. Returns false when cloning is
+  /// unsupported, the target is not idle (pending/suspended), or the donor
+  /// has no trained state yet; the target is untouched on failure.
+  virtual bool clone_job(JobId job, JobId donor, std::uint64_t stream);
+
   // --- Experiment metadata ------------------------------------------------
   [[nodiscard]] virtual std::size_t max_epochs() const = 0;
   [[nodiscard]] virtual double target_performance() const = 0;

@@ -9,7 +9,7 @@
 
 #include "cluster/overhead_model.hpp"
 #include "core/experiment_runner.hpp"
-#include "core/policies/hyperband_policy.hpp"
+#include "core/policy_registry.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
 #include "workload/cifar_model.hpp"
@@ -30,10 +30,10 @@ std::string fmt(double x) {
 
 std::string fmt(std::uint64_t x) { return std::to_string(x); }
 
-std::unique_ptr<workload::WorkloadModel> make_study_workload(const std::string& name) {
-  if (name == "cifar10") return std::make_unique<workload::CifarWorkloadModel>();
-  if (name == "lunarlander") return std::make_unique<workload::LunarWorkloadModel>();
-  if (name == "ptb_lstm") return std::make_unique<workload::PtbLstmWorkloadModel>();
+std::shared_ptr<workload::WorkloadModel> make_study_workload(const std::string& name) {
+  if (name == "cifar10") return std::make_shared<workload::CifarWorkloadModel>();
+  if (name == "lunarlander") return std::make_shared<workload::LunarWorkloadModel>();
+  if (name == "ptb_lstm") return std::make_shared<workload::PtbLstmWorkloadModel>();
   throw std::invalid_argument("unknown study workload '" + name + "'");
 }
 
@@ -49,28 +49,20 @@ std::unique_ptr<HyperparameterGenerator> make_study_generator(
 
 std::function<std::unique_ptr<SchedulingPolicy>()> make_study_policy_factory(
     const StudySpec& spec) {
-  if (spec.policy != "pop" && spec.policy != "bandit" && spec.policy != "earlyterm" &&
-      spec.policy != "default" && spec.policy != "hyperband") {
+  if (!PolicyRegistry::instance().has(spec.policy)) {
     throw std::invalid_argument("unknown study policy '" + spec.policy + "'");
   }
-  return [spec]() -> std::unique_ptr<SchedulingPolicy> {
-    if (spec.policy == "hyperband") return std::make_unique<HyperbandPolicy>();
-    PolicySpec ps;
-    if (spec.policy == "pop") {
-      ps.kind = PolicyKind::Pop;
-    } else if (spec.policy == "bandit") {
-      ps.kind = PolicyKind::Bandit;
-    } else if (spec.policy == "earlyterm") {
-      ps.kind = PolicyKind::EarlyTerm;
-    } else {
-      ps.kind = PolicyKind::Default;
-    }
-    const auto predictor = make_default_predictor(spec.seed);
-    ps.pop.predictor = predictor;
-    ps.pop.tmax = spec.tmax;
-    ps.earlyterm.predictor = predictor;
-    return make_policy(ps);
+  // Malformed or unaccepted key=value options also fail at admission, not at
+  // start(): parse and construct one throwaway instance now.
+  const auto build = [spec]() -> std::unique_ptr<SchedulingPolicy> {
+    PolicyContext ctx;
+    ctx.seed = spec.seed;
+    ctx.tmax = spec.tmax;
+    return make_registry_policy(spec.policy, PolicyParams::parse(spec.policy_params),
+                                ctx);
   };
+  (void)build();
+  return build;
 }
 
 void add_recovery(RecoveryStats& a, const RecoveryStats& b) {
@@ -111,6 +103,9 @@ ArbitrationMode arbitration_from_string(const std::string& name) {
 struct StudyManager::Tenant {
   StudySpec spec;
   workload::Trace trace;
+  /// Workload model kept alive for the PBT explore hook (null when the study
+  /// was admitted with an explicit trace — cloning is then unsupported).
+  std::shared_ptr<const workload::WorkloadModel> model;
   std::function<std::unique_ptr<SchedulingPolicy>()> policy_factory;
   std::unique_ptr<SchedulingPolicy> policy;
   std::unique_ptr<cluster::HyperDriveCluster> cluster;
@@ -139,6 +134,7 @@ void StudyManager::add_study(const StudySpec& spec) {
                                     /*report_feedback=*/true);
   if (spec.has_target_override()) trace.target_performance = spec.target;
   add_study(spec, std::move(trace), make_study_policy_factory(spec));
+  tenants_.back()->model = model;
 }
 
 void StudyManager::add_study(
@@ -434,6 +430,9 @@ MultiStudyResult StudyManager::run() {
     // One shared sink/registry; the cluster constructor stamps the per-study
     // label onto its scope so every event stays attributable.
     co.obs = options_.obs;
+    // Weight-migration hook (inert unless the study's policy calls
+    // clone_job; only PBT does).
+    if (t.model) co.explore = make_model_explore(t.model);
     t.cluster = std::make_unique<cluster::HyperDriveCluster>(t.trace, co, *sim_);
     if (options_.record_event_log) {
       t.cluster->log_sink = [this](std::string line) {

@@ -23,6 +23,13 @@ StudySpec load_study_spec(std::istream& in) {
       spec.workload = parser.word("workload name");
     } else if (directive == "policy") {
       spec.policy = parser.word("policy name");
+      spec.policy_params.clear();
+      while (auto param = parser.optional_word()) {
+        if (param->find('=') == std::string::npos) {
+          parser.fail("bad policy option '" + *param + "' (want key=value)");
+        }
+        spec.policy_params.push_back(std::move(*param));
+      }
     } else if (directive == "generator") {
       spec.generator = parser.word("generator name");
     } else if (directive == "configs") {
@@ -60,7 +67,9 @@ void save_study_spec(const StudySpec& spec, std::ostream& out) {
   out << "# HyperDrive study spec\n";
   out << "study " << spec.name << '\n';
   out << "workload " << spec.workload << '\n';
-  out << "policy " << spec.policy << '\n';
+  out << "policy " << spec.policy;
+  for (const auto& param : spec.policy_params) out << ' ' << param;
+  out << '\n';
   out << "generator " << spec.generator << '\n';
   out << "configs " << spec.configs << '\n';
   if (spec.has_target_override()) out << "target " << spec.target << '\n';

@@ -9,7 +9,9 @@
 //
 //   study prod-cifar
 //   workload cifar10          # cifar10 | lunarlander | ptb_lstm
-//   policy pop                # pop | bandit | earlyterm | default | hyperband
+//   policy pop                # any core::PolicyRegistry name, optionally
+//                             # followed by key=value options ("policy asha
+//                             # eta=4"); DESIGN.md "Scheduler zoo"
 //   generator random          # random | grid | adaptive | tpe
 //   configs 100
 //   target 0.92               # omit for the workload's default target
@@ -25,6 +27,7 @@
 #include <iosfwd>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "util/sim_time.hpp"
 
@@ -34,6 +37,10 @@ struct StudySpec {
   std::string name;
   std::string workload = "cifar10";
   std::string policy = "pop";
+  /// Policy options as key=value tokens (`policy asha eta=4 min-rung=2`),
+  /// fed to the PolicyRegistry factory (DESIGN.md §13). Empty for defaults —
+  /// the spec then saves byte-identically to the pre-registry format.
+  std::vector<std::string> policy_params;
   std::string generator = "random";
   std::size_t configs = 100;
   /// Target performance; NaN (default) keeps the workload model's target.

@@ -30,11 +30,8 @@ std::size_t SweepSpec::add_repeat_axis(std::size_t repeats) {
   return add_axis("repeat", std::move(values));
 }
 
-std::size_t SweepSpec::add_policy_axis(const std::vector<PolicyKind>& kinds) {
-  std::vector<std::string> values;
-  values.reserve(kinds.size());
-  for (const auto kind : kinds) values.emplace_back(to_string(kind));
-  return add_axis("policy", std::move(values));
+std::size_t SweepSpec::add_policy_axis(std::vector<std::string> names) {
+  return add_axis("policy", std::move(names));
 }
 
 std::size_t SweepSpec::axis(const std::string& axis_name) const {
@@ -67,16 +64,6 @@ SweepCell SweepSpec::cell(std::size_t linear) const {
 
 const std::string& SweepSpec::label(const SweepCell& cell, std::size_t axis) const {
   return axes.at(axis).values.at(cell.at(axis));
-}
-
-PolicySpec standard_policy_spec(PolicyKind kind, std::uint64_t seed, util::SimTime tmax) {
-  PolicySpec spec;
-  spec.kind = kind;
-  const auto predictor = make_default_predictor(seed);
-  spec.earlyterm.predictor = predictor;
-  spec.pop.predictor = predictor;
-  spec.pop.tmax = tmax;
-  return spec;
 }
 
 }  // namespace hyperdrive::core

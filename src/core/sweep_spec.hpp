@@ -99,8 +99,10 @@ class SweepSpec {
   std::size_t add_axis(std::string axis_name, std::vector<std::string> values);
   /// Axis "repeat" with values "0".."repeats-1" (the §6.1 fresh-noise axis).
   std::size_t add_repeat_axis(std::size_t repeats);
-  /// Axis "policy" labelled via to_string(kind).
-  std::size_t add_policy_axis(const std::vector<PolicyKind>& kinds);
+  /// Axis "policy" over registry policy names (core::PolicyRegistry;
+  /// DESIGN.md §13). The labels key the table/CSV and usually feed
+  /// core::make_standard_policy in the policy callback.
+  std::size_t add_policy_axis(std::vector<std::string> names);
 
   /// Index of a named axis; throws std::out_of_range if absent.
   [[nodiscard]] std::size_t axis(const std::string& axis_name) const;
@@ -112,11 +114,5 @@ class SweepSpec {
   /// The label of `cell`'s value on axis `axis`.
   [[nodiscard]] const std::string& label(const SweepCell& cell, std::size_t axis) const;
 };
-
-/// The standard PolicySpec for one of the four evaluated policies with the
-/// fast LSQ predictor — the configuration every figure bench uses (the
-/// full-MCMC predictor is measured separately by tab_mcmc_samples).
-[[nodiscard]] PolicySpec standard_policy_spec(
-    PolicyKind kind, std::uint64_t seed, util::SimTime tmax = util::SimTime::hours(48));
 
 }  // namespace hyperdrive::core

@@ -86,7 +86,7 @@ void SweepTable::save_csv(std::ostream& out) const {
   for (const auto* col :
        {"seed", "policy_name", "reached_target", "time_to_target_min", "total_time_min",
         "best_perf", "machine_time_min", "jobs_started", "suspends", "terminations",
-        "retransmissions", "jobs_requeued", "epochs_lost", "jobs_migrated",
+        "clones", "retransmissions", "jobs_requeued", "epochs_lost", "jobs_migrated",
         "nodes_quarantined", "wrong_kills"}) {
     header.emplace_back(col);
   }
@@ -109,6 +109,7 @@ void SweepTable::save_csv(std::ostream& out) const {
     fields.push_back(fmt(r.jobs_started));
     fields.push_back(fmt(r.suspends));
     fields.push_back(fmt(r.terminations));
+    fields.push_back(fmt(r.clones));
     fields.push_back(fmt(r.retransmissions));
     fields.push_back(fmt(r.recovery.jobs_requeued));
     fields.push_back(fmt(r.recovery.epochs_lost));

@@ -15,6 +15,7 @@ std::string_view to_string(EventKind kind) noexcept {
     case EventKind::JobTerminate: return "terminate";
     case EventKind::JobRequeue: return "requeue";
     case EventKind::JobMigrate: return "migrate";
+    case EventKind::JobClone: return "clone";
     case EventKind::TargetReached: return "target";
     case EventKind::SnapshotStored: return "snapshot-stored";
     case EventKind::SnapshotUploadFailed: return "snapshot-upload-failed";
@@ -70,6 +71,8 @@ std::string legacy_text(const TraceEvent& e) {
       return "requeue" + job() + epoch();
     case EventKind::JobMigrate:
       return "migrate" + job() + machine() + " reason=" + e.detail;
+    case EventKind::JobClone:
+      return "clone" + job() + epoch() + " donor=" + e.detail;
     case EventKind::TargetReached:
       return "target" + job() + epoch();
     case EventKind::SnapshotStored:

@@ -29,6 +29,7 @@ enum class EventKind {
   JobTerminate,      ///< "terminate job=J epoch=E"
   JobRequeue,        ///< "requeue job=J epoch=E"
   JobMigrate,        ///< "migrate job=J machine=M reason=<detail>"
+  JobClone,          ///< "clone job=J epoch=E donor=<detail>" (PBT exploit)
   TargetReached,     ///< "target job=J epoch=E"
   // --- snapshots & recovery ------------------------------------------------
   SnapshotStored,        ///< "snapshot-stored job=J epoch=E"

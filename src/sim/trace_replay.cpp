@@ -99,6 +99,41 @@ std::size_t TraceReplaySimulator::epochs_done(core::JobId job) const {
   return runtime(job).epochs_done;
 }
 
+bool TraceReplaySimulator::supports_clone() const {
+  return static_cast<bool>(options_.explore);
+}
+
+bool TraceReplaySimulator::clone_job(core::JobId job, core::JobId donor,
+                                     std::uint64_t stream) {
+  if (!options_.explore || job == donor) return false;
+  auto& dst = runtime(job);
+  const auto& src = runtime(donor);
+  if (!dst.idle) return false;
+  if (dst.status != core::JobStatus::Pending && dst.status != core::JobStatus::Suspended) {
+    return false;
+  }
+  if (src.epochs_done == 0) return false;  // donor has no trained state yet
+
+  auto continued = std::make_unique<workload::TraceJob>(
+      options_.explore(*dst.spec, *src.spec, src.epochs_done, stream));
+  continued->job_id = job;
+  // A continuation with nothing left to train would park the clone forever.
+  if (continued->curve.perf.size() <= src.epochs_done) return false;
+
+  // The target adopts the donor's weights: its observed history becomes the
+  // donor's prefix and it resumes (suspended) at the donor's epoch on the
+  // spliced continuation curve. Machine-time accounting stays the target's
+  // own — the adopted epochs were paid for by the donor.
+  if (dst.status == core::JobStatus::Pending) ++result_.jobs_started;
+  dst.spec = continued.get();
+  cloned_jobs_.push_back(std::move(continued));
+  dst.epochs_done = src.epochs_done;
+  dst.history = src.history;
+  dst.status = core::JobStatus::Suspended;
+  ++result_.clones;
+  return true;
+}
+
 void TraceReplaySimulator::complete_epoch(core::JobId job) {
   if (done_) return;
   auto& rt = runtime(job);

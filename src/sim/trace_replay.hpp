@@ -30,6 +30,11 @@ struct ReplayOptions {
   /// Model-owner-defined global termination criterion (§9); when set it
   /// replaces the perf >= target check (stop_on_target still gates it).
   core::GlobalStopCriterion stop_criterion;
+  /// Exploit/explore continuation hook (PBT; DESIGN.md §13). When set, the
+  /// simulator supports SchedulerOps::clone_job: the target job adopts the
+  /// donor's observed prefix and trains on against the continuation curve
+  /// this hook returns. Unset = cloning unsupported (the default).
+  workload::ExploreFn explore;
 };
 
 class TraceReplaySimulator final : public core::SchedulerOps {
@@ -61,6 +66,12 @@ class TraceReplaySimulator final : public core::SchedulerOps {
   [[nodiscard]] util::SimTime normalized_epoch_duration(core::JobId job) const override {
     return avg_epoch_duration(job);
   }
+  // Weight migration (PBT; DESIGN.md §13): available iff an explore hook is
+  // configured. The clone is instantaneous here — the idealized simulator
+  // charges no snapshot-transfer overhead, matching its zero-cost
+  // suspend/resume model.
+  [[nodiscard]] bool supports_clone() const override;
+  bool clone_job(core::JobId job, core::JobId donor, std::uint64_t stream) override;
   [[nodiscard]] std::size_t max_epochs() const override { return trace_.max_epochs; }
   [[nodiscard]] double target_performance() const override {
     return trace_.target_performance;
@@ -94,6 +105,9 @@ class TraceReplaySimulator final : public core::SchedulerOps {
   Simulation simulation_;
   core::SchedulingPolicy* policy_ = nullptr;
   std::map<core::JobId, JobRuntime> jobs_;  // ordered => deterministic iteration
+  /// Continuation ground truth minted by clone_job; owned here because the
+  /// input trace is frozen and shared across cells.
+  std::vector<std::unique_ptr<workload::TraceJob>> cloned_jobs_;
   std::size_t idle_machines_ = 0;
   std::uint64_t idle_counter_ = 0;
   core::ExperimentResult result_;

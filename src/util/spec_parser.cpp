@@ -28,6 +28,12 @@ std::string SpecParser::word(const char* what) {
   return token;
 }
 
+std::optional<std::string> SpecParser::optional_word() {
+  std::string token;
+  if (!(tokens_ >> token)) return std::nullopt;
+  return token;
+}
+
 double SpecParser::number(const char* what) {
   std::string token;
   if (!(tokens_ >> token)) fail(std::string("missing ") + what);

@@ -31,6 +31,9 @@ class SpecParser {
 
   /// Next token on the current line; fails with "missing <what>".
   std::string word(const char* what);
+  /// As word(), but std::nullopt when the line has no tokens left (directives
+  /// with a variable-length operand tail, e.g. `policy asha eta=4`).
+  std::optional<std::string> optional_word();
   /// Next token as a double, accepting "inf"; fails with "missing <what>" or
   /// "bad <what> '<token>'".
   double number(const char* what);

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -51,6 +52,18 @@ struct Trace {
                                       double target, double kill_threshold,
                                       std::size_t evaluation_boundary);
 };
+
+/// Exploit/explore continuation hook (PBT; DESIGN.md §13). An execution
+/// substrate invokes it when a policy clones `donor`'s trained state into
+/// `target` at the donor's completed epoch `epoch`: the hook returns the
+/// ground truth the cloned job trains against from that epoch on —
+/// typically the donor's hyperparameters perturbed with the seed-derived
+/// RNG `stream` and re-realized against the workload model, with the
+/// pre-clone epochs adopted from the donor so the curve is continuous at
+/// the splice point. The returned job must keep `target`'s id.
+using ExploreFn =
+    std::function<TraceJob(const TraceJob& target, const TraceJob& donor,
+                           std::size_t epoch, std::uint64_t stream)>;
 
 /// Sample `num_configs` configurations from the model's space and realize
 /// their ground truth. The same (model, seed, num_configs) triple always

@@ -19,6 +19,7 @@
 
 #include "core/policies/barrier_policy.hpp"
 #include "core/policies/default_policy.hpp"
+#include "core/policy_registry.hpp"
 #include "core/study/checkpoint.hpp"
 #include "core/study/coordinator.hpp"
 #include "core/study/study_manager.hpp"
@@ -238,6 +239,63 @@ TEST(CoordinatorRecoveryTest, OutOfProcessResumeReplaysFromDurableFrames) {
   EXPECT_EQ(second.recovery.checkpoint_loads, 1u);
   EXPECT_EQ(second.recovery.replay_verifications, 1u);
   EXPECT_EQ(second.recovery.cold_restarts, 0u);
+  expect_identical(ref, second.result);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CoordinatorRecoveryTest, RegistryPoliciesRideFramesAndResumeByteIdentically) {
+  // Registry-built policies (DESIGN.md §13) in the recovery loop: an ASHA
+  // study with key=value params plus a POP study, admitted by name through
+  // the PolicyRegistry. The policy name and params ride the HDCK frames as
+  // study-spec text, so an out-of-process resume must rebuild the exact
+  // policies — byte-identical event log and CSV.
+  const auto specs_with_zoo = [](std::uint64_t base_seed) {
+    auto specs = mix_specs(base_seed);
+    specs[0].policy = "asha";
+    specs[0].policy_params = {"eta=2"};
+    specs[1].policy = "pop";
+    return specs;
+  };
+  const AdmitStudyFn registry_admit = [](StudyManager& manager, const StudySpec& spec) {
+    if (spec.name == "alpha") {
+      // The round-tripped spec must still carry the policy line verbatim.
+      EXPECT_EQ(spec.policy, "asha");
+      EXPECT_EQ(spec.policy_params, std::vector<std::string>{"eta=2"});
+    }
+    manager.add_study(spec, trace_for(spec.name), [spec] {
+      PolicyContext ctx;
+      ctx.seed = spec.seed;
+      ctx.tmax = spec.tmax;
+      return make_registry_policy(spec.policy, PolicyParams::parse(spec.policy_params),
+                                  ctx);
+    });
+  };
+
+  // Uninterrupted ground truth with the same registry-built policies.
+  StudyManager reference(mix_options(19));
+  for (const StudySpec& spec : specs_with_zoo(19)) registry_admit(reference, spec);
+  const MultiStudyResult ref = reference.run();
+
+  const auto dir = fresh_dir("hd_registry_resume");
+  StudyManagerOptions options = mix_options(19);
+  cluster::CoordinatorCrashEvent crash;
+  crash.at = SimTime::seconds(ref.total_time.to_seconds() * 0.5);
+  options.fault_plan.coordinator_crashes.push_back(crash);
+  CheckpointOptions ckpt;
+  ckpt.dir = dir.string();
+  ckpt.every = SimTime::minutes(5);
+  const auto first = run_recoverable_multi_study(specs_with_zoo(19), options, ckpt,
+                                                 registry_admit);
+  EXPECT_EQ(first.recovery.coordinator_crashes, 1u);
+  expect_identical(ref, first.result);
+
+  // Process two: nothing but the frames — policies come back by name.
+  CheckpointOptions resume;
+  resume.dir = dir.string();
+  resume.resume = true;
+  const auto second = run_recoverable_multi_study({}, mix_options(19), resume,
+                                                  registry_admit);
+  EXPECT_EQ(second.recovery.checkpoint_loads, 1u);
   expect_identical(ref, second.result);
   std::filesystem::remove_all(dir);
 }

@@ -46,6 +46,7 @@ void expect_equal(const StudySpec& a, const StudySpec& b) {
   EXPECT_EQ(a.name, b.name);
   EXPECT_EQ(a.workload, b.workload);
   EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.policy_params, b.policy_params);
   EXPECT_EQ(a.generator, b.generator);
   EXPECT_EQ(a.configs, b.configs);
   EXPECT_EQ(std::isnan(a.target), std::isnan(b.target));
@@ -95,6 +96,35 @@ TEST(StudySpecIoTest, ParsesCommentsBlanksAndInf) {
   EXPECT_EQ(spec.policy, "bandit");
   EXPECT_FALSE(spec.has_deadline());
   EXPECT_EQ(spec.tmax, SimTime::seconds(3600));
+}
+
+TEST(StudySpecIoTest, PolicyOptionsRoundTrip) {
+  // Registry policy with key=value options (DESIGN.md §13): the tokens
+  // survive the trip verbatim and in order.
+  StudySpec spec = full_spec();
+  spec.policy = "asha";
+  spec.policy_params = {"eta=4", "min-rung=2"};
+  const std::string text = save(spec);
+  EXPECT_NE(text.find("policy asha eta=4 min-rung=2\n"), std::string::npos);
+  const StudySpec loaded = load(text);
+  EXPECT_EQ(loaded.policy, "asha");
+  EXPECT_EQ(loaded.policy_params, spec.policy_params);
+  EXPECT_EQ(save(loaded), text);
+
+  // No options — the line stays byte-identical to the pre-registry format.
+  StudySpec bare;
+  bare.name = "plain";
+  EXPECT_NE(save(bare).find("policy pop\n"), std::string::npos);
+
+  // A policy option that is not key=value is a parse error with a line
+  // number, not a silently dropped token.
+  EXPECT_THROW(load("study a\npolicy asha eta\n"), std::invalid_argument);
+  try {
+    load("study a\npolicy asha eta\n");
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("key=value"), std::string::npos);
+  }
 }
 
 TEST(StudySpecIoTest, ErrorsCarryLineNumbers) {

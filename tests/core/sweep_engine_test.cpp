@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "core/policy_registry.hpp"
 #include "workload/cifar_model.hpp"
 #include "workload/trace_tools.hpp"
 
@@ -16,16 +17,14 @@ namespace {
 SweepSpec small_sweep(const workload::WorkloadModel& model) {
   SweepSpec spec;
   spec.name = "test_sweep";
-  const auto policy_ax = spec.add_policy_axis(
-      {PolicyKind::Pop, PolicyKind::Bandit, PolicyKind::EarlyTerm});
+  const auto policy_ax = spec.add_policy_axis({"pop", "bandit", "earlyterm"});
   const auto repeat_ax = spec.add_repeat_axis(3);
   spec.trace = [&model, repeat_ax](const SweepCell& cell) {
     return workload::reachable_trace(model, 20, 100 + cell.at(repeat_ax) * 7);
   };
   spec.policy = [policy_ax, repeat_ax](const SweepCell& cell) {
-    const std::vector<PolicyKind> kinds = {PolicyKind::Pop, PolicyKind::Bandit,
-                                           PolicyKind::EarlyTerm};
-    return make_policy(standard_policy_spec(kinds[cell.at(policy_ax)], cell.at(repeat_ax)));
+    const std::vector<std::string> names = {"pop", "bandit", "earlyterm"};
+    return make_standard_policy(names[cell.at(policy_ax)], cell.at(repeat_ax));
   };
   spec.options = [](const SweepCell&) {
     RunnerOptions options;

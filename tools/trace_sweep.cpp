@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "core/policy_registry.hpp"
 #include "core/sweep_engine.hpp"
 #include "util/cli_options.hpp"
 #include "util/log.hpp"
@@ -21,12 +22,17 @@ struct ToolConfig {
   std::size_t configs = 100;
   /// Machine counts to sweep (repeatable flag; defaults to 5 and 25).
   std::vector<std::size_t> machines;
+  /// Registry policy names to compare (repeatable flag; defaults to the
+  /// paper's four).
+  std::vector<std::string> policies;
 };
 
 void sweep(const workload::WorkloadModel& model, const ToolConfig& config,
            std::size_t machines) {
   std::printf("== %s (%zu machines) ==\n", std::string(model.name()).c_str(), machines);
-  std::printf("trace |   pop  bandit earlyterm default | winner_idx\n");
+  std::printf("trace |");
+  for (const auto& name : config.policies) std::printf(" %9s", name.c_str());
+  std::printf(" | winner_idx\n");
 
   std::vector<workload::Trace> traces;
   std::vector<std::string> trace_labels;
@@ -39,16 +45,11 @@ void sweep(const workload::WorkloadModel& model, const ToolConfig& config,
   core::SweepSpec spec;
   spec.name = "trace_sweep";
   const auto trace_ax = spec.add_axis("trace", trace_labels);
-  const auto policy_ax = spec.add_policy_axis(
-      {core::PolicyKind::Pop, core::PolicyKind::Bandit, core::PolicyKind::EarlyTerm,
-       core::PolicyKind::Default});
+  const auto policy_ax = spec.add_policy_axis(config.policies);
   spec.trace = [&](const core::SweepCell& cell) { return traces[cell.at(trace_ax)]; };
   spec.policy = [&](const core::SweepCell& cell) {
-    const auto kinds = std::vector<core::PolicyKind>{
-        core::PolicyKind::Pop, core::PolicyKind::Bandit, core::PolicyKind::EarlyTerm,
-        core::PolicyKind::Default};
-    return core::make_policy(
-        core::standard_policy_spec(kinds[cell.at(policy_ax)], cell.at(trace_ax)));
+    return core::make_standard_policy(config.policies[cell.at(policy_ax)],
+                                      cell.at(trace_ax));
   };
   spec.options = [&](const core::SweepCell&) {
     core::RunnerOptions options;
@@ -62,7 +63,7 @@ void sweep(const workload::WorkloadModel& model, const ToolConfig& config,
   for (std::size_t t = 0; t < traces.size(); ++t) {
     std::printf("%5llu |", static_cast<unsigned long long>(t));
     for (const auto* row : table.where("trace", trace_labels[t])) {
-      std::printf(" %6.0f", row->result.reached_target
+      std::printf(" %9.0f", row->result.reached_target
                                 ? row->result.time_to_target.to_minutes()
                                 : -1.0);
     }
@@ -88,6 +89,15 @@ int main(int argc, char** argv) {
                 config.machines.push_back(static_cast<std::size_t>(n));
                 return true;
               });
+  options.add("--policy", "NAME",
+              "registry policy to compare (repeatable): " +
+                  core::PolicyRegistry::instance().name_list('|') +
+                  "  [pop bandit earlyterm default]",
+              [&config](const std::string& name) {
+                if (!core::PolicyRegistry::instance().has(name)) return false;
+                config.policies.push_back(name);
+                return true;
+              });
   options.add("--log-level", "LEVEL",
               "debug|info|warn|error|off (overrides HD_LOG)  [warn]",
               [](const std::string& level) {
@@ -96,6 +106,7 @@ int main(int argc, char** argv) {
               });
   if (!options.parse(argc, argv)) return 2;
   if (config.machines.empty()) config.machines = {5, 25};
+  if (config.policies.empty()) config.policies = {"pop", "bandit", "earlyterm", "default"};
 
   for (const std::size_t machines : config.machines) {
     sweep(workload::CifarWorkloadModel{}, config, machines);
