@@ -45,9 +45,11 @@ struct PredictorOptions {
   enum class Kind { Lsq, Mcmc, LastValue };
   Kind kind = Kind::Lsq;
   curve::PredictorConfig config;
-  /// Decorator options. warm_start only takes effect for Kind::Mcmc (the
-  /// only warm-startable predictor); see DESIGN.md §11 for the determinism
-  /// contract before enabling it.
+  /// Decorator options. warm_start (now on by default, gated by the 30-seed
+  /// decision-invariance property test) only takes effect for Kind::Mcmc —
+  /// the only warm-startable predictor; for Lsq/LastValue it silently
+  /// degrades to a plain cache. See DESIGN.md §11 for the determinism
+  /// contract and the knife-edge rotation caveat.
   curve::CachingOptions cache{/*capacity=*/512};
 };
 

@@ -46,6 +46,11 @@ std::string_view to_string(EventKind kind) noexcept {
     case EventKind::CoordinatorCrash: return "coordinator-crash";
     case EventKind::CoordinatorResume: return "coordinator-resume";
     case EventKind::ColdRestart: return "cold-restart";
+    case EventKind::StudySubmitted: return "study-submitted";
+    case EventKind::StudyAdmitted: return "study-admitted";
+    case EventKind::StudyQueued: return "study-queued";
+    case EventKind::StudyRejected: return "study-rejected";
+    case EventKind::StudyFinished: return "study-finished";
   }
   return "?";
 }
@@ -133,6 +138,16 @@ std::string legacy_text(const TraceEvent& e) {
       return "coordinator-resume" + (e.detail.empty() ? "" : ' ' + e.detail);
     case EventKind::ColdRestart:
       return "cold-restart" + (e.detail.empty() ? "" : " reason=" + e.detail);
+    case EventKind::StudySubmitted:
+      return "study-submitted" + job() + (e.detail.empty() ? "" : ' ' + e.detail);
+    case EventKind::StudyAdmitted:
+      return "study-admitted" + job() + (e.detail.empty() ? "" : ' ' + e.detail);
+    case EventKind::StudyQueued:
+      return "study-queued" + job() + (e.detail.empty() ? "" : ' ' + e.detail);
+    case EventKind::StudyRejected:
+      return "study-rejected" + job() + (e.detail.empty() ? "" : " reason=" + e.detail);
+    case EventKind::StudyFinished:
+      return "study-finished" + job() + (e.detail.empty() ? "" : ' ' + e.detail);
   }
   return "?";
 }

@@ -70,6 +70,14 @@ enum class EventKind {
   CoordinatorCrash,    ///< the coordinator died (in-sim CoordinatorCrashEvent)
   CoordinatorResume,   ///< replay caught up with a loaded checkpoint
   ColdRestart,         ///< no usable checkpoint; restarting from study specs
+  // --- service front-end (DESIGN.md §14; structured-only) -------------------
+  // Wall-clock events of the hyperdrive_serve admission path; `job` carries
+  // the submission id and they never touch a study's deterministic timeline.
+  StudySubmitted,  ///< a submission arrived (detail = "tenant=<t>")
+  StudyAdmitted,   ///< admission granted a run slot (detail = "tenant=<t>")
+  StudyQueued,     ///< admission queued it (detail = "tenant=<t> position=<n>")
+  StudyRejected,   ///< admission rejected it (detail = the reason string)
+  StudyFinished,   ///< a service-run study completed (detail = "tenant=<t>")
 };
 
 [[nodiscard]] std::string_view to_string(EventKind kind) noexcept;

@@ -1,0 +1,203 @@
+#include "svc/client.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/bytes.hpp"
+
+namespace hyperdrive::svc {
+
+namespace {
+
+void sleep_ms(int ms) {
+  timespec ts{};
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = static_cast<long>(ms % 1000) * 1000000L;
+  (void)::nanosleep(&ts, nullptr);
+}
+
+void set_io_timeout(int fd, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<long>(ms % 1000) * 1000L;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+/// One non-blocking connect attempt bounded by `timeout_ms`. Returns the
+/// connected fd or -1.
+int try_connect(const ClientOptions& options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return -1;
+    }
+    pollfd p{fd, POLLOUT, 0};
+    if (::poll(&p, 1, options.connect_timeout_ms) <= 0) {
+      ::close(fd);
+      return -1;
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  (void)::fcntl(fd, F_SETFL, flags);  // back to blocking for the call path
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  set_io_timeout(fd, options.io_timeout_ms);
+  return fd;
+}
+
+}  // namespace
+
+Client::Client(ClientOptions options) : options_(std::move(options)) {}
+
+Client::~Client() { disconnect(); }
+
+void Client::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::connect() {
+  for (int attempt = 0; attempt <= options_.retries; ++attempt) {
+    fd_ = try_connect(options_);
+    if (fd_ >= 0) return;
+    if (attempt < options_.retries) sleep_ms(options_.retry_delay_ms);
+  }
+  throw std::runtime_error("cannot connect to " + options_.host + ":" +
+                           std::to_string(options_.port) + " after " +
+                           std::to_string(options_.retries + 1) + " attempts");
+}
+
+void Client::send_all(const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      disconnect();
+      throw std::runtime_error("send failed: " + std::string(std::strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Client::recv_all(std::uint8_t* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd_, data + got, size - got, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      disconnect();
+      throw std::runtime_error(n == 0 ? "server closed the connection"
+                                      : "recv failed: " + std::string(std::strerror(errno)));
+    }
+    got += static_cast<std::size_t>(n);
+  }
+}
+
+Message Client::call(const Message& request) {
+  if (fd_ < 0) connect();
+  const std::vector<std::uint8_t> frame = encode_frame(request);
+  send_all(frame.data(), frame.size());
+
+  std::uint8_t header[4];
+  recv_all(header, sizeof header);
+  std::uint32_t length = 0;
+  util::ByteReader hr(header, sizeof header);
+  (void)hr.u32(length);
+  if (length > kMaxFrameBytes) {
+    disconnect();
+    throw std::runtime_error("reply frame too large (" + std::to_string(length) + " bytes)");
+  }
+  std::vector<std::uint8_t> payload(length);
+  recv_all(payload.data(), payload.size());
+  MessageDecodeResult decoded = decode_message(payload);
+  if (!decoded.message.has_value()) {
+    disconnect();
+    throw std::runtime_error(std::string("undecodable reply: ") +
+                             cluster::to_string(*decoded.error));
+  }
+  return std::move(*decoded.message);
+}
+
+Message Client::submit(const std::string& tenant, const std::string& spec_text) {
+  Message m;
+  m.type = MsgType::Submit;
+  m.tenant = tenant;
+  m.text = spec_text;
+  return call(m);
+}
+
+Message Client::cancel(std::uint64_t id) {
+  Message m;
+  m.type = MsgType::Cancel;
+  m.id = id;
+  return call(m);
+}
+
+Message Client::status(std::uint64_t id) {
+  Message m;
+  m.type = MsgType::Status;
+  m.id = id;
+  return call(m);
+}
+
+Message Client::list(const std::string& tenant) {
+  Message m;
+  m.type = MsgType::List;
+  m.tenant = tenant;
+  return call(m);
+}
+
+Message Client::fetch(std::uint64_t id, ArtifactKind kind) {
+  Message m;
+  m.type = MsgType::Fetch;
+  m.id = id;
+  m.artifact = kind;
+  return call(m);
+}
+
+Message Client::metrics() {
+  Message m;
+  m.type = MsgType::Metrics;
+  return call(m);
+}
+
+Message Client::shutdown() {
+  Message m;
+  m.type = MsgType::Shutdown;
+  return call(m);
+}
+
+}  // namespace hyperdrive::svc

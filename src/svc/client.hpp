@@ -1,0 +1,61 @@
+// Client — the session side of the svc wire protocol. Wraps one TCP
+// connection to hyperdrive_serve with connect-timeout + retry semantics (the
+// server may still be coming up, or be restarting after a crash — exactly
+// the window serve_smoke.sh exercises) and per-call I/O timeouts, so a dead
+// server fails a call with a clear error instead of hanging the tool.
+//
+// One Client is one session used from one thread; calls are strictly
+// request→response (the protocol has no server pushes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "svc/protocol.hpp"
+
+namespace hyperdrive::svc {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Per-attempt connect timeout.
+  int connect_timeout_ms = 2000;
+  /// Socket send/recv timeout per call.
+  int io_timeout_ms = 30000;
+  /// Connect attempts before giving up (covers server restarts).
+  int retries = 10;
+  int retry_delay_ms = 200;
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions options);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One request→response round trip; connects (with retries) on first use
+  /// and reconnects after a broken connection. Throws std::runtime_error on
+  /// connect exhaustion, I/O timeout, or an undecodable reply.
+  [[nodiscard]] Message call(const Message& request);
+
+  // Convenience wrappers over call().
+  [[nodiscard]] Message submit(const std::string& tenant, const std::string& spec_text);
+  [[nodiscard]] Message cancel(std::uint64_t id);
+  [[nodiscard]] Message status(std::uint64_t id);
+  [[nodiscard]] Message list(const std::string& tenant = "");
+  [[nodiscard]] Message fetch(std::uint64_t id, ArtifactKind kind);
+  [[nodiscard]] Message metrics();
+  [[nodiscard]] Message shutdown();
+
+ private:
+  void connect();
+  void disconnect();
+  void send_all(const std::uint8_t* data, std::size_t size);
+  void recv_all(std::uint8_t* data, std::size_t size);
+
+  ClientOptions options_;
+  int fd_ = -1;
+};
+
+}  // namespace hyperdrive::svc

@@ -1,0 +1,277 @@
+#include "svc/protocol.hpp"
+
+#include <cstring>
+
+#include "util/bytes.hpp"
+
+namespace hyperdrive::svc {
+
+namespace {
+
+using cluster::SnapshotDecodeError;
+
+/// Smallest possible encoding of one StudyInfo (three empty strings): the
+/// hostile-count bound for ListResult entries.
+constexpr std::size_t kMinStudyInfoBytes = 8 + 4 + 4 + 1 + 4 + 8 + 1 + 8 + 8;
+
+void write_info(util::ByteWriter& w, const StudyInfo& info) {
+  w.u64(info.id);
+  w.str(info.tenant);
+  w.str(info.study_name);
+  w.u8(static_cast<std::uint8_t>(info.state));
+  w.str(info.detail);
+  w.f64(info.best_perf);
+  w.u8(info.reached_target ? 1 : 0);
+  w.f64(info.time_to_target_s);
+  w.f64(info.total_time_s);
+}
+
+bool valid_state(std::uint8_t v) noexcept {
+  return v <= static_cast<std::uint8_t>(StudyState::Failed);
+}
+
+/// Reads one StudyInfo; nullopt-style bool return, sets `error` on failure.
+bool read_info(util::ByteReader& r, StudyInfo& info, SnapshotDecodeError& error) {
+  std::uint8_t state = 0;
+  std::uint8_t reached = 0;
+  if (!r.u64(info.id) || !r.str(info.tenant) || !r.str(info.study_name) || !r.u8(state) ||
+      !r.str(info.detail) || !r.f64(info.best_perf) || !r.u8(reached) ||
+      !r.f64(info.time_to_target_s) || !r.f64(info.total_time_s)) {
+    error = SnapshotDecodeError::Truncated;
+    return false;
+  }
+  if (!valid_state(state) || reached > 1) {
+    error = SnapshotDecodeError::Malformed;
+    return false;
+  }
+  info.state = static_cast<StudyState>(state);
+  info.reached_target = reached == 1;
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(StudyState state) noexcept {
+  switch (state) {
+    case StudyState::Queued: return "queued";
+    case StudyState::Running: return "running";
+    case StudyState::Finished: return "finished";
+    case StudyState::Cancelled: return "cancelled";
+    case StudyState::Failed: return "failed";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_message(const Message& m) {
+  util::ByteWriter w;
+  w.u32(kProtocolMagic);
+  w.u32(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(m.type));
+  switch (m.type) {
+    case MsgType::Submit:
+      w.str(m.tenant);
+      w.str(m.text);
+      break;
+    case MsgType::Cancel:
+    case MsgType::Status:
+      w.u64(m.id);
+      break;
+    case MsgType::List:
+      w.str(m.tenant);
+      break;
+    case MsgType::Fetch:
+      w.u64(m.id);
+      w.u8(static_cast<std::uint8_t>(m.artifact));
+      break;
+    case MsgType::Metrics:
+    case MsgType::Shutdown:
+    case MsgType::Ok:
+      break;
+    case MsgType::Submitted:
+      w.u64(m.id);
+      w.u8(static_cast<std::uint8_t>(m.state));
+      w.u32(m.position);
+      break;
+    case MsgType::Rejected:
+    case MsgType::Artifact:
+    case MsgType::MetricsText:
+    case MsgType::Error:
+      w.str(m.text);
+      break;
+    case MsgType::StatusInfo:
+      write_info(w, m.info);
+      break;
+    case MsgType::ListResult:
+      w.u32(static_cast<std::uint32_t>(m.studies.size()));
+      for (const StudyInfo& info : m.studies) write_info(w, info);
+      break;
+  }
+  const std::uint32_t crc = cluster::crc32(w.bytes().data(), w.size());
+  w.u32(crc);
+  return std::move(w.bytes());
+}
+
+std::vector<std::uint8_t> encode_frame(const Message& m) {
+  std::vector<std::uint8_t> payload = encode_message(m);
+  util::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload.data(), payload.size());
+  return std::move(w.bytes());
+}
+
+MessageDecodeResult decode_message(const std::uint8_t* data, std::size_t size) {
+  const auto fail = [](SnapshotDecodeError error) {
+    MessageDecodeResult r;
+    r.error = error;
+    return r;
+  };
+
+  // Frame tail first: the CRC is over everything before it, so a payload too
+  // small to even hold header + CRC is truncated, and a checksum mismatch is
+  // reported before any field is trusted.
+  if (size < 4 + 4 + 1 + 4) return fail(SnapshotDecodeError::Truncated);
+  util::ByteReader r(data, size - 4);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint8_t type = 0;
+  if (!r.u32(magic)) return fail(SnapshotDecodeError::Truncated);
+  if (magic != kProtocolMagic) return fail(SnapshotDecodeError::BadMagic);
+  if (!r.u32(version)) return fail(SnapshotDecodeError::Truncated);
+  if (version != kProtocolVersion) return fail(SnapshotDecodeError::UnknownVersion);
+  {
+    std::uint32_t stored = 0;
+    util::ByteReader tail(data + size - 4, 4);
+    (void)tail.u32(stored);
+    if (stored != cluster::crc32(data, size - 4)) {
+      return fail(SnapshotDecodeError::BadChecksum);
+    }
+  }
+  if (!r.u8(type)) return fail(SnapshotDecodeError::Truncated);
+
+  Message m;
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::Submit:
+      m.type = MsgType::Submit;
+      if (!r.str(m.tenant) || !r.str(m.text)) return fail(SnapshotDecodeError::Truncated);
+      break;
+    case MsgType::Cancel:
+    case MsgType::Status:
+      m.type = static_cast<MsgType>(type);
+      if (!r.u64(m.id)) return fail(SnapshotDecodeError::Truncated);
+      break;
+    case MsgType::List:
+      m.type = MsgType::List;
+      if (!r.str(m.tenant)) return fail(SnapshotDecodeError::Truncated);
+      break;
+    case MsgType::Fetch: {
+      m.type = MsgType::Fetch;
+      std::uint8_t what = 0;
+      if (!r.u64(m.id) || !r.u8(what)) return fail(SnapshotDecodeError::Truncated);
+      if (what > static_cast<std::uint8_t>(ArtifactKind::TimelineCsv)) {
+        return fail(SnapshotDecodeError::Malformed);
+      }
+      m.artifact = static_cast<ArtifactKind>(what);
+      break;
+    }
+    case MsgType::Metrics:
+    case MsgType::Shutdown:
+    case MsgType::Ok:
+      m.type = static_cast<MsgType>(type);
+      break;
+    case MsgType::Submitted: {
+      m.type = MsgType::Submitted;
+      std::uint8_t state = 0;
+      if (!r.u64(m.id) || !r.u8(state) || !r.u32(m.position)) {
+        return fail(SnapshotDecodeError::Truncated);
+      }
+      if (!valid_state(state)) return fail(SnapshotDecodeError::Malformed);
+      m.state = static_cast<StudyState>(state);
+      break;
+    }
+    case MsgType::Rejected:
+    case MsgType::Artifact:
+    case MsgType::MetricsText:
+    case MsgType::Error:
+      m.type = static_cast<MsgType>(type);
+      if (!r.str(m.text)) return fail(SnapshotDecodeError::Truncated);
+      break;
+    case MsgType::StatusInfo: {
+      m.type = MsgType::StatusInfo;
+      SnapshotDecodeError error{};
+      if (!read_info(r, m.info, error)) return fail(error);
+      break;
+    }
+    case MsgType::ListResult: {
+      m.type = MsgType::ListResult;
+      std::uint32_t count = 0;
+      if (!r.u32(count)) return fail(SnapshotDecodeError::Truncated);
+      // Hostile-count bound: every entry needs at least kMinStudyInfoBytes,
+      // so a count the remaining payload cannot possibly hold is rejected
+      // here — before the vector reserves anything.
+      if (count > r.remaining() / kMinStudyInfoBytes) {
+        return fail(SnapshotDecodeError::Malformed);
+      }
+      m.studies.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        StudyInfo info;
+        SnapshotDecodeError error{};
+        if (!read_info(r, info, error)) return fail(error);
+        m.studies.push_back(std::move(info));
+      }
+      break;
+    }
+    default:
+      return fail(SnapshotDecodeError::Malformed);
+  }
+
+  if (r.remaining() != 0) return fail(SnapshotDecodeError::TrailingGarbage);
+  MessageDecodeResult result;
+  result.message = std::move(m);
+  return result;
+}
+
+MessageDecodeResult decode_message(const std::vector<std::uint8_t>& payload) {
+  return decode_message(payload.data(), payload.size());
+}
+
+FrameReader::FrameReader(std::size_t max_frame_bytes) : max_frame_bytes_(max_frame_bytes) {}
+
+bool FrameReader::feed(const std::uint8_t* data, std::size_t size,
+                       std::vector<std::vector<std::uint8_t>>& out) {
+  if (poisoned_) return false;
+  std::size_t pos = 0;
+  while (pos < size) {
+    if (!have_length_) {
+      while (buffer_.size() < 4 && pos < size) buffer_.push_back(data[pos++]);
+      if (buffer_.size() < 4) return true;  // header still incomplete
+      payload_length_ = 0;
+      for (int i = 0; i < 4; ++i) {
+        payload_length_ |= static_cast<std::uint32_t>(buffer_[static_cast<std::size_t>(i)])
+                           << (8 * i);
+      }
+      if (payload_length_ > max_frame_bytes_) {
+        // The bound check happens before any payload buffer is reserved: a
+        // hostile 4 GiB prefix poisons the stream at the cost of 4 bytes.
+        poisoned_ = true;
+        buffer_.clear();
+        return false;
+      }
+      buffer_.clear();
+      buffer_.reserve(payload_length_);
+      have_length_ = true;
+    }
+    const std::size_t want = payload_length_ - buffer_.size();
+    const std::size_t take = std::min(want, size - pos);
+    buffer_.insert(buffer_.end(), data + pos, data + pos + take);
+    pos += take;
+    if (buffer_.size() == payload_length_) {
+      out.push_back(std::move(buffer_));
+      buffer_ = {};
+      have_length_ = false;
+      payload_length_ = 0;
+    }
+  }
+  return true;
+}
+
+}  // namespace hyperdrive::svc

@@ -224,12 +224,23 @@ TEST(WarmStartTest, LongestStoredPrefixWins) {
   EXPECT_EQ(inner->seeded_from[2], 4);  // the 4-epoch state, not the 2-epoch one
 }
 
-TEST(WarmStartTest, OffByDefaultAndForNonPrefixHistories) {
+TEST(WarmStartTest, OnByDefaultAndColdForNonPrefixHistories) {
   auto inner = std::make_shared<RecordingWarmPredictor>();
-  // Default options: plain cache, no warm seeding even though the inner
-  // predictor is warm-startable.
-  CachingPredictor plain(inner, 8);
+  // Default options (including the legacy capacity-only constructor): warm
+  // seeding engages for a warm-startable inner — the 30-seed property test
+  // below is what licenses this default.
+  CachingPredictor defaulted(inner, 8);
   const std::vector<double> future = {50.0};
+  (void)defaulted.predict(std::vector<double>{0.1, 0.2}, future, 120.0);
+  (void)defaulted.predict(std::vector<double>{0.1, 0.2, 0.3}, future, 120.0);
+  EXPECT_EQ(inner->seeded_from, (std::vector<long>{-1, 2}));
+  EXPECT_EQ(defaulted.warm_hits(), 1u);
+
+  // Opting out still yields a plain cache.
+  inner->seeded_from.clear();
+  CachingOptions off;
+  off.warm_start = false;
+  CachingPredictor plain(inner, off);
   (void)plain.predict(std::vector<double>{0.1, 0.2}, future, 120.0);
   (void)plain.predict(std::vector<double>{0.1, 0.2, 0.3}, future, 120.0);
   EXPECT_EQ(inner->seeded_from, (std::vector<long>{-1, -1}));

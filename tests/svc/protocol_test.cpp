@@ -1,0 +1,365 @@
+// Wire-protocol codec tests (DESIGN.md §14): round-trips for every message
+// type, the hostile-input taxonomy (truncation, bad magic/version/checksum,
+// trailing garbage, malformed fields, oversized counts — all rejected before
+// allocation), incremental framing, and a deterministic mutation fuzz pass.
+#include "svc/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cluster/snapshot_codec.hpp"
+#include "util/bytes.hpp"
+
+namespace hyperdrive::svc {
+namespace {
+
+using cluster::SnapshotDecodeError;
+
+StudyInfo sample_info(std::uint64_t id) {
+  StudyInfo info;
+  info.id = id;
+  info.tenant = "alice";
+  info.study_name = "prod-cifar";
+  info.state = StudyState::Finished;
+  info.detail = "done";
+  info.best_perf = 0.923;
+  info.reached_target = true;
+  info.time_to_target_s = 1234.5;
+  info.total_time_s = 2345.75;
+  return info;
+}
+
+std::vector<Message> sample_messages() {
+  std::vector<Message> out;
+  {
+    Message m;
+    m.type = MsgType::Submit;
+    m.tenant = "alice";
+    m.text = "study s\nworkload cifar10\n";
+    out.push_back(m);
+  }
+  {
+    Message m;
+    m.type = MsgType::Cancel;
+    m.id = 42;
+    out.push_back(m);
+  }
+  {
+    Message m;
+    m.type = MsgType::Status;
+    m.id = 7;
+    out.push_back(m);
+  }
+  {
+    Message m;
+    m.type = MsgType::List;
+    m.tenant = "bob";
+    out.push_back(m);
+  }
+  {
+    Message m;
+    m.type = MsgType::Fetch;
+    m.id = 3;
+    m.artifact = ArtifactKind::TimelineCsv;
+    out.push_back(m);
+  }
+  {
+    Message m;
+    m.type = MsgType::Metrics;
+    out.push_back(m);
+  }
+  {
+    Message m;
+    m.type = MsgType::Shutdown;
+    out.push_back(m);
+  }
+  {
+    Message m;
+    m.type = MsgType::Submitted;
+    m.id = 9;
+    m.state = StudyState::Queued;
+    m.position = 4;
+    out.push_back(m);
+  }
+  {
+    Message m;
+    m.type = MsgType::Rejected;
+    m.text = "server-full: running=4/4 queued=16/16";
+    out.push_back(m);
+  }
+  {
+    Message m;
+    m.type = MsgType::StatusInfo;
+    m.info = sample_info(11);
+    out.push_back(m);
+  }
+  {
+    Message m;
+    m.type = MsgType::ListResult;
+    m.studies = {sample_info(1), sample_info(2), sample_info(3)};
+    out.push_back(m);
+  }
+  {
+    Message m;
+    m.type = MsgType::Artifact;
+    m.text = "study,best\nprod,0.92\n";
+    out.push_back(m);
+  }
+  {
+    Message m;
+    m.type = MsgType::MetricsText;
+    m.text = "metric,type,value\n";
+    out.push_back(m);
+  }
+  {
+    Message m;
+    m.type = MsgType::Error;
+    m.text = "unknown id 99";
+    out.push_back(m);
+  }
+  {
+    Message m;
+    m.type = MsgType::Ok;
+    out.push_back(m);
+  }
+  return out;
+}
+
+/// Hand-build a payload with an arbitrary body and a *valid* CRC, so tests
+/// reach the field-validation layer (not the checksum gate).
+std::vector<std::uint8_t> raw_payload(std::uint8_t type,
+                                      const std::vector<std::uint8_t>& body) {
+  util::ByteWriter w;
+  w.u32(kProtocolMagic);
+  w.u32(kProtocolVersion);
+  w.u8(type);
+  w.raw(body.data(), body.size());
+  w.u32(cluster::crc32(w.bytes().data(), w.size()));
+  return std::move(w.bytes());
+}
+
+TEST(SvcProtocolTest, EveryMessageTypeRoundTrips) {
+  for (const Message& m : sample_messages()) {
+    const auto payload = encode_message(m);
+    const MessageDecodeResult decoded = decode_message(payload);
+    ASSERT_TRUE(decoded.message.has_value())
+        << "type " << static_cast<int>(m.type) << ": "
+        << (decoded.error ? cluster::to_string(*decoded.error) : "?");
+    EXPECT_EQ(*decoded.message, m) << "type " << static_cast<int>(m.type);
+  }
+}
+
+TEST(SvcProtocolTest, EncodeFramePrefixesPayloadLength) {
+  Message m;
+  m.type = MsgType::Cancel;
+  m.id = 5;
+  const auto payload = encode_message(m);
+  const auto frame = encode_frame(m);
+  ASSERT_EQ(frame.size(), payload.size() + 4);
+  std::uint32_t length = 0;
+  util::ByteReader r(frame.data(), 4);
+  ASSERT_TRUE(r.u32(length));
+  EXPECT_EQ(length, payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), frame.begin() + 4));
+}
+
+TEST(SvcProtocolTest, EveryTruncationIsRejected) {
+  for (const Message& m : sample_messages()) {
+    const auto payload = encode_message(m);
+    for (std::size_t len = 0; len < payload.size(); ++len) {
+      const MessageDecodeResult decoded = decode_message(payload.data(), len);
+      ASSERT_TRUE(decoded.error.has_value())
+          << "type " << static_cast<int>(m.type) << " prefix " << len;
+      if (len < 13) {
+        EXPECT_EQ(*decoded.error, SnapshotDecodeError::Truncated) << "prefix " << len;
+      }
+    }
+  }
+}
+
+TEST(SvcProtocolTest, BadMagicBadVersionBadChecksum) {
+  Message m;
+  m.type = MsgType::Status;
+  m.id = 1;
+  auto payload = encode_message(m);
+
+  auto bad_magic = payload;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_EQ(decode_message(bad_magic).error, SnapshotDecodeError::BadMagic);
+
+  auto bad_version = payload;
+  bad_version[4] = 0x7F;
+  EXPECT_EQ(decode_message(bad_version).error, SnapshotDecodeError::UnknownVersion);
+
+  auto bad_crc = payload;
+  bad_crc[9] ^= 0x01;  // a body byte: magic/version intact, checksum breaks
+  EXPECT_EQ(decode_message(bad_crc).error, SnapshotDecodeError::BadChecksum);
+}
+
+TEST(SvcProtocolTest, TrailingGarbageIsRejected) {
+  util::ByteWriter body;
+  body.u64(42);
+  auto bytes = body.bytes();
+  bytes.push_back(0x00);  // one byte past the Cancel body
+  const auto payload = raw_payload(static_cast<std::uint8_t>(MsgType::Cancel), bytes);
+  EXPECT_EQ(decode_message(payload).error, SnapshotDecodeError::TrailingGarbage);
+}
+
+TEST(SvcProtocolTest, UnknownTypeIsMalformed) {
+  EXPECT_EQ(decode_message(raw_payload(0x2A, {})).error, SnapshotDecodeError::Malformed);
+}
+
+TEST(SvcProtocolTest, InvalidEnumFieldsAreMalformed) {
+  {
+    util::ByteWriter body;  // Fetch with an unknown artifact kind
+    body.u64(1);
+    body.u8(9);
+    const auto payload =
+        raw_payload(static_cast<std::uint8_t>(MsgType::Fetch), body.bytes());
+    EXPECT_EQ(decode_message(payload).error, SnapshotDecodeError::Malformed);
+  }
+  {
+    util::ByteWriter body;  // Submitted with an out-of-range state
+    body.u64(1);
+    body.u8(99);
+    body.u32(0);
+    const auto payload =
+        raw_payload(static_cast<std::uint8_t>(MsgType::Submitted), body.bytes());
+    EXPECT_EQ(decode_message(payload).error, SnapshotDecodeError::Malformed);
+  }
+}
+
+TEST(SvcProtocolTest, HostileListCountRejectedBeforeAllocation) {
+  // A ListResult claiming 4 billion entries in a 4-byte body: the count gate
+  // (remaining / min-entry-size) must reject it before reserve() is reached.
+  util::ByteWriter body;
+  body.u32(0xFFFFFFFFu);
+  const auto payload =
+      raw_payload(static_cast<std::uint8_t>(MsgType::ListResult), body.bytes());
+  EXPECT_EQ(decode_message(payload).error, SnapshotDecodeError::Malformed);
+}
+
+TEST(SvcProtocolTest, HostileStringLengthRejected) {
+  // A Submit whose tenant string claims to be 256 MiB long inside a tiny
+  // payload: ByteReader's bound check fires before any assign.
+  util::ByteWriter body;
+  body.u32(0x10000000u);
+  const auto payload =
+      raw_payload(static_cast<std::uint8_t>(MsgType::Submit), body.bytes());
+  EXPECT_EQ(decode_message(payload).error, SnapshotDecodeError::Truncated);
+}
+
+// --- FrameReader -------------------------------------------------------------
+
+TEST(SvcFrameReaderTest, ReassemblesByteAtATime) {
+  Message m;
+  m.type = MsgType::Submit;
+  m.tenant = "alice";
+  m.text = "study s\n";
+  const auto frame = encode_frame(m);
+  FrameReader reader;
+  std::vector<std::vector<std::uint8_t>> out;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    ASSERT_TRUE(reader.feed(&frame[i], 1, out));
+  }
+  ASSERT_EQ(out.size(), 1u);
+  const MessageDecodeResult decoded = decode_message(out[0]);
+  ASSERT_TRUE(decoded.message.has_value());
+  EXPECT_EQ(*decoded.message, m);
+}
+
+TEST(SvcFrameReaderTest, SplitsCoalescedFrames) {
+  Message a;
+  a.type = MsgType::Cancel;
+  a.id = 1;
+  Message b;
+  b.type = MsgType::Status;
+  b.id = 2;
+  auto wire = encode_frame(a);
+  const auto fb = encode_frame(b);
+  wire.insert(wire.end(), fb.begin(), fb.end());
+
+  FrameReader reader;
+  std::vector<std::vector<std::uint8_t>> out;
+  ASSERT_TRUE(reader.feed(wire.data(), wire.size(), out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(*decode_message(out[0]).message, a);
+  EXPECT_EQ(*decode_message(out[1]).message, b);
+  EXPECT_EQ(reader.pending(), 0u);
+}
+
+TEST(SvcFrameReaderTest, OversizedLengthPrefixPoisonsWithoutAllocation) {
+  // 0xFFFFFFFF length prefix: feed() must refuse at the 4-byte header, keep
+  // no buffered payload, and stay poisoned for all subsequent bytes.
+  const std::uint8_t hostile[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+  FrameReader reader;
+  std::vector<std::vector<std::uint8_t>> out;
+  EXPECT_FALSE(reader.feed(hostile, sizeof hostile, out));
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(reader.pending(), 0u);
+  const std::uint8_t more = 0x00;
+  EXPECT_FALSE(reader.feed(&more, 1, out));
+}
+
+TEST(SvcFrameReaderTest, BoundaryLengthIsAccepted) {
+  FrameReader reader(/*max_frame_bytes=*/8);
+  util::ByteWriter w;
+  w.u32(8);
+  const std::uint8_t body[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  w.raw(body, sizeof body);
+  std::vector<std::vector<std::uint8_t>> out;
+  ASSERT_TRUE(reader.feed(w.bytes().data(), w.size(), out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size(), 8u);
+
+  FrameReader tight(/*max_frame_bytes=*/7);
+  out.clear();
+  EXPECT_FALSE(tight.feed(w.bytes().data(), w.size(), out));
+}
+
+// --- deterministic mutation fuzz ---------------------------------------------
+
+TEST(SvcProtocolFuzzTest, MutatedPayloadsNeverCrashTheDecoder) {
+  const auto samples = sample_messages();
+  std::mt19937_64 rng(0xC0FFEEu);  // fixed seed: the corpus is reproducible
+  std::size_t rejected = 0;
+  std::size_t accepted = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    auto payload = encode_message(samples[iter % samples.size()]);
+    const int flips = 1 + static_cast<int>(rng() % 8);
+    for (int f = 0; f < flips; ++f) {
+      payload[rng() % payload.size()] ^=
+          static_cast<std::uint8_t>(1u << (rng() % 8));
+    }
+    if (rng() % 4 == 0) payload.resize(rng() % (payload.size() + 1));
+    const MessageDecodeResult decoded = decode_message(payload);
+    // Exactly one of {message, error}; never both, never neither, never a
+    // crash or a hostile allocation.
+    EXPECT_NE(decoded.message.has_value(), decoded.error.has_value());
+    decoded.message.has_value() ? ++accepted : ++rejected;
+  }
+  // CRC-protected payloads shrug off nearly every mutation.
+  EXPECT_GT(rejected, 1900u);
+}
+
+TEST(SvcProtocolFuzzTest, RandomGarbageStreamsNeverCrashTheFrameReader) {
+  std::mt19937_64 rng(0xFEEDu);
+  for (int iter = 0; iter < 200; ++iter) {
+    FrameReader reader;
+    std::vector<std::vector<std::uint8_t>> out;
+    bool alive = true;
+    for (int chunk = 0; alive && chunk < 16; ++chunk) {
+      std::vector<std::uint8_t> bytes(rng() % 64);
+      for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+      alive = reader.feed(bytes.data(), bytes.size(), out);
+    }
+    for (const auto& payload : out) {
+      const MessageDecodeResult decoded = decode_message(payload);
+      EXPECT_NE(decoded.message.has_value(), decoded.error.has_value());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hyperdrive::svc

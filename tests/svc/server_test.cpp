@@ -1,0 +1,218 @@
+// Server tests (DESIGN.md §14): the full TCP loop — Client against an
+// ephemeral-port Server over loopback — plus raw-socket hostile input
+// (garbage frames answered with a typed Error and dropped; oversized length
+// prefixes dropped without a reply) and client connect-retry semantics.
+#include "svc/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "svc/client.hpp"
+
+namespace hyperdrive::svc {
+namespace {
+
+const char* kSpecAlpha =
+    "study alpha\n"
+    "workload cifar10\n"
+    "policy pop\n"
+    "configs 6\n"
+    "seed 7\n";
+
+std::filesystem::path fresh_dir(const std::string& name) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+ServiceOptions small_service(const std::string& state_dir) {
+  ServiceOptions o;
+  o.machines = 4;
+  o.seed = 5;
+  o.state_dir = state_dir;
+  o.checkpoint_every_s = 300.0;
+  o.admission.max_running = 2;
+  o.admission.max_queued = 4;
+  return o;
+}
+
+/// A Server + StudyService pair on an ephemeral loopback port.
+struct TestServer {
+  explicit TestServer(ServiceOptions sopts, ServerOptions server_opts = {})
+      : service(std::move(sopts)), server(service, std::move(server_opts)) {
+    server.start();
+  }
+  ~TestServer() {
+    server.request_stop();
+    server.wait_shutdown();
+    service.stop();
+  }
+  Client client() const {
+    ClientOptions c;
+    c.port = server.port();
+    c.retries = 3;
+    return Client(c);
+  }
+  StudyService service;
+  Server server;
+};
+
+/// Raw blocking loopback socket, for speaking hostile bytes to the server.
+struct RawConn {
+  explicit RawConn(std::uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    timeval tv{};
+    tv.tv_sec = 10;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  ~RawConn() {
+    if (fd >= 0) ::close(fd);
+  }
+  void send_bytes(const void* data, std::size_t size) const {
+    EXPECT_EQ(::send(fd, data, size, 0), static_cast<ssize_t>(size));
+  }
+  /// Reads until EOF (server closed) or timeout; returns everything seen.
+  std::string drain() const {
+    std::string all;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      all.append(buf, static_cast<std::size_t>(n));
+    }
+    return all;
+  }
+  int fd = -1;
+};
+
+TEST(SvcServerTest, FullClientLoopOverLoopback) {
+  TestServer ts(small_service(fresh_dir("svc_server_loop").string()));
+  Client client = ts.client();
+
+  const Message submitted = client.submit("alice", kSpecAlpha);
+  ASSERT_EQ(submitted.type, MsgType::Submitted);
+  EXPECT_EQ(submitted.id, 1u);
+
+  ts.service.wait_idle();
+
+  const Message status = client.status(1);
+  ASSERT_EQ(status.type, MsgType::StatusInfo);
+  EXPECT_EQ(status.info.state, StudyState::Finished);
+  EXPECT_EQ(status.info.tenant, "alice");
+  EXPECT_GT(status.info.best_perf, 0.0);
+
+  const Message listed = client.list();
+  ASSERT_EQ(listed.type, MsgType::ListResult);
+  ASSERT_EQ(listed.studies.size(), 1u);
+  EXPECT_EQ(listed.studies[0].study_name, "alpha");
+
+  const Message result = client.fetch(1, ArtifactKind::ResultCsv);
+  ASSERT_EQ(result.type, MsgType::Artifact);
+  EXPECT_NE(result.text.find("study"), std::string::npos);
+  const Message timeline = client.fetch(1, ArtifactKind::TimelineCsv);
+  ASSERT_EQ(timeline.type, MsgType::Artifact);
+  EXPECT_FALSE(timeline.text.empty());
+
+  // Unknown ids answer with a typed Error, not a dropped connection.
+  const Message missing = client.status(42);
+  ASSERT_EQ(missing.type, MsgType::Error);
+  EXPECT_EQ(missing.text, "unknown id 42");
+}
+
+TEST(SvcServerTest, RejectionAndCancelPropagateOverTheWire) {
+  ServiceOptions sopts = small_service(fresh_dir("svc_server_reject").string());
+  sopts.admission.max_running = 0;  // everything queues
+  sopts.admission.max_queued = 1;
+  TestServer ts(std::move(sopts));
+  Client client = ts.client();
+
+  ASSERT_EQ(client.submit("alice", kSpecAlpha).type, MsgType::Submitted);
+  const Message rejected = client.submit("bob", kSpecAlpha);
+  ASSERT_EQ(rejected.type, MsgType::Rejected);
+  EXPECT_EQ(rejected.text, "server-full: running=0/0 queued=1/1");
+
+  const Message cancelled = client.cancel(1);
+  EXPECT_EQ(cancelled.type, MsgType::Ok);
+  const Message again = client.cancel(1);
+  ASSERT_EQ(again.type, MsgType::Error);
+  EXPECT_EQ(again.text, "already cancelled");
+}
+
+TEST(SvcServerTest, MetricsRequestReturnsPinnedSnapshot) {
+  obs::MetricsRegistry registry;
+  preregister_service_metrics(registry);
+  ServiceOptions sopts = small_service(fresh_dir("svc_server_metrics").string());
+  sopts.obs.metrics = &registry;
+  ServerOptions server_opts;
+  server_opts.metrics = &registry;
+  TestServer ts(std::move(sopts), std::move(server_opts));
+  Client client = ts.client();
+
+  ASSERT_EQ(client.submit("alice", kSpecAlpha).type, MsgType::Submitted);
+  ts.service.wait_idle();
+  const Message metrics = client.metrics();
+  ASSERT_EQ(metrics.type, MsgType::MetricsText);
+  EXPECT_NE(metrics.text.find("svc.submissions,counter,1"), std::string::npos)
+      << metrics.text;
+  EXPECT_NE(metrics.text.find("svc.completed,counter,1"), std::string::npos);
+  // The server-side transport counters tick too.
+  EXPECT_NE(metrics.text.find("svc.frames_rx,counter,"), std::string::npos);
+}
+
+TEST(SvcServerTest, GarbagePayloadGetsErrorReplyThenClose) {
+  TestServer ts(small_service(""));
+  RawConn raw(ts.server.port());
+  // A well-framed payload of garbage: length says 16, bytes are noise. The
+  // decoder rejects it (BadMagic) and the server answers with an Error frame
+  // before dropping the connection.
+  std::uint8_t frame[20] = {16, 0, 0, 0};
+  std::memset(frame + 4, 0xAB, 16);
+  raw.send_bytes(frame, sizeof(frame));
+  const std::string reply = raw.drain();  // reads until server closes
+  ASSERT_FALSE(reply.empty());
+  EXPECT_NE(reply.find("decode-error: bad-magic"), std::string::npos);
+}
+
+TEST(SvcServerTest, OversizedLengthPrefixIsDroppedWithoutReply) {
+  TestServer ts(small_service(""));
+  RawConn raw(ts.server.port());
+  const std::uint8_t huge[4] = {0xFF, 0xFF, 0xFF, 0xFF};  // 4 GiB "frame"
+  raw.send_bytes(huge, sizeof(huge));
+  // The framing is untrustworthy, so the server hangs up with no bytes.
+  EXPECT_EQ(raw.drain(), "");
+}
+
+TEST(SvcServerTest, ShutdownMessageStopsTheServer) {
+  TestServer ts(small_service(""));
+  Client client = ts.client();
+  const Message reply = client.shutdown();
+  EXPECT_EQ(reply.type, MsgType::Ok);
+  ts.server.wait_shutdown();  // returns because the loop exited
+}
+
+TEST(SvcServerTest, ClientConnectFailureThrowsAfterRetries) {
+  ClientOptions c;
+  c.port = 1;  // nothing listens here
+  c.retries = 2;
+  c.retry_delay_ms = 10;
+  c.connect_timeout_ms = 200;
+  Client client(c);
+  EXPECT_THROW((void)client.status(1), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hyperdrive::svc

@@ -1,0 +1,167 @@
+#!/usr/bin/env bash
+# End-to-end service smoke (DESIGN.md §14, CI "serve-smoke" job): run
+# hyperdrive_serve through its whole durability story — submit studies from
+# several tenants, SIGKILL the server mid-flight, restart it, and
+# byte-compare every resumed study's result and timeline CSVs against batch
+# mode (hyperdrive_cli) at the same checkpoint cadence.
+#
+#   tools/serve_smoke.sh [build-dir] [work-dir]
+#
+#   build-dir   directory holding cli/hyperdrive_serve, cli/hyperdrive_cli
+#               and tools/hyperdrive_client (default: build)
+#   work-dir    scratch directory (default: a fresh mktemp -d, removed on exit)
+#
+# Three phases make the crash deterministic:
+#   1. a gate incarnation (--max-running 0) journals every submission without
+#      running any, then shuts down cleanly — the durable queue is now fixed
+#      regardless of submission timing;
+#   2. a doomed incarnation (--max-running 1 --kill-after-checkpoints 3)
+#      resumes the queue one study at a time and dies by SIGKILL after the
+#      3rd durable checkpoint write;
+#   3. a final incarnation resumes everything, finishes all studies, and
+#      serves the artifacts for the byte-comparison.
+#
+# Exit 0 only if: the doomed server actually died by SIGKILL (137), left
+# checkpoint frames behind, the final server resumed every submission, and
+# all artifacts are byte-identical to the batch references.
+set -euo pipefail
+
+BUILD="${1:-build}"
+SERVE="${BUILD}/cli/hyperdrive_serve"
+CLI="${BUILD}/cli/hyperdrive_cli"
+CLIENT="${BUILD}/tools/hyperdrive_client"
+for bin in "${SERVE}" "${CLI}" "${CLIENT}"; do
+  if [[ ! -x "${bin}" ]]; then
+    echo "error: ${bin} not found or not executable (build first)" >&2
+    exit 2
+  fi
+done
+SERVE="$(cd "$(dirname "${SERVE}")" && pwd)/$(basename "${SERVE}")"
+CLI="$(cd "$(dirname "${CLI}")" && pwd)/$(basename "${CLI}")"
+CLIENT="$(cd "$(dirname "${CLIENT}")" && pwd)/$(basename "${CLIENT}")"
+
+CLEANUP=0
+if [[ $# -ge 2 ]]; then
+  WORK="$2"
+  mkdir -p "${WORK}"
+else
+  WORK="$(mktemp -d)"
+  CLEANUP=1
+fi
+SERVER_PID=""
+trap '[[ -n "${SERVER_PID}" ]] && kill -9 "${SERVER_PID}" 2>/dev/null;
+      [[ ${CLEANUP} -eq 1 ]] && rm -rf "${WORK}"' EXIT
+cd "${WORK}"
+
+# The service fixes machines/seed server-side; batch references must match.
+MACHINES=6
+SEED=5
+EVERY=300
+
+cat > alpha.study <<'EOF'
+study alpha
+workload cifar10
+policy pop
+configs 12
+seed 7
+EOF
+cat > beta.study <<'EOF'
+study beta
+workload ptb_lstm
+policy bandit
+configs 10
+seed 9
+EOF
+cat > gamma.study <<'EOF'
+study gamma
+workload cifar10
+policy hyperband
+configs 8
+seed 11
+EOF
+
+echo ">>> batch references (hyperdrive_cli, same machines/seed/cadence)"
+for s in alpha beta gamma; do
+  "${CLI}" --study "${s}.study" --machines ${MACHINES} --seed ${SEED} \
+    --checkpoint-out "ref-ckpt-${s}" --checkpoint-every ${EVERY} \
+    --csv "ref-${s}.csv" --trace-out "ref-${s}-trace.csv" > "ref-${s}.log"
+done
+
+spawn_server() {  # spawn_server <label> <extra flags...>; sets SERVER_PID
+  local label="$1"
+  shift
+  rm -f port
+  "${SERVE}" --state-dir state --port 0 --port-file port \
+    --machines ${MACHINES} --seed ${SEED} --checkpoint-every ${EVERY} \
+    --arbitration fair "$@" > "server-${label}.log" 2>&1 &
+  SERVER_PID=$!
+}
+
+start_server() {  # spawn_server + wait for the port file; sets PORT
+  spawn_server "$@"
+  for _ in $(seq 1 100); do
+    [[ -s port ]] && break
+    sleep 0.1
+  done
+  [[ -s port ]] || { echo "error: server never wrote its port file" >&2; exit 1; }
+  PORT="$(cat port)"
+}
+
+echo ">>> phase 1: gate server (--max-running 0) journals 3 submissions, 2 tenants"
+start_server gate --max-running 0
+"${CLIENT}" --port "${PORT}" submit --tenant alice --spec alpha.study
+"${CLIENT}" --port "${PORT}" submit --tenant alice --spec beta.study
+"${CLIENT}" --port "${PORT}" submit --tenant bob --spec gamma.study
+"${CLIENT}" --port "${PORT}" list
+"${CLIENT}" --port "${PORT}" shutdown
+wait "${SERVER_PID}"
+SERVER_PID=""
+for id in 1 2 3; do
+  [[ -f "state/sub-${id}/spec.study" ]] || {
+    echo "error: submission ${id} was not journaled" >&2; exit 1; }
+done
+echo "    3 submissions journaled durably"
+
+echo ">>> phase 2: doomed server (--max-running 1, SIGKILL after 3 checkpoints)"
+# No port wait here: resume starts running submission 1 inside the service
+# constructor, so the SIGKILL can land before the listener even comes up.
+spawn_server doomed --max-running 1 --kill-after-checkpoints 3
+set +e
+wait "${SERVER_PID}"
+CRASH_EXIT=$?
+set -e
+SERVER_PID=""
+if [[ ${CRASH_EXIT} -ne 137 ]]; then
+  echo "error: expected the server to die by SIGKILL (137), got ${CRASH_EXIT}" >&2
+  exit 1
+fi
+FRAMES=$(ls state/sub-1/ckpt/ckpt-*.hdck 2>/dev/null | wc -l)
+if [[ ${FRAMES} -lt 3 ]]; then
+  echo "error: expected >= 3 durable frames after the kill, found ${FRAMES}" >&2
+  exit 1
+fi
+echo "    died by SIGKILL with ${FRAMES} frames on disk for submission 1"
+
+echo ">>> phase 3: resume server finishes everything"
+start_server final --max-running 2
+"${CLIENT}" --port "${PORT}" watch 1 2 3 --watch-timeout 300
+for id in 1 2 3; do
+  "${CLIENT}" --port "${PORT}" result   ${id} --out "got-${id}.csv"
+  "${CLIENT}" --port "${PORT}" timeline ${id} --out "got-${id}-trace.csv"
+done
+"${CLIENT}" --port "${PORT}" metrics --out metrics.csv
+"${CLIENT}" --port "${PORT}" shutdown
+wait "${SERVER_PID}"
+SERVER_PID=""
+
+echo ">>> comparing artifacts byte-for-byte against batch mode"
+cmp ref-alpha.csv got-1.csv
+cmp ref-alpha-trace.csv got-1-trace.csv
+cmp ref-beta.csv got-2.csv
+cmp ref-beta-trace.csv got-2-trace.csv
+cmp ref-gamma.csv got-3.csv
+cmp ref-gamma-trace.csv got-3-trace.csv
+grep -q "^svc.submissions,counter," metrics.csv || {
+  echo "error: metrics snapshot is missing the svc.* block" >&2; exit 1; }
+
+echo ">>> serve smoke passed (all 3 studies byte-identical to batch mode)"
