@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <string>
 
 #include "cluster/cluster.hpp"
@@ -64,6 +65,9 @@ struct CliConfig {
   /// Multi-study mode (§9): study spec files sharing one cluster.
   std::vector<std::string> studies;
   std::string arbitration = "fair";
+  /// Elastic cost-aware capacity (DESIGN.md §15; multi-study mode only).
+  cluster::NodeCatalog catalog;
+  double budget_usd = std::numeric_limits<double>::infinity();
   /// Coordinator crash-recovery (DESIGN.md §12; multi-study mode only).
   std::string checkpoint_out;
   double checkpoint_every_s = 0.0;
@@ -195,9 +199,25 @@ cli::Options make_options(CliConfig& config) {
                 return true;
               });
   options.bind("--arbitration", "MODE",
-               "static|fair|deadline capacity arbitration  [fair]\n"
+               "static|fair|deadline|cost capacity arbitration  [fair]\n"
                "(--csv then writes the multi-study table)",
                config.arbitration);
+  options.add("--catalog", "FILE",
+              "node catalog file: typed node classes with prices,\n"
+              "speed factors and spot markers (README \"Node\n"
+              "catalogs\"); overrides --machines with its total",
+              [&config](const std::string& path) {
+                std::ifstream in(path);
+                if (!in) {
+                  throw std::invalid_argument("cannot open node catalog '" + path + "'");
+                }
+                config.catalog = cluster::load_node_catalog(in);
+                return true;
+              });
+  options.bind("--budget", "USD",
+               "autoscaler spend ceiling for the whole run\n"
+               "(cost arbitration; default unbounded)",
+               config.budget_usd);
 
   options.section("coordinator crash-recovery (multi-study mode; DESIGN.md \"Crash "
                   "recovery\")");
@@ -291,6 +311,8 @@ int run_studies(const CliConfig& config) {
 
   core::StudyManagerOptions manager_options;
   manager_options.machines = config.machines;
+  manager_options.catalog = config.catalog;
+  manager_options.budget_usd = config.budget_usd;
   manager_options.seed = config.seed;
   manager_options.health.enabled = config.health;
   manager_options.fault_plan = config.fault_plan;
@@ -314,7 +336,8 @@ int run_studies(const CliConfig& config) {
   if (!config.trace_out.empty()) manager_options.obs.sink = &sink;
 
   std::printf("multi-study: %zu studies, machines=%zu, arbitration=%s\n",
-              specs.size(), config.machines,
+              specs.size(),
+              config.catalog.empty() ? config.machines : config.catalog.total_nodes(),
               std::string(core::to_string(manager_options.arbitration)).c_str());
   core::MultiStudyResult result;
   core::CoordinatorRecoveryStats recovery;
@@ -352,8 +375,9 @@ int run_studies(const CliConfig& config) {
                     : "",
                 study.cancelled ? ", cancelled" : "");
   }
-  std::printf("total %s, rebalances=%zu\n",
-              util::format_duration(result.total_time).c_str(), result.rebalances);
+  std::printf("total %s, rebalances=%zu, spend=$%.2f\n",
+              util::format_duration(result.total_time).c_str(), result.rebalances,
+              result.spend_usd);
   if (config.any_checkpointing()) {
     std::printf("recovery: checkpoints=%llu (%llu bytes) crashes=%llu loads=%llu "
                 "fallbacks=%llu cold-restarts=%llu verified-replays=%llu\n",

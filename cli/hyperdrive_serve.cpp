@@ -33,6 +33,7 @@ struct ServeConfig {
   std::size_t tenant_max_slots = 16;
   std::size_t tenant_max_queued = 8;
   std::string arbitration = "fair";
+  std::string tenants;
   std::string state_dir;
   double checkpoint_every_s = 0.0;
   std::size_t kill_after_checkpoints = 0;
@@ -76,9 +77,14 @@ cli::Options make_options(ServeConfig& config) {
   options.bind("--tenant-max-queued", "N", "queued studies per tenant  [8]",
                config.tenant_max_queued);
   options.bind("--arbitration", "MODE",
-               "static|fair|deadline queue arbitration across\n"
+               "static|fair|deadline|cost queue arbitration across\n"
                "tenants  [fair]",
                config.arbitration);
+  options.bind("--tenants", "A,B,...",
+               "comma-separated tenant allowlist; submissions from\n"
+               "other tenants are rejected (\"unknown-tenant: <t>\").\n"
+               "Empty (default) admits any tenant",
+               config.tenants);
 
   options.section("durability & observability");
   options.bind("--state-dir", "DIR",
@@ -125,6 +131,14 @@ int main(int argc, char** argv) {
   sopts.admission.max_queued = config.max_queue;
   sopts.admission.tenant.max_slots = config.tenant_max_slots;
   sopts.admission.tenant.max_queued = config.tenant_max_queued;
+  for (std::size_t start = 0; start < config.tenants.size();) {
+    const std::size_t comma = config.tenants.find(',', start);
+    const std::size_t end = comma == std::string::npos ? config.tenants.size() : comma;
+    if (end > start) {
+      sopts.allowed_tenants.push_back(config.tenants.substr(start, end - start));
+    }
+    start = end + 1;
+  }
   try {
     sopts.admission.arbitration = core::arbitration_from_string(config.arbitration);
   } catch (const std::exception& e) {

@@ -1,0 +1,89 @@
+#include "cluster/autoscaler.hpp"
+
+#include <algorithm>
+
+namespace hyperdrive::cluster {
+
+Autoscaler::Autoscaler(Options options, CapacityView initial)
+    : options_(std::move(options)), acquired_(std::move(initial)) {
+  if (options_.catalog.empty()) {
+    acquired_ = CapacityView();
+    return;
+  }
+  // Full-width, clamped to the configured counts.
+  CapacityView clamped;
+  for (NodeClassId c = 0; c < options_.catalog.classes(); ++c) {
+    clamped.set(c, std::min(acquired_.of(c), options_.catalog.at(c).count));
+  }
+  acquired_ = std::move(clamped);
+}
+
+void Autoscaler::advance(util::SimTime now) {
+  if (now <= billed_until_) return;
+  const util::SimTime dt = now - billed_until_;
+  billed_until_ = now;
+  const double rate = hourly_rate();
+  if (rate > 0.0) spend_usd_ += rate * dt.to_hours();
+}
+
+double Autoscaler::hourly_rate() const noexcept {
+  double rate = 0.0;
+  for (NodeClassId c = 0; c < options_.catalog.classes(); ++c) {
+    const std::size_t held = acquired_.of(c);
+    if (held > 0) rate += static_cast<double>(held) * options_.catalog.at(c).price_per_hour;
+  }
+  return rate;
+}
+
+std::vector<ScaleAction> Autoscaler::reconcile(const CapacityView& demand,
+                                               util::SimTime now) {
+  advance(now);
+  std::vector<ScaleAction> actions;
+  if (options_.catalog.empty()) return actions;
+
+  // Class ids sorted most-expensive-first for releases and cheapest effective
+  // slot (price / speed) first for acquisitions; ties break on class id so
+  // the order is total and the trace deterministic.
+  std::vector<NodeClassId> by_price;
+  for (NodeClassId c = 0; c < options_.catalog.classes(); ++c) by_price.push_back(c);
+  std::vector<NodeClassId> release_order = by_price;
+  std::sort(release_order.begin(), release_order.end(),
+            [&](NodeClassId a, NodeClassId b) {
+              const double pa = options_.catalog.at(a).price_per_hour;
+              const double pb = options_.catalog.at(b).price_per_hour;
+              if (pa != pb) return pa > pb;
+              return a < b;
+            });
+  std::vector<NodeClassId> acquire_order = by_price;
+  std::sort(acquire_order.begin(), acquire_order.end(),
+            [&](NodeClassId a, NodeClassId b) {
+              const double ea =
+                  options_.catalog.at(a).price_per_hour / options_.catalog.at(a).speed_factor;
+              const double eb =
+                  options_.catalog.at(b).price_per_hour / options_.catalog.at(b).speed_factor;
+              if (ea != eb) return ea < eb;
+              return a < b;
+            });
+
+  for (const NodeClassId c : release_order) {
+    const std::size_t want = std::min(demand.of(c), options_.catalog.at(c).count);
+    const std::size_t have = acquired_.of(c);
+    if (have > want) {
+      acquired_.set(c, want);
+      actions.push_back({ScaleAction::Kind::Release, c, have - want});
+    }
+  }
+  if (!over_budget()) {
+    for (const NodeClassId c : acquire_order) {
+      const std::size_t want = std::min(demand.of(c), options_.catalog.at(c).count);
+      const std::size_t have = acquired_.of(c);
+      if (have < want) {
+        acquired_.set(c, want);
+        actions.push_back({ScaleAction::Kind::Acquire, c, want - have});
+      }
+    }
+  }
+  return actions;
+}
+
+}  // namespace hyperdrive::cluster

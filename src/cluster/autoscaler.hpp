@@ -1,0 +1,70 @@
+// Autoscaler — budget-capped elastic capacity control (DESIGN.md §15).
+//
+// Owns the "cloud bill": which nodes of each catalog class are currently
+// acquired, the running spend integral over their hourly prices, and the
+// reconcile step that moves acquired capacity toward a demand target. The
+// controller is deterministic — a pure function of the (demand, now)
+// sequence it is fed — so autoscaled runs stay golden-trace byte-identical
+// across `--jobs` counts and checkpoint resume.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "cluster/node_catalog.hpp"
+#include "util/sim_time.hpp"
+
+namespace hyperdrive::cluster {
+
+/// One acquire/release decision, reported back so the caller (StudyManager)
+/// can emit NodeAcquired/NodeReleased events and bump `elastic.*` metrics.
+struct ScaleAction {
+  enum class Kind { Acquire, Release };
+  Kind kind = Kind::Acquire;
+  NodeClassId node_class = 0;
+  std::size_t count = 0;
+
+  [[nodiscard]] bool operator==(const ScaleAction&) const = default;
+};
+
+class Autoscaler {
+ public:
+  struct Options {
+    NodeCatalog catalog;
+    /// Hard spend cap: at or over it, no further acquisitions and all free
+    /// (undemanded) capacity is released.
+    double budget_usd = std::numeric_limits<double>::infinity();
+  };
+
+  /// `initial` is the capacity already acquired at t=0 (no events for it).
+  /// An empty catalog makes the autoscaler inert: acquired() stays empty and
+  /// reconcile() never acts.
+  Autoscaler(Options options, CapacityView initial);
+
+  /// Integrate spend at the current hourly rate up to `now` (monotonic).
+  void advance(util::SimTime now);
+
+  /// Move acquired capacity toward `demand` (per-class desired slots,
+  /// clamped to the catalog's configured counts). Releases most-expensive
+  /// free capacity first, then acquires cheapest-per-effective-speed first
+  /// while under budget; ties break on lowest class id. Calls advance(now)
+  /// itself, so spend is integrated at the pre-action rate.
+  std::vector<ScaleAction> reconcile(const CapacityView& demand, util::SimTime now);
+
+  [[nodiscard]] const CapacityView& acquired() const noexcept { return acquired_; }
+  [[nodiscard]] double spend_usd() const noexcept { return spend_usd_; }
+  [[nodiscard]] double hourly_rate() const noexcept;
+  [[nodiscard]] bool over_budget() const noexcept {
+    return spend_usd_ >= options_.budget_usd;
+  }
+  [[nodiscard]] const NodeCatalog& catalog() const noexcept { return options_.catalog; }
+
+ private:
+  Options options_;
+  CapacityView acquired_;
+  double spend_usd_ = 0.0;
+  util::SimTime billed_until_ = util::SimTime::zero();
+};
+
+}  // namespace hyperdrive::cluster

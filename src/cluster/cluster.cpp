@@ -41,11 +41,18 @@ HyperDriveCluster::HyperDriveCluster(const workload::Trace& trace, ClusterOption
                                      sim::Simulation& simulation)
     : HyperDriveCluster(trace, std::move(options), nullptr, &simulation) {}
 
+ClusterOptions HyperDriveCluster::normalize(ClusterOptions options) {
+  if (!options.catalog.empty()) options.machines = options.catalog.total_nodes();
+  return options;
+}
+
 HyperDriveCluster::HyperDriveCluster(const workload::Trace& trace, ClusterOptions options,
                                      std::unique_ptr<sim::Simulation> owned,
                                      sim::Simulation* external)
     : trace_(trace),
-      options_(std::move(options)),
+      options_(normalize(std::move(options))),
+      catalog_(options_.catalog.empty() ? NodeCatalog::uniform(options_.machines)
+                                        : options_.catalog),
       owned_sim_(std::move(owned)),
       simulation_(external != nullptr ? *external : *owned_sim_),
       rm_(options_.machines),
@@ -60,12 +67,21 @@ HyperDriveCluster::HyperDriveCluster(const workload::Trace& trace, ClusterOption
   if (options_.obs.study.empty() && !options_.study_label.empty()) {
     options_.obs.study = options_.study_label;
   }
-  lease_target_ = options_.machines;
+  lease_target_ = catalog_.full();
   slots_accrued_until_ = simulation_.now();
-  if (options_.initial_lease > 0 && options_.initial_lease < options_.machines) {
-    lease_target_ = options_.initial_lease;
-    for (std::size_t m = options_.machines; m-- > lease_target_;) {
-      rm_.park_machine(static_cast<MachineId>(m));
+  if (options_.initial_lease.total() > 0 &&
+      options_.initial_lease.total() < options_.machines) {
+    // Keep the lowest `target` ids of each class block online; the rest start
+    // parked (leasable later). Single-class: identical to parking
+    // [initial_lease, machines), highest id first.
+    for (NodeClassId c = 0; c < catalog_.classes(); ++c) {
+      const std::size_t begin = catalog_.block_begin(c);
+      const std::size_t end = catalog_.block_end(c);
+      const std::size_t target = std::min(options_.initial_lease.of(c), end - begin);
+      lease_target_.set(c, target);
+      for (std::size_t m = end; m-- > begin + target;) {
+        rm_.park_machine(static_cast<MachineId>(m));
+      }
     }
   }
   agents_.reserve(options_.machines);
@@ -224,13 +240,17 @@ std::size_t HyperDriveCluster::epochs_done(core::JobId job) const {
 }
 
 double HyperDriveCluster::host_speed(core::JobId job) const {
-  if (!options_.health.enabled) return 1.0;
   const auto& j = jm_.job(job);
-  return j.machine ? health_.speed_score(*j.machine) : 1.0;
+  // Catalog speed × health EWMA; both factors are 1.0 on a homogeneous,
+  // health-less cluster, so this path stays bit-exact with the pre-elastic
+  // behavior (×1.0 is an IEEE no-op).
+  double speed = j.machine ? catalog_.speed(*j.machine) : 1.0;
+  if (options_.health.enabled && j.machine) speed *= health_.speed_score(*j.machine);
+  return speed;
 }
 
 util::SimTime HyperDriveCluster::normalized_epoch_duration(core::JobId job) const {
-  if (!options_.health.enabled) return avg_epoch_duration(job);
+  if (!options_.health.enabled && !catalog_.heterogeneous()) return avg_epoch_duration(job);
   const auto& j = jm_.job(job);
   if (j.epochs_done == 0) return util::SimTime::zero();
   return j.normalized_training_time / static_cast<double>(j.epochs_done);
@@ -307,6 +327,12 @@ void HyperDriveCluster::begin_epoch(core::JobId id) {
       options_.epoch_jitter_sigma > 0.0 ? rng_.lognormal(0.0, options_.epoch_jitter_sigma)
                                         : 1.0;
   util::SimTime duration = job.spec->curve.epoch_duration * jitter;
+  // Heterogeneous fleets: a speed-2.0 host trains epochs in half the time.
+  // Guarded so the 1.0 (homogeneous) case leaves the value bit-identical.
+  if (job.machine) {
+    const double speed = catalog_.speed(*job.machine);
+    if (speed != 1.0) duration = duration / speed;
+  }
   job.epoch_expected = duration;
   job.epoch_started_at = simulation_.now();
   job.epoch_in_flight = true;
@@ -359,11 +385,19 @@ void HyperDriveCluster::complete_epoch(core::JobId id) {
   // job's normalized training time (what the epoch would have cost at
   // nominal speed) for SchedulerOps::normalized_epoch_duration.
   auto transition = HealthMonitor::Transition::None;
+  // Normalized time = what the epoch would have cost at nominal (speed-1.0,
+  // healthy) pace: catalog speed scales it back up for fast hosts, the health
+  // EWMA discounts degraded ones. Both factors are exactly 1.0 on the
+  // homogeneous health-less path.
+  const double catalog_speed = catalog_.speed(*job.machine);
   if (options_.health.enabled) {
     transition = health_.note_epoch(*job.machine, job.epoch_expected, duration,
                                     simulation_.now());
-    job.normalized_training_time +=
-        duration * std::min(1.0, health_.speed_score(*job.machine));
+    double normalize = std::min(1.0, health_.speed_score(*job.machine));
+    if (catalog_speed != 1.0) normalize *= catalog_speed;
+    job.normalized_training_time += duration * normalize;
+  } else if (catalog_speed != 1.0) {
+    job.normalized_training_time += duration * catalog_speed;
   } else {
     job.normalized_training_time += duration;
   }
@@ -782,12 +816,102 @@ void HyperDriveCluster::restart_node(MachineId m) {
   maybe_finish();
 }
 
+void HyperDriveCluster::spot_warning(const SpotPreemptionEvent& preemption) {
+  if (done_) return;
+  const MachineId m = preemption.machine;
+  if (m >= agents_.size() || !rm_.is_online(m)) return;
+
+  injector_.note_spot_warning();
+  record(obs::TraceEvent(obs::EventKind::SpotWarning)
+             .with_machine(static_cast<std::int64_t>(m)));
+  draining_.insert(m);
+  // The provider reclaims the node at warning + grace, busy or not.
+  auto handle_box = std::make_shared<sim::EventHandle>(0);
+  *handle_box = simulation_.schedule_after(preemption.warning, [this, preemption, handle_box] {
+    fault_events_.erase(*handle_box);
+    spot_preempt(preemption);
+  });
+  fault_events_.emplace(*handle_box, false);
+
+  if (!rm_.is_busy(m)) {
+    // Idle: nothing to drain — hand the node back immediately.
+    spot_offline(m);
+  } else {
+    // Drain: cleanly snapshot-migrate the occupant (the PR-2 straggler path —
+    // never a kill, so the wrong-kill oracle stays at zero); the machine goes
+    // offline the moment its release fires.
+    for (auto& [id, job] : jm_.all()) {
+      if (job.machine && *job.machine == m) {
+        if (job.suspend_in_flight || job.status != core::JobStatus::Running) break;
+        ++result_.recovery.jobs_migrated;
+        record(obs::TraceEvent(obs::EventKind::JobMigrate)
+                   .with_job(static_cast<std::int64_t>(id))
+                   .with_machine(static_cast<std::int64_t>(m))
+                   .with_detail("spot"));
+        do_suspend(id);
+        break;  // one job per machine
+      }
+    }
+  }
+  policy_->on_allocate(*this);
+  maybe_finish();
+}
+
+void HyperDriveCluster::spot_preempt(const SpotPreemptionEvent& preemption) {
+  if (done_) return;
+  const MachineId m = preemption.machine;
+  injector_.note_spot_preemption();
+  record(obs::TraceEvent(obs::EventKind::SpotPreempted)
+             .with_machine(static_cast<std::int64_t>(m)));
+  if (draining_.count(m) > 0) {
+    // Still draining at the deadline: the provider yanks the node — whatever
+    // occupies it fails exactly like a crash (snapshot rollback + requeue).
+    for (auto& [id, job] : jm_.all()) {
+      if (job.machine && *job.machine == m) {
+        fail_job_on_crash(job);
+        break;  // one job per machine
+      }
+    }
+    spot_offline(m);
+  }
+  // else: the drain completed early — the node already left the membership.
+  policy_->on_allocate(*this);
+  maybe_finish();
+}
+
+void HyperDriveCluster::spot_offline(MachineId m) {
+  draining_.erase(m);
+  // The node's local curve caches die with it; it never returns (no restart
+  // event), so it parks permanently sick — ungrantable by the arbiter.
+  agents_[m].clear_histories();
+  health_.set_excluded(m, true, simulation_.now());
+  parked_sick_.insert(m);
+  if (rm_.is_parked(m)) {
+    // A lease reclaim surrendered the slot mid-window; it just stays sick.
+    if (!done_ && policy_ != nullptr) policy_->on_capacity_change(*this);
+    return;
+  }
+  if (rm_.is_online(m)) rm_.set_offline(m);
+  // Park the corpse so the tenant stops paying for it; a reclaim that was
+  // already pending is absorbed, like the crash path.
+  const char* reason = pending_reclaim_.erase(m) > 0 ? "reclaim-spot" : "spot";
+  surrender_slot(m, reason);
+}
+
 void HyperDriveCluster::schedule_crashes() {
   for (const auto& crash : options_.fault_plan.crashes) {
     auto handle_box = std::make_shared<sim::EventHandle>(0);
     *handle_box = simulation_.schedule_at(crash.at, [this, crash, handle_box] {
       fault_events_.erase(*handle_box);
       crash_node(crash);
+    });
+    fault_events_.emplace(*handle_box, false);
+  }
+  for (const auto& preemption : options_.fault_plan.spot_preemptions) {
+    auto handle_box = std::make_shared<sim::EventHandle>(0);
+    *handle_box = simulation_.schedule_at(preemption.at, [this, preemption, handle_box] {
+      fault_events_.erase(*handle_box);
+      spot_warning(preemption);
     });
     fault_events_.emplace(*handle_box, false);
   }
@@ -997,6 +1121,11 @@ void HyperDriveCluster::release_and_allocate(core::JobId id) {
   if (released && pending_reclaim_.erase(*released) > 0) {
     surrender_slot(*released, "reclaim");
   }
+  // A draining spot machine is handed back to the provider the moment it is
+  // free (spot_offline handles the already-parked race itself).
+  if (released && draining_.count(*released) > 0) {
+    spot_offline(*released);
+  }
   policy_->on_allocate(*this);
   maybe_finish();
 }
@@ -1079,6 +1208,7 @@ void HyperDriveCluster::finish() {
   }
   pending_quarantine_.clear();
   pending_reclaim_.clear();
+  draining_.clear();
   for (auto& [id, job] : jm_.all()) {
     if (job.epoch_in_flight) {
       disarm_progress_deadline(job);
@@ -1168,14 +1298,16 @@ void HyperDriveCluster::finalize_result() {
   }
   result_.retransmissions = bus_.stats().retransmissions;
   result_.study = options_.study_label;
-  // Close the slot-seconds integral at the experiment's end time.
+  // Close the slot-seconds and spend integrals at the experiment's end time.
   if (result_.total_time > slots_accrued_until_) {
-    slot_seconds_ += util::SimTime::seconds(
-        static_cast<double>(held_slots()) *
-        (result_.total_time - slots_accrued_until_).to_seconds());
+    const util::SimTime dt = result_.total_time - slots_accrued_until_;
+    slot_seconds_ +=
+        util::SimTime::seconds(static_cast<double>(held_slots()) * dt.to_seconds());
+    spend_usd_ += held_price_rate() * dt.to_hours();
     slots_accrued_until_ = result_.total_time;
   }
   result_.slot_seconds = slot_seconds_;
+  result_.spend_usd = spend_usd_;
   result_.lease_grants = lease_grants_;
   result_.lease_reclaims = lease_reclaims_;
   if (options_.obs.metrics != nullptr) publish_metrics();
@@ -1206,9 +1338,12 @@ void preregister_cluster_metrics(obs::MetricsRegistry& registry) {
            "fault.snapshot_uploads_failed", "fault.snapshots_corrupted",
            "fault.node_crashes", "fault.epochs_slowed", "fault.epochs_stalled",
            "fault.epochs_hung", "lease.grants", "lease.reclaims",
+           "elastic.nodes_acquired", "elastic.nodes_released",
+           "elastic.spot_warnings", "elastic.spot_preemptions",
        }) {
     (void)registry.counter(name);
   }
+  (void)registry.gauge("elastic.spend_usd");
   (void)registry.histogram("cluster.suspend_latency_s", kSuspendLatencyBounds);
 }
 
@@ -1263,6 +1398,8 @@ void HyperDriveCluster::publish_metrics() {
   add("fault.epochs_hung", fault.epochs_hung);
   add("lease.grants", lease_grants_);
   add("lease.reclaims", lease_reclaims_);
+  add("elastic.spot_warnings", fault.spot_warnings);
+  add("elastic.spot_preemptions", fault.spot_preemptions);
   if (!result_.suspend_samples.empty()) {
     obs::Histogram& latency =
         reg.histogram("cluster.suspend_latency_s", kSuspendLatencyBounds);
@@ -1308,10 +1445,37 @@ void HyperDriveCluster::start(core::SchedulingPolicy& policy) {
 void HyperDriveCluster::accrue_slot_time() {
   const util::SimTime now = simulation_.now();
   if (now > slots_accrued_until_) {
-    slot_seconds_ += util::SimTime::seconds(
-        static_cast<double>(held_slots()) * (now - slots_accrued_until_).to_seconds());
+    const util::SimTime dt = now - slots_accrued_until_;
+    slot_seconds_ +=
+        util::SimTime::seconds(static_cast<double>(held_slots()) * dt.to_seconds());
+    spend_usd_ += held_price_rate() * dt.to_hours();
     slots_accrued_until_ = now;
   }
+}
+
+double HyperDriveCluster::held_price_rate() const {
+  double rate = 0.0;
+  for (NodeClassId c = 0; c < catalog_.classes(); ++c) {
+    const double price = catalog_.at(c).price_per_hour;
+    const std::size_t end = std::min(catalog_.block_end(c), rm_.configured());
+    for (std::size_t m = catalog_.block_begin(c); m < end; ++m) {
+      if (!rm_.is_parked(static_cast<MachineId>(m))) rate += price;
+    }
+  }
+  return rate;
+}
+
+CapacityView HyperDriveCluster::held_capacity() const {
+  CapacityView view;
+  for (NodeClassId c = 0; c < catalog_.classes(); ++c) {
+    std::size_t held = 0;
+    const std::size_t end = std::min(catalog_.block_end(c), rm_.configured());
+    for (std::size_t m = catalog_.block_begin(c); m < end; ++m) {
+      if (!rm_.is_parked(static_cast<MachineId>(m))) ++held;
+    }
+    view.set(c, held);
+  }
+  return view;
 }
 
 void HyperDriveCluster::surrender_slot(MachineId machine, const char* reason) {
@@ -1325,76 +1489,106 @@ void HyperDriveCluster::surrender_slot(MachineId machine, const char* reason) {
   if (on_slot_released) on_slot_released();
 }
 
-void HyperDriveCluster::set_lease_target(std::size_t slots) {
+void HyperDriveCluster::set_lease_target(const CapacityView& capacity) {
   if (!tenant_) throw std::logic_error("set_lease_target() requires tenant mode");
-  lease_target_ = std::min(slots, rm_.configured());
+  // Always store the full catalog width, clamped to each class block, so
+  // lease_target_ comparisons are well-defined.
+  for (NodeClassId c = 0; c < catalog_.classes(); ++c) {
+    const std::size_t end = std::min(catalog_.block_end(c), rm_.configured());
+    const std::size_t block = end - std::min(catalog_.block_begin(c), end);
+    lease_target_.set(c, std::min(capacity.of(c), block));
+  }
   if (!done_) apply_lease();
 }
 
 void HyperDriveCluster::apply_lease() {
-  while (held_slots() - pending_reclaim_.size() > lease_target_) {
-    // 1. An idle online slot parks immediately (highest id first, so grants —
-    //    which unpark the lowest id — walk the same frontier).
-    std::optional<MachineId> idle_pick;
-    for (std::size_t m = rm_.configured(); m-- > 0;) {
-      const auto id = static_cast<MachineId>(m);
-      if (rm_.is_online(id) && !rm_.is_busy(id) && pending_quarantine_.count(id) == 0) {
-        idle_pick = id;
-        break;
+  // Reclaim class by class (id order); within a class the original 3-tier
+  // scan runs over the class's machine block — for the single-class catalog
+  // this is exactly the pre-elastic global scan.
+  for (NodeClassId c = 0; c < catalog_.classes(); ++c) {
+    const std::size_t begin = std::min(catalog_.block_begin(c), rm_.configured());
+    const std::size_t end = std::min(catalog_.block_end(c), rm_.configured());
+    const auto excess = [&] {
+      std::size_t held = 0;
+      for (std::size_t m = begin; m < end; ++m) {
+        if (!rm_.is_parked(static_cast<MachineId>(m))) ++held;
       }
-    }
-    if (idle_pick) {
-      surrender_slot(*idle_pick, "reclaim");
-      continue;
-    }
-    // 2. A crashed/quarantined slot is absorbed: the arbiter takes the
-    //    capacity charge off this study, and the slot becomes grantable only
-    //    after its restart/probation event declares it healthy again.
-    std::optional<MachineId> sick_pick;
-    for (std::size_t m = rm_.configured(); m-- > 0;) {
-      const auto id = static_cast<MachineId>(m);
-      if (!rm_.is_online(id) && !rm_.is_parked(id)) {
-        sick_pick = id;
-        break;
+      for (const MachineId m : pending_reclaim_) {
+        if (m >= begin && m < end) --held;
       }
-    }
-    if (sick_pick) {
-      parked_sick_.insert(*sick_pick);
-      surrender_slot(*sick_pick, "reclaim-offline");
-      continue;
-    }
-    // 3. A busy slot: snapshot-migrate the job off it (never kill — the
-    //    reclaim is the arbiter's decision, not the policy's), park on
-    //    release.
-    std::optional<MachineId> busy_pick;
-    for (std::size_t m = rm_.configured(); m-- > 0;) {
-      const auto id = static_cast<MachineId>(m);
-      if (rm_.is_busy(id) && pending_reclaim_.count(id) == 0) {
-        busy_pick = id;
-        break;
+      return held > lease_target_.of(c) ? held - lease_target_.of(c) : 0;
+    };
+    while (excess() > 0) {
+      // 1. An idle online slot parks immediately (highest id first, so grants
+      //    — which unpark the lowest id — walk the same frontier).
+      std::optional<MachineId> idle_pick;
+      for (std::size_t m = end; m-- > begin;) {
+        const auto id = static_cast<MachineId>(m);
+        if (rm_.is_online(id) && !rm_.is_busy(id) && pending_quarantine_.count(id) == 0) {
+          idle_pick = id;
+          break;
+        }
       }
-    }
-    if (!busy_pick) break;  // everything left is already being reclaimed
-    pending_reclaim_.insert(*busy_pick);
-    for (auto& [id, job] : jm_.all()) {
-      if (job.machine && *job.machine == *busy_pick) {
-        if (job.suspend_in_flight || job.status != core::JobStatus::Running) break;
-        ++result_.recovery.jobs_migrated;
-        record(obs::TraceEvent(obs::EventKind::LeaseMigrate)
-                   .with_job(static_cast<std::int64_t>(id))
-                   .with_machine(static_cast<std::int64_t>(*busy_pick)));
-        do_suspend(id);
-        break;  // one job per machine
+      if (idle_pick) {
+        surrender_slot(*idle_pick, "reclaim");
+        continue;
+      }
+      // 2. A crashed/quarantined slot is absorbed: the arbiter takes the
+      //    capacity charge off this study, and the slot becomes grantable only
+      //    after its restart/probation event declares it healthy again.
+      std::optional<MachineId> sick_pick;
+      for (std::size_t m = end; m-- > begin;) {
+        const auto id = static_cast<MachineId>(m);
+        if (!rm_.is_online(id) && !rm_.is_parked(id)) {
+          sick_pick = id;
+          break;
+        }
+      }
+      if (sick_pick) {
+        parked_sick_.insert(*sick_pick);
+        surrender_slot(*sick_pick, "reclaim-offline");
+        continue;
+      }
+      // 3. A busy slot: snapshot-migrate the job off it (never kill — the
+      //    reclaim is the arbiter's decision, not the policy's), park on
+      //    release.
+      std::optional<MachineId> busy_pick;
+      for (std::size_t m = end; m-- > begin;) {
+        const auto id = static_cast<MachineId>(m);
+        if (rm_.is_busy(id) && pending_reclaim_.count(id) == 0) {
+          busy_pick = id;
+          break;
+        }
+      }
+      if (!busy_pick) break;  // everything left is already being reclaimed
+      pending_reclaim_.insert(*busy_pick);
+      for (auto& [id, job] : jm_.all()) {
+        if (job.machine && *job.machine == *busy_pick) {
+          if (job.suspend_in_flight || job.status != core::JobStatus::Running) break;
+          ++result_.recovery.jobs_migrated;
+          record(obs::TraceEvent(obs::EventKind::LeaseMigrate)
+                     .with_job(static_cast<std::int64_t>(id))
+                     .with_machine(static_cast<std::int64_t>(*busy_pick)));
+          do_suspend(id);
+          break;  // one job per machine
+        }
       }
     }
   }
 }
 
-bool HyperDriveCluster::grant_one() {
+bool HyperDriveCluster::grant_one(NodeClassId node_class) {
   if (!tenant_) throw std::logic_error("grant_one() requires tenant mode");
   if (done_) return false;
-  if (held_slots() >= lease_target_) return false;
-  for (std::size_t m = 0; m < rm_.configured(); ++m) {
+  if (node_class >= catalog_.classes()) return false;
+  const std::size_t begin = std::min(catalog_.block_begin(node_class), rm_.configured());
+  const std::size_t end = std::min(catalog_.block_end(node_class), rm_.configured());
+  std::size_t held = 0;
+  for (std::size_t m = begin; m < end; ++m) {
+    if (!rm_.is_parked(static_cast<MachineId>(m))) ++held;
+  }
+  if (held >= lease_target_.of(node_class)) return false;
+  for (std::size_t m = begin; m < end; ++m) {
     const auto id = static_cast<MachineId>(m);
     if (!rm_.is_parked(id) || parked_sick_.count(id) > 0) continue;
     accrue_slot_time();
@@ -1532,6 +1726,8 @@ void HyperDriveCluster::encode_state(util::ByteWriter& w) const {
   w.u64(faults.epochs_slowed);
   w.u64(faults.epochs_stalled);
   w.u64(faults.epochs_hung);
+  w.u64(faults.spot_warnings);
+  w.u64(faults.spot_preemptions);
   for (MachineId m = 0; m < rm_.configured(); ++m) {
     w.u8(static_cast<std::uint8_t>(health_.health(m)));
     w.f64(health_.speed_score(m));
@@ -1572,16 +1768,20 @@ void HyperDriveCluster::encode_state(util::ByteWriter& w) const {
   // Tenant / lease protocol state.
   w.u8(static_cast<std::uint8_t>((done_ ? 1 : 0) | (tenant_ ? 2 : 0) |
                                  (timeout_armed_ ? 4 : 0)));
-  w.u64(lease_target_);
+  w.u32(static_cast<std::uint32_t>(lease_target_.classes()));
+  for (NodeClassId c = 0; c < lease_target_.classes(); ++c) w.u64(lease_target_.of(c));
   w.u32(static_cast<std::uint32_t>(pending_reclaim_.size()));
   for (const MachineId m : pending_reclaim_) w.u32(m);
   w.u32(static_cast<std::uint32_t>(parked_sick_.size()));
   for (const MachineId m : parked_sick_) w.u32(m);
   w.u32(static_cast<std::uint32_t>(pending_quarantine_.size()));
   for (const MachineId m : pending_quarantine_) w.u32(m);
+  w.u32(static_cast<std::uint32_t>(draining_.size()));
+  for (const MachineId m : draining_) w.u32(m);
   time(finished_at_);
   time(slot_seconds_);
   time(slots_accrued_until_);
+  w.f64(spend_usd_);
   w.u64(lease_grants_);
   w.u64(lease_reclaims_);
 

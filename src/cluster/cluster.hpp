@@ -45,6 +45,7 @@
 #include "cluster/fault_injector.hpp"
 #include "cluster/health_monitor.hpp"
 #include "cluster/messaging.hpp"
+#include "cluster/node_catalog.hpp"
 #include "cluster/snapshot_codec.hpp"
 #include "cluster/job_manager.hpp"
 #include "cluster/node_agent.hpp"
@@ -61,6 +62,11 @@ namespace hyperdrive::cluster {
 
 struct ClusterOptions {
   std::size_t machines = 4;
+  /// Typed fleet layout (DESIGN.md §15). Empty (default) means one implicit
+  /// "standard" class of `machines` nodes at price 1.0 / speed 1.0 — the
+  /// pre-elastic behavior, byte-identical. Non-empty overrides `machines`
+  /// with the catalog's total node count.
+  NodeCatalog catalog;
   util::SimTime max_experiment_time = util::SimTime::infinity();
   bool stop_on_target = true;
   std::uint64_t seed = 1;
@@ -108,10 +114,10 @@ struct ClusterOptions {
   /// hook returns. Unset = cloning unsupported (the default).
   workload::ExploreFn explore;
   // --- multi-study tenancy (DESIGN.md §9) ----------------------------------
-  /// Slots online at start when the cluster is a StudyManager tenant; the
-  /// remaining machines start parked (leasable later). 0 = all online, the
-  /// single-tenant behavior.
-  std::size_t initial_lease = 0;
+  /// Per-class slots online at start when the cluster is a StudyManager
+  /// tenant; the remaining machines start parked (leasable later). Empty =
+  /// all online, the single-tenant behavior.
+  CapacityView initial_lease;
   /// Study name prefixed into event-log lines ("study=<name>") so a merged
   /// multi-tenant log stays attributable. Empty (default) adds nothing —
   /// single-study logs stay byte-identical to the single-tenant path.
@@ -136,16 +142,17 @@ class HyperDriveCluster final : public core::SchedulerOps {
   /// start/allocate upcalls and schedule fault, health and study-timeout
   /// events. The shared simulation (run by the StudyManager) does the rest.
   void start(core::SchedulingPolicy& policy);
-  /// Set the arbiter-assigned slot count. Shrinking reclaims immediately:
-  /// idle slots park at once, crashed/quarantined slots are absorbed, and
-  /// busy slots are cleanly snapshot-migrated (never killed) and park when
-  /// released — on_slot_released fires for every slot handed back. Growing
-  /// only raises the target; the arbiter grants actual slots via grant_one.
-  void set_lease_target(std::size_t slots);
-  /// Grant one parked healthy slot (lowest id first). Returns false when the
-  /// lease target is met, the study is finished, or no grantable slot
-  /// remains.
-  bool grant_one();
+  /// Set the arbiter-assigned per-class capacity. Shrinking a class reclaims
+  /// immediately: idle slots park at once, crashed/quarantined slots are
+  /// absorbed, and busy slots are cleanly snapshot-migrated (never killed)
+  /// and park when released — on_slot_released fires for every slot handed
+  /// back. Growing only raises the target; the arbiter grants actual slots
+  /// via grant_one.
+  void set_lease_target(const CapacityView& capacity);
+  /// Grant one parked healthy slot of `node_class` (lowest id first).
+  /// Returns false when that class's lease target is met, the study is
+  /// finished, or no grantable slot remains in the class block.
+  bool grant_one(NodeClassId node_class);
   /// Cancel the study: drain leased slots (held jobs keep their accrued
   /// accounting, in-flight epochs are abandoned) and finish immediately.
   void cancel();
@@ -156,7 +163,25 @@ class HyperDriveCluster final : public core::SchedulerOps {
   [[nodiscard]] std::size_t held_slots() const noexcept {
     return rm_.configured() - rm_.parked();
   }
-  [[nodiscard]] std::size_t lease_target() const noexcept { return lease_target_; }
+  /// held_slots() broken down by catalog class (full catalog width).
+  [[nodiscard]] CapacityView held_capacity() const;
+  [[nodiscard]] const CapacityView& lease_target() const noexcept {
+    return lease_target_;
+  }
+  /// The fleet layout this cluster runs on (the implicit single "standard"
+  /// class when ClusterOptions::catalog was empty).
+  [[nodiscard]] const NodeCatalog& catalog() const noexcept { return catalog_; }
+  /// Dollars charged to this tenant so far: the integral of held slots ×
+  /// their class prices over held time (accrued alongside slot-seconds).
+  [[nodiscard]] double spend_usd() const noexcept { return spend_usd_; }
+  /// spend_usd() brought current to the sim clock. The lazy integral only
+  /// advances at lease events, so mid-run readers (cost arbitration's budget
+  /// clamp) must use this; accrual is a pure function of sim time, so
+  /// advancing it early never changes the final bill.
+  [[nodiscard]] double current_spend_usd() {
+    if (!done_) accrue_slot_time();
+    return spend_usd_;
+  }
   [[nodiscard]] bool finished() const noexcept { return done_; }
   /// Fires whenever a reclaimed or drained slot parks (capacity returned to
   /// the arbiter's free pool).
@@ -234,6 +259,11 @@ class HyperDriveCluster final : public core::SchedulerOps {
   HyperDriveCluster(const workload::Trace& trace, ClusterOptions options,
                     std::unique_ptr<sim::Simulation> owned, sim::Simulation* external);
 
+  /// A non-empty catalog is authoritative for the machine count; applied in
+  /// the options_ member initializer so rm_/health_/agents_ (which size off
+  /// options_.machines in the init list) see the corrected value.
+  static ClusterOptions normalize(ClusterOptions options);
+
   void begin_epoch(core::JobId job);
   void complete_epoch(core::JobId job);
   void deliver_stat(const AppStat& stat);
@@ -257,8 +287,10 @@ class HyperDriveCluster final : public core::SchedulerOps {
   /// Park `machine` and hand it back to the arbiter (capacity upcalls +
   /// on_slot_released).
   void surrender_slot(MachineId machine, const char* reason);
-  /// Account held-slot time up to now (slot-seconds integral).
+  /// Account held-slot time up to now (slot-seconds + spend integrals).
   void accrue_slot_time();
+  /// Sum of class prices over currently held slots ($/hour).
+  [[nodiscard]] double held_price_rate() const;
   /// Tenant-mode quiescence/give-up check (the owned-mode maybe_finish reads
   /// the global event queue, which a shared simulation forbids).
   void tenant_maybe_finish();
@@ -267,6 +299,16 @@ class HyperDriveCluster final : public core::SchedulerOps {
   void schedule_crashes();
   void crash_node(const NodeCrashEvent& crash);
   void restart_node(MachineId machine);
+  /// Spot reclaim warning (DESIGN.md §15): start draining the machine —
+  /// migrate its job via clean suspend, park it when released. An idle
+  /// machine goes offline immediately.
+  void spot_warning(const SpotPreemptionEvent& preemption);
+  /// Warning deadline hit: if the machine is still busy the provider yanks
+  /// it — crash-style job failure; a machine parked mid-window stays sick.
+  void spot_preempt(const SpotPreemptionEvent& preemption);
+  /// Take a drained (idle or parked) spot machine out of the membership for
+  /// good: offline + excluded + parked-sick, with the capacity upcalls.
+  void spot_offline(MachineId machine);
   /// Pull a job off its (crashed) machine: abandon in-flight work, roll back
   /// to the last durable snapshot, requeue, release the machine.
   void fail_job_on_crash(ManagedJob& job);
@@ -295,6 +337,9 @@ class HyperDriveCluster final : public core::SchedulerOps {
 
   const workload::Trace& trace_;
   ClusterOptions options_;
+  /// The effective fleet layout: options_.catalog, or the implicit uniform
+  /// single-class catalog when that was empty. Never empty.
+  NodeCatalog catalog_;
   /// Owned in single-tenant mode; null when running against a shared
   /// simulation (declared before simulation_ so the reference can bind).
   std::unique_ptr<sim::Simulation> owned_sim_;
@@ -333,10 +378,13 @@ class HyperDriveCluster final : public core::SchedulerOps {
   /// simulation: finishing must not stop the shared clock, and quiescence is
   /// judged from this tenant's own state instead of the global event queue.
   bool tenant_ = false;
-  std::size_t lease_target_ = 0;
+  CapacityView lease_target_;
   /// Busy machines picked for lease reclaim, parked once their job's clean
   /// suspend releases them.
   std::set<MachineId> pending_reclaim_;
+  /// Spot machines inside their preemption-warning window: job migrating
+  /// off, machine reclaimed (spot_offline) the moment it is released.
+  std::set<MachineId> draining_;
   /// Parked machines absorbed while crashed/quarantined: not grantable until
   /// their restart/probation event clears them.
   std::set<MachineId> parked_sick_;
@@ -344,9 +392,11 @@ class HyperDriveCluster final : public core::SchedulerOps {
   sim::EventHandle timeout_event_ = 0;
   bool timeout_armed_ = false;
   util::SimTime finished_at_ = util::SimTime::zero();
-  /// Slot-seconds integral: held_slots() accrued over time.
+  /// Slot-seconds integral: held_slots() accrued over time. spend_usd_ is
+  /// the companion dollar integral (held slots × class price/hour).
   util::SimTime slot_seconds_ = util::SimTime::zero();
   util::SimTime slots_accrued_until_ = util::SimTime::zero();
+  double spend_usd_ = 0.0;
   std::size_t lease_grants_ = 0;
   std::size_t lease_reclaims_ = 0;
 };

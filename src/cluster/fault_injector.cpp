@@ -23,8 +23,8 @@ bool FaultPlan::any() const noexcept {
   for (const auto& [type, profile] : message_faults) {
     if (profile_any(profile)) return true;
   }
-  return !crashes.empty() || any_gray() || snapshot_upload_fail_prob > 0.0 ||
-         snapshot_corrupt_prob > 0.0;
+  return !crashes.empty() || !spot_preemptions.empty() || any_gray() ||
+         snapshot_upload_fail_prob > 0.0 || snapshot_corrupt_prob > 0.0;
 }
 
 bool FaultPlan::any_gray() const noexcept {
@@ -216,6 +216,14 @@ FaultPlan load_fault_plan(std::istream& in) {
         hang.clear_after = util::SimTime::seconds(*clear);
       }
       plan.hangs.push_back(hang);
+    } else if (directive == "spot-preemption") {
+      SpotPreemptionEvent preemption;
+      preemption.machine = static_cast<MachineId>(parser.number("machine"));
+      preemption.at = util::SimTime::seconds(parser.number("warning time"));
+      if (const auto warning = parser.optional_number("warning window")) {
+        preemption.warning = util::SimTime::seconds(*warning);
+      }
+      plan.spot_preemptions.push_back(preemption);
     } else if (directive == "coordinator-crash") {
       CoordinatorCrashEvent crash;
       crash.at = util::SimTime::seconds(parser.number("crash time"));
@@ -262,6 +270,10 @@ void save_fault_plan(const FaultPlan& plan, std::ostream& out) {
       out << ' ' << hang.clear_after.to_seconds();
     }
     out << '\n';
+  }
+  for (const SpotPreemptionEvent& preemption : plan.spot_preemptions) {
+    out << "spot-preemption " << preemption.machine << ' ' << preemption.at.to_seconds()
+        << ' ' << preemption.warning.to_seconds() << '\n';
   }
   for (const CoordinatorCrashEvent& crash : plan.coordinator_crashes) {
     out << "coordinator-crash " << crash.at.to_seconds() << '\n';

@@ -79,6 +79,17 @@ struct HungJobEvent {
   util::SimTime clear_after = util::SimTime::infinity();
 };
 
+/// A spot-instance reclaim (DESIGN.md §15): at `at` the provider issues its
+/// preemption warning for `machine`; the cluster drains the node through a
+/// clean snapshot migration on the lease/capacity path. `warning` later (the
+/// classic 2-minute grace) the node is taken, busy or not — anything still on
+/// it then fails crash-style. The reclaimed node never comes back.
+struct SpotPreemptionEvent {
+  MachineId machine = 0;
+  util::SimTime at = util::SimTime::zero();
+  util::SimTime warning = util::SimTime::seconds(120.0);
+};
+
 /// A scheduled *coordinator* death: at time `at` the whole scheduling process
 /// (StudyManager + every tenant cluster) is killed and restarted from its
 /// newest durable checkpoint (DESIGN.md §12). Unlike the node-level fault
@@ -101,6 +112,8 @@ struct FaultPlan {
   /// Gray (fail-slow) faults: deterministic, time-indexed, RNG-free.
   std::vector<NodeSlowdownEvent> slowdowns;
   std::vector<HungJobEvent> hangs;
+  /// Spot-instance reclaims: warning, drain, then permanent capacity loss.
+  std::vector<SpotPreemptionEvent> spot_preemptions;
   /// Coordinator kills handled by the recovery runtime, not the injector.
   /// Deliberately excluded from any(): scheduling a coordinator crash must
   /// not flip on MessageBus reliability or any node-level fault machinery,
@@ -149,6 +162,9 @@ struct FaultStats {
   std::uint64_t epochs_slowed = 0;  ///< epochs begun inside a slowdown window
   std::uint64_t epochs_stalled = 0; ///< epochs stretched by a finite hang
   std::uint64_t epochs_hung = 0;    ///< epochs that will never complete
+  // --- spot preemptions ----------------------------------------------------
+  std::uint64_t spot_warnings = 0;    ///< preemption warnings issued
+  std::uint64_t spot_preemptions = 0; ///< nodes actually taken back
 };
 
 class FaultInjector {
@@ -192,6 +208,8 @@ class FaultInjector {
   [[nodiscard]] util::RngState rng_state() const noexcept { return rng_.state(); }
 
   void note_crash() noexcept { ++stats_.node_crashes; }
+  void note_spot_warning() noexcept { ++stats_.spot_warnings; }
+  void note_spot_preemption() noexcept { ++stats_.spot_preemptions; }
   void note_slow_epoch() noexcept { ++stats_.epochs_slowed; }
   void note_stalled_epoch() noexcept { ++stats_.epochs_stalled; }
   void note_hung_epoch() noexcept { ++stats_.epochs_hung; }

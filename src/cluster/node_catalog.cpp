@@ -1,0 +1,117 @@
+#include "cluster/node_catalog.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/spec_parser.hpp"
+
+namespace hyperdrive::cluster {
+
+NodeCatalog NodeCatalog::uniform(std::size_t n) {
+  NodeCatalog catalog;
+  catalog.add(NodeClass{.name = "standard", .count = n});
+  return catalog;
+}
+
+void NodeCatalog::add(NodeClass node_class) {
+  if (node_class.name.empty()) {
+    throw std::invalid_argument("node class needs a name");
+  }
+  if (find(node_class.name)) {
+    throw std::invalid_argument("duplicate node class '" + node_class.name + "'");
+  }
+  if (node_class.speed_factor <= 0.0) {
+    throw std::invalid_argument("node class '" + node_class.name +
+                                "' needs a positive speed factor");
+  }
+  if (node_class.price_per_hour < 0.0) {
+    throw std::invalid_argument("node class '" + node_class.name +
+                                "' needs a non-negative price");
+  }
+  const std::size_t total = total_nodes() + node_class.count;
+  classes_.push_back(std::move(node_class));
+  block_begin_.push_back(total);
+}
+
+NodeClassId NodeCatalog::class_of(std::size_t m) const {
+  for (NodeClassId c = 0; c < block_begin_.size(); ++c) {
+    if (m < block_begin_[c]) return c;
+  }
+  throw std::out_of_range("machine id beyond catalog");
+}
+
+double NodeCatalog::speed(std::size_t m) const noexcept {
+  if (empty() || m >= total_nodes()) return 1.0;
+  for (NodeClassId c = 0; c < block_begin_.size(); ++c) {
+    if (m < block_begin_[c]) return classes_[c].speed_factor;
+  }
+  return 1.0;
+}
+
+bool NodeCatalog::heterogeneous() const noexcept {
+  for (const NodeClass& nc : classes_) {
+    if (nc.speed_factor != 1.0) return true;
+  }
+  return false;
+}
+
+CapacityView NodeCatalog::full() const {
+  std::vector<std::size_t> slots;
+  slots.reserve(classes_.size());
+  for (const NodeClass& nc : classes_) slots.push_back(nc.count);
+  return CapacityView(std::move(slots));
+}
+
+std::optional<NodeClassId> NodeCatalog::find(const std::string& name) const noexcept {
+  for (NodeClassId c = 0; c < classes_.size(); ++c) {
+    if (classes_[c].name == name) return c;
+  }
+  return std::nullopt;
+}
+
+// --- node-catalog file format ------------------------------------------------
+//
+// One `node-class <name> <count> <price/hr> <speed> [spot]` per line, '#'
+// starts a comment. See README.md "Node catalogs".
+
+NodeCatalog load_node_catalog(std::istream& in) {
+  NodeCatalog catalog;
+  util::SpecParser parser(in, "node catalog");
+  while (parser.next_line()) {
+    if (parser.directive() != "node-class") {
+      parser.fail("unknown directive '" + parser.directive() + "'");
+    }
+    NodeClass nc;
+    nc.name = parser.word("class name");
+    nc.count = static_cast<std::size_t>(parser.number("node count"));
+    nc.price_per_hour = parser.number("price per hour");
+    nc.speed_factor = parser.number("speed factor");
+    if (const auto flag = parser.optional_word()) {
+      if (*flag != "spot") parser.fail("unknown flag '" + *flag + "' (want spot)");
+      nc.spot = true;
+    }
+    parser.finish_line();
+    try {
+      catalog.add(std::move(nc));
+    } catch (const std::invalid_argument& e) {
+      parser.fail(e.what());
+    }
+  }
+  return catalog;
+}
+
+void save_node_catalog(const NodeCatalog& catalog, std::ostream& out) {
+  const auto precision = out.precision(17);
+  out << "# HyperDrive node catalog\n";
+  for (NodeClassId c = 0; c < catalog.classes(); ++c) {
+    const NodeClass& nc = catalog.at(c);
+    out << "node-class " << nc.name << ' ' << nc.count << ' ' << nc.price_per_hour
+        << ' ' << nc.speed_factor;
+    if (nc.spot) out << " spot";
+    out << '\n';
+  }
+  out.precision(precision);
+}
+
+}  // namespace hyperdrive::cluster

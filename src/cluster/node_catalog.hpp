@@ -1,0 +1,121 @@
+// NodeCatalog — typed node classes for elastic, cost-aware capacity.
+//
+// A catalog partitions the machine-id space into contiguous blocks, one per
+// node class. Class c owns ids [block_begin(c), block_end(c)); machine ids
+// stay dense so every existing per-machine structure (ResourceManager,
+// HealthMonitor, NodeAgent vectors) works unchanged. A CapacityView is the
+// typed replacement for the raw slot-count capacity API: a per-class slot
+// vector that collapses to a single integer for the homogeneous catalogs
+// every pre-elastic caller uses (golden-trace gated — see DESIGN.md §15).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hyperdrive::cluster {
+
+using NodeClassId = std::uint32_t;
+
+/// One priced node type: `count` machines billed at `price_per_hour`, each
+/// running workloads `speed_factor`× real-time (2.0 = twice as fast). Spot
+/// classes are reclaimable via SpotPreemptionEvent.
+struct NodeClass {
+  std::string name;
+  std::size_t count = 0;
+  double price_per_hour = 1.0;
+  double speed_factor = 1.0;
+  bool spot = false;
+
+  [[nodiscard]] bool operator==(const NodeClass&) const = default;
+};
+
+/// Per-class slot counts — the typed capacity currency of the lease
+/// protocol. Out-of-range classes read as 0, so views built against
+/// different catalog widths still compare meaningfully only when both
+/// sides are full-width (StudyManager always builds full-width views).
+class CapacityView {
+ public:
+  CapacityView() = default;
+  explicit CapacityView(std::vector<std::size_t> slots) : slots_(std::move(slots)) {}
+
+  /// The single-class view `{n}` — what every homogeneous caller means.
+  [[nodiscard]] static CapacityView single(std::size_t n) { return CapacityView({n}); }
+
+  [[nodiscard]] std::size_t of(NodeClassId c) const noexcept {
+    return c < slots_.size() ? slots_[c] : 0;
+  }
+  void set(NodeClassId c, std::size_t n) {
+    if (c >= slots_.size()) slots_.resize(c + 1, 0);
+    slots_[c] = n;
+  }
+  [[nodiscard]] std::size_t total() const noexcept {
+    std::size_t sum = 0;
+    for (const std::size_t s : slots_) sum += s;
+    return sum;
+  }
+  [[nodiscard]] std::size_t classes() const noexcept { return slots_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return slots_.empty(); }
+
+  [[nodiscard]] bool operator==(const CapacityView&) const = default;
+
+ private:
+  std::vector<std::size_t> slots_;
+};
+
+/// The fleet's class layout. Immutable once built; machine ids are assigned
+/// to classes in declaration order as contiguous blocks.
+class NodeCatalog {
+ public:
+  NodeCatalog() = default;
+
+  /// The implicit catalog of every pre-elastic run: one "standard" class of
+  /// `n` on-demand nodes at $1/hr and speed 1.0 (both exact no-ops in the
+  /// arithmetic, keeping homogeneous traces byte-identical).
+  [[nodiscard]] static NodeCatalog uniform(std::size_t n);
+
+  void add(NodeClass node_class);
+
+  [[nodiscard]] bool empty() const noexcept { return classes_.empty(); }
+  [[nodiscard]] std::size_t classes() const noexcept { return classes_.size(); }
+  [[nodiscard]] const NodeClass& at(NodeClassId c) const { return classes_.at(c); }
+  [[nodiscard]] std::size_t total_nodes() const noexcept {
+    return block_begin_.empty() ? 0 : block_begin_.back();
+  }
+
+  /// Class owning machine id `m` (m must be < total_nodes()).
+  [[nodiscard]] NodeClassId class_of(std::size_t m) const;
+  [[nodiscard]] std::size_t block_begin(NodeClassId c) const {
+    return c == 0 ? 0 : block_begin_.at(c - 1);
+  }
+  [[nodiscard]] std::size_t block_end(NodeClassId c) const { return block_begin_.at(c); }
+
+  /// Speed factor of machine `m`; 1.0 on an empty catalog so call sites need
+  /// no emptiness guard.
+  [[nodiscard]] double speed(std::size_t m) const noexcept;
+  /// True when any class runs at speed != 1.0 — gates the normalization
+  /// paths that must stay byte-identical for homogeneous fleets.
+  [[nodiscard]] bool heterogeneous() const noexcept;
+
+  /// Full-width view with every class at its configured count.
+  [[nodiscard]] CapacityView full() const;
+
+  [[nodiscard]] std::optional<NodeClassId> find(const std::string& name) const noexcept;
+
+  [[nodiscard]] bool operator==(const NodeCatalog&) const = default;
+
+ private:
+  std::vector<NodeClass> classes_;
+  std::vector<std::size_t> block_begin_;  // cumulative counts; back() == total
+};
+
+/// Text format, one `node-class <name> <count> <price/hr> <speed> [spot]`
+/// directive per line ('#' comments, shared util::SpecParser error style).
+/// Throws std::invalid_argument with "node catalog line N: ..." on bad input.
+NodeCatalog load_node_catalog(std::istream& in);
+void save_node_catalog(const NodeCatalog& catalog, std::ostream& out);
+
+}  // namespace hyperdrive::cluster

@@ -44,6 +44,9 @@ struct StudyRow {
   bool cancelled = false;
   std::size_t lease_grants = 0;
   std::size_t lease_reclaims = 0;
+  /// Dollars charged to this tenant: integral of held slots x their node
+  /// class's price over the study's lifetime (DESIGN.md §15).
+  double spend_usd = 0.0;
 };
 
 /// One suspend operation's overhead sample (§6.2.3 / Fig. 10).
@@ -131,6 +134,10 @@ struct ExperimentResult {
   /// Capacity handed to / reclaimed from this tenant by the study arbiter.
   std::size_t lease_grants = 0;
   std::size_t lease_reclaims = 0;
+  /// Dollars of capacity this run held: integral of held slots x node-class
+  /// price over time (DESIGN.md §15). Under the default uniform catalog
+  /// (price 1.0/hour) this equals slot_seconds in hours.
+  double spend_usd = 0.0;
   /// Per-study rows (populated only on a MultiStudyResult aggregate).
   std::vector<StudyRow> study_rows;
 };

@@ -17,10 +17,15 @@ namespace {
 // 'HDCK' — distinct from the job-snapshot magic 'HDSS' so a checkpoint file
 // fed to the snapshot decoder (or vice versa) reads as BadMagic, not garbage.
 constexpr std::uint32_t kMagic = 0x4844434BU;
-constexpr std::uint32_t kVersion = 1;
+// v2: elastic-capacity fields (node catalog text + budget, DESIGN.md §15).
+constexpr std::uint32_t kVersion = 2;
 
 void write_options(util::ByteWriter& w, const StudyManagerOptions& o) {
   w.u64(o.machines);
+  std::ostringstream catalog;
+  cluster::save_node_catalog(o.catalog, catalog);
+  w.str(catalog.str());
+  w.f64(o.budget_usd);
   w.u8(static_cast<std::uint8_t>(o.arbitration));
   w.f64(o.arbitration_interval.to_seconds());
   w.f64(o.max_time.to_seconds());
@@ -48,6 +53,15 @@ bool read_options(util::ByteReader& r, StudyManagerOptions& o) {
   double d = 0.0;
   if (!r.u64(u)) return false;
   o.machines = static_cast<std::size_t>(u);
+  std::string catalog_text;
+  if (!r.str(catalog_text)) return false;
+  try {
+    std::istringstream catalog(catalog_text);
+    o.catalog = cluster::load_node_catalog(catalog);
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  if (!r.f64(o.budget_usd)) return false;
   if (!r.u8(b)) return false;
   o.arbitration = static_cast<ArbitrationMode>(b);
   if (!r.f64(d)) return false;
@@ -140,7 +154,8 @@ CheckpointDecodeResult decode_checkpoint(const std::vector<std::uint8_t>& image)
   if (!read_options(r, cp.options)) return fail(SnapshotDecodeError::Truncated);
   if (cp.options.arbitration != ArbitrationMode::StaticPartition &&
       cp.options.arbitration != ArbitrationMode::FairShare &&
-      cp.options.arbitration != ArbitrationMode::DeadlineAware) {
+      cp.options.arbitration != ArbitrationMode::DeadlineAware &&
+      cp.options.arbitration != ArbitrationMode::Cost) {
     return fail(SnapshotDecodeError::Malformed);
   }
   std::uint32_t n_specs = 0;

@@ -88,6 +88,7 @@ std::string_view to_string(ArbitrationMode mode) noexcept {
     case ArbitrationMode::StaticPartition: return "static";
     case ArbitrationMode::FairShare: return "fair";
     case ArbitrationMode::DeadlineAware: return "deadline";
+    case ArbitrationMode::Cost: return "cost";
   }
   return "?";
 }
@@ -96,8 +97,9 @@ ArbitrationMode arbitration_from_string(const std::string& name) {
   if (name == "static") return ArbitrationMode::StaticPartition;
   if (name == "fair") return ArbitrationMode::FairShare;
   if (name == "deadline") return ArbitrationMode::DeadlineAware;
+  if (name == "cost") return ArbitrationMode::Cost;
   throw std::invalid_argument("unknown arbitration mode '" + name +
-                              "' (want static|fair|deadline)");
+                              "' (want static|fair|deadline|cost)");
 }
 
 struct StudyManager::Tenant {
@@ -123,7 +125,14 @@ struct StudyManager::Tenant {
 
 StudyManager::StudyManager(StudyManagerOptions options)
     : options_(options),
-      predictor_(make_default_predictor(util::derive_seed(options.seed, 0x57D1))) {}
+      catalog_(options_.catalog.empty()
+                   ? cluster::NodeCatalog::uniform(options_.machines)
+                   : options_.catalog),
+      predictor_(make_default_predictor(util::derive_seed(options.seed, 0x57D1))) {
+  // A non-empty catalog is authoritative for the pool size (mirrors
+  // ClusterOptions::catalog).
+  options_.machines = catalog_.total_nodes();
+}
 
 StudyManager::~StudyManager() = default;
 
@@ -310,6 +319,74 @@ void StudyManager::apply_deadline_boost(std::vector<std::size_t>& targets) {
   }
 }
 
+void StudyManager::apply_cost_caps(std::vector<std::size_t>& targets) {
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    Tenant& t = *tenants_[i];
+    if (t.cluster == nullptr || t.finished()) continue;
+    // Leasing more slots than the study has runnable jobs only pads the
+    // bill; the fair floor of one slot keeps even a broke tenant alive.
+    std::size_t cap = std::max<std::size_t>(1, t.cluster->active_jobs().size());
+    if (t.cluster->current_spend_usd() >= t.spec.budget_usd) cap = 1;
+    targets[i] = std::min(targets[i], cap);
+  }
+}
+
+std::vector<cluster::CapacityView> StudyManager::split_by_class(
+    const std::vector<std::size_t>& totals) const {
+  std::vector<cluster::CapacityView> views(tenants_.size());
+  std::vector<std::size_t> remaining(catalog_.classes(), 0);
+  for (cluster::NodeClassId c = 0; c < catalog_.classes(); ++c) {
+    remaining[c] = catalog_.at(c).count;
+  }
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    cluster::CapacityView& view = views[i];
+    // Full catalog width up front so views compare class-for-class against
+    // tenant lease targets.
+    view.set(catalog_.classes() - 1, 0);
+    std::size_t need = totals[i];
+    const auto take = [&](cluster::NodeClassId c) {
+      const std::size_t got = std::min(need, remaining[c]);
+      view.set(c, view.of(c) + got);
+      remaining[c] -= got;
+      need -= got;
+    };
+    if (!tenants_[i]->spec.node_class.empty()) {
+      if (const auto preferred = catalog_.find(tenants_[i]->spec.node_class)) {
+        take(*preferred);
+      }
+    }
+    for (cluster::NodeClassId c = 0; need > 0 && c < catalog_.classes(); ++c) take(c);
+  }
+  return views;
+}
+
+void StudyManager::reconcile_autoscaler(const std::vector<cluster::CapacityView>& views) {
+  if (autoscaler_ == nullptr) return;
+  cluster::CapacityView demand;
+  for (cluster::NodeClassId c = 0; c < catalog_.classes(); ++c) {
+    std::size_t want = 0;
+    for (const cluster::CapacityView& v : views) want += v.of(c);
+    demand.set(c, want);
+  }
+  for (const cluster::ScaleAction& action : autoscaler_->reconcile(demand, sim_->now())) {
+    const bool acquire = action.kind == cluster::ScaleAction::Kind::Acquire;
+    obs::TraceEvent event(acquire ? obs::EventKind::NodeAcquired
+                                  : obs::EventKind::NodeReleased);
+    event.time = sim_->now();
+    event.detail = "class=" + catalog_.at(action.node_class).name +
+                   " count=" + std::to_string(action.count);
+    options_.obs.emit(std::move(event));
+    if (options_.obs.metrics != nullptr) {
+      options_.obs.metrics
+          ->counter(acquire ? "elastic.nodes_acquired" : "elastic.nodes_released")
+          .add(action.count);
+    }
+  }
+  if (options_.obs.metrics != nullptr) {
+    options_.obs.metrics->gauge("elastic.spend_usd").set(autoscaler_->spend_usd());
+  }
+}
+
 void StudyManager::rebalance(bool count_tick) {
   auto targets = fair_targets();
   if (options_.arbitration == ArbitrationMode::DeadlineAware) {
@@ -330,7 +407,14 @@ void StudyManager::rebalance(bool count_tick) {
       boost_key_ = std::move(key);
       boost_targets_ = targets;
     }
+  } else if (options_.arbitration == ArbitrationMode::Cost) {
+    // Deadline urgency still wins slots; the caps then shave everything the
+    // studies cannot actually run, and the autoscaler releases the surplus.
+    // No freeze cache: the runnable-job counts the caps read move every tick.
+    apply_deadline_boost(targets);
+    apply_cost_caps(targets);
   }
+  const auto views = split_by_class(targets);
   bool changed = false;
   // Shrink first so reclaimed slots are already draining toward the pool
   // when the growing tenants' targets rise; pump() hands them over as they
@@ -339,27 +423,36 @@ void StudyManager::rebalance(bool count_tick) {
     for (std::size_t i = 0; i < tenants_.size(); ++i) {
       Tenant& t = *tenants_[i];
       if (t.cluster == nullptr) continue;
-      const bool shrink = targets[i] < t.cluster->lease_target();
+      const bool shrink = views[i].total() < t.cluster->lease_target().total();
       if ((pass == 0) != shrink) continue;
-      if (targets[i] != t.cluster->lease_target()) changed = true;
-      t.cluster->set_lease_target(targets[i]);
+      if (views[i] != t.cluster->lease_target()) changed = true;
+      t.cluster->set_lease_target(views[i]);
     }
   }
   if (changed && count_tick) ++rebalances_;
+  reconcile_autoscaler(views);
   pump();
 }
 
 void StudyManager::pump() {
-  std::size_t free = options_.machines - held_total();
-  bool progress = true;
-  while (free > 0 && progress) {
-    progress = false;
-    for (auto& t : tenants_) {
-      if (free == 0) break;
-      if (t->cluster == nullptr || t->finished()) continue;
-      if (t->cluster->grant_one()) {
-        --free;
-        progress = true;
+  for (cluster::NodeClassId c = 0; c < catalog_.classes(); ++c) {
+    std::size_t held = 0;
+    for (const auto& t : tenants_) {
+      if (t->cluster != nullptr) held += t->cluster->held_capacity().of(c);
+    }
+    const std::size_t acquired =
+        autoscaler_ != nullptr ? autoscaler_->acquired().of(c) : catalog_.at(c).count;
+    std::size_t free = acquired > held ? acquired - held : 0;
+    bool progress = true;
+    while (free > 0 && progress) {
+      progress = false;
+      for (auto& t : tenants_) {
+        if (free == 0) break;
+        if (t->cluster == nullptr || t->finished()) continue;
+        if (t->cluster->grant_one(c)) {
+          --free;
+          progress = true;
+        }
       }
     }
   }
@@ -385,14 +478,6 @@ void StudyManager::on_study_finished(std::size_t index) {
   }
 }
 
-std::size_t StudyManager::held_total() const {
-  std::size_t held = 0;
-  for (const auto& t : tenants_) {
-    if (t->cluster != nullptr) held += t->cluster->held_slots();
-  }
-  return held;
-}
-
 bool StudyManager::all_finished() const {
   return std::all_of(tenants_.begin(), tenants_.end(),
                      [](const auto& t) { return t->finished(); });
@@ -407,12 +492,20 @@ MultiStudyResult StudyManager::run() {
   ran_ = true;
 
   sim_ = std::make_unique<sim::Simulation>();
-  const auto targets = fair_targets();
+  // The whole fleet is acquired up front (the admission split hands it out);
+  // cost mode's arbitration ticks release what the studies cannot use.
+  cluster::Autoscaler::Options scaler_options;
+  scaler_options.catalog = catalog_;
+  scaler_options.budget_usd = options_.budget_usd;
+  autoscaler_ =
+      std::make_unique<cluster::Autoscaler>(scaler_options, catalog_.full());
+  const auto views = split_by_class(fair_targets());
   for (std::size_t i = 0; i < tenants_.size(); ++i) {
     Tenant& t = *tenants_[i];
     cluster::ClusterOptions co;
     co.machines = options_.machines;
-    co.initial_lease = targets[i];
+    co.catalog = catalog_;
+    co.initial_lease = views[i];
     co.max_experiment_time = t.spec.tmax;
     co.stop_on_target = true;
     co.seed = t.spec.seed;
@@ -460,7 +553,10 @@ MultiStudyResult StudyManager::run() {
         },
         /*priority=*/10);
   }
-  if (tenants_.size() > 1 && options_.arbitration != ArbitrationMode::StaticPartition) {
+  // Cost mode ticks even for a lone study: the caps that release idle
+  // capacity are worth running with nobody to arbitrate against.
+  if ((tenants_.size() > 1 || options_.arbitration == ArbitrationMode::Cost) &&
+      options_.arbitration != ArbitrationMode::StaticPartition) {
     const std::function<void()> tick = [this, &tick] {
       arbitration_armed_ = false;
       if (all_finished()) return;
@@ -557,6 +653,13 @@ MultiStudyResult StudyManager::run() {
     }
     result.studies.push_back(std::move(outcome));
   }
+  // Close the bill at the makespan: capacity still acquired when the last
+  // study finishes is billed to that instant.
+  autoscaler_->advance(result.total_time);
+  result.spend_usd = autoscaler_->spend_usd();
+  if (options_.obs.metrics != nullptr) {
+    options_.obs.metrics->gauge("elastic.spend_usd").set(result.spend_usd);
+  }
   return result;
 }
 
@@ -584,6 +687,16 @@ std::vector<std::uint8_t> StudyManager::capture() const {
     w.str(t->spec.name);
     w.u8(static_cast<std::uint8_t>((t->cancelled ? 1 : 0) | (t->urgent_latched ? 2 : 0)));
     t->cluster->encode_state(w);
+  }
+  // Elastic capacity state (DESIGN.md §15): a resumed replay must re-acquire
+  // and re-bill identically.
+  if (autoscaler_ != nullptr) {
+    const cluster::CapacityView& acquired = autoscaler_->acquired();
+    w.u32(static_cast<std::uint32_t>(acquired.classes()));
+    for (cluster::NodeClassId c = 0; c < acquired.classes(); ++c) {
+      w.u64(acquired.of(c));
+    }
+    w.f64(autoscaler_->spend_usd());
   }
   return std::move(w.bytes());
 }
@@ -621,6 +734,7 @@ ExperimentResult MultiStudyResult::aggregate() const {
     agg.slot_seconds += r.slot_seconds;
     agg.lease_grants += r.lease_grants;
     agg.lease_reclaims += r.lease_reclaims;
+    agg.spend_usd += r.spend_usd;
     agg.job_stats.insert(agg.job_stats.end(), r.job_stats.begin(), r.job_stats.end());
     agg.suspend_samples.insert(agg.suspend_samples.end(), r.suspend_samples.begin(),
                                r.suspend_samples.end());
@@ -637,6 +751,7 @@ ExperimentResult MultiStudyResult::aggregate() const {
     row.cancelled = s.cancelled;
     row.lease_grants = r.lease_grants;
     row.lease_reclaims = r.lease_reclaims;
+    row.spend_usd = r.spend_usd;
     agg.study_rows.push_back(std::move(row));
   }
   agg.reached_target = all_reached;
@@ -650,7 +765,8 @@ void MultiStudyResult::save_csv(std::ostream& out) const {
       "weight",        "seed",           "reached_target", "time_to_target_min",
       "total_time_min", "best_perf",     "deadline_min",  "deadline_met",
       "cancelled",     "slot_hours",     "lease_grants",  "lease_reclaims",
-      "jobs_started",  "suspends",       "terminations",  "jobs_migrated"};
+      "jobs_started",  "suspends",       "terminations",  "jobs_migrated",
+      "spend_usd"};
   util::CsvWriter writer(out, header);
   for (const StudyOutcome& s : studies) {
     const ExperimentResult& r = s.result;
@@ -676,6 +792,7 @@ void MultiStudyResult::save_csv(std::ostream& out) const {
     fields.push_back(fmt(static_cast<std::uint64_t>(r.suspends)));
     fields.push_back(fmt(static_cast<std::uint64_t>(r.terminations)));
     fields.push_back(fmt(static_cast<std::uint64_t>(r.recovery.jobs_migrated)));
+    fields.push_back(fmt(r.spend_usd));
     writer.write_row(fields);
   }
 }

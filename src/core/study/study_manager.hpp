@@ -30,11 +30,13 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <limits>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "cluster/autoscaler.hpp"
 #include "cluster/cluster.hpp"
 #include "core/experiment_result.hpp"
 #include "core/sap.hpp"
@@ -51,10 +53,16 @@ enum class ArbitrationMode {
   StaticPartition,  ///< weighted split at admission, never rebalanced
   FairShare,        ///< weighted fair share over unfinished studies
   DeadlineAware,    ///< fair share + time-to-target urgency boosting
+  /// DeadlineAware caps plus elastic release (DESIGN.md §15): each tenant's
+  /// target is clamped to its runnable-job count (and to one slot once it
+  /// exhausts its spec budget), and the surplus capacity is handed back to
+  /// the budget autoscaler instead of idling on the bill.
+  Cost,
 };
 
 [[nodiscard]] std::string_view to_string(ArbitrationMode mode) noexcept;
-/// Parses "static" | "fair" | "deadline"; throws std::invalid_argument.
+/// Parses "static" | "fair" | "deadline" | "cost"; throws
+/// std::invalid_argument.
 [[nodiscard]] ArbitrationMode arbitration_from_string(const std::string& name);
 
 /// One captured coordinator state (DESIGN.md §12): everything the recovery
@@ -78,6 +86,14 @@ enum class ManagerExit {
 struct StudyManagerOptions {
   /// Total machine slots shared by all studies.
   std::size_t machines = 8;
+  /// Typed fleet layout (DESIGN.md §15). Empty (default) means one implicit
+  /// "standard" class of `machines` nodes at price 1.0 / speed 1.0 — the
+  /// pre-elastic behavior, byte-identical. Non-empty overrides `machines`
+  /// with the catalog's total node count.
+  cluster::NodeCatalog catalog;
+  /// Hard autoscaler spend ceiling for the whole run ($); once the projected
+  /// bill reaches it no further capacity is acquired (infinite = uncapped).
+  double budget_usd = std::numeric_limits<double>::infinity();
   ArbitrationMode arbitration = ArbitrationMode::FairShare;
   /// Cadence of the rebalancing tick (FairShare / DeadlineAware only).
   util::SimTime arbitration_interval = util::SimTime::minutes(10);
@@ -132,6 +148,10 @@ struct MultiStudyResult {
   util::SimTime total_time = util::SimTime::zero();
   /// Arbitration ticks that actually changed at least one lease target.
   std::size_t rebalances = 0;
+  /// The cloud bill ($): the autoscaler's integral of acquired nodes × class
+  /// price over the run — includes acquired-but-idle capacity, unlike the
+  /// per-study chargeback in StudyRow::spend_usd (DESIGN.md §15).
+  double spend_usd = 0.0;
   /// Merged deterministic event log (empty unless record_event_log).
   std::vector<std::string> event_log;
 
@@ -190,20 +210,36 @@ class StudyManager {
   /// tenant (cleared when the study finishes or its deadline passes), so the
   /// boost cannot oscillate with a noisy estimate.
   void apply_deadline_boost(std::vector<std::size_t>& targets);
+  /// Cost-mode clamp: no tenant is leased more slots than it has runnable
+  /// jobs, and a tenant past its spec budget keeps exactly one slot.
+  void apply_cost_caps(std::vector<std::size_t>& targets);
+  /// Water-fill per-tenant slot totals onto catalog classes: classes in id
+  /// order, tenants in admission order, each tenant's preferred
+  /// spec.node_class served first. Views come back at full catalog width.
+  [[nodiscard]] std::vector<cluster::CapacityView> split_by_class(
+      const std::vector<std::size_t>& totals) const;
+  /// Drive the autoscaler toward the aggregate demand of `views`, emitting
+  /// NodeAcquired/NodeReleased events and elastic.* metrics for each action.
+  void reconcile_autoscaler(const std::vector<cluster::CapacityView>& views);
   /// Push new lease targets to tenants (shrink first, then grow) and pump.
   void rebalance(bool count_tick);
-  /// Hand free pool slots to tenants below their lease target (round-robin).
+  /// Hand free acquired slots to tenants below their lease target
+  /// (round-robin per node class).
   void pump();
   void on_study_finished(std::size_t index);
-  [[nodiscard]] std::size_t held_total() const;
   [[nodiscard]] bool all_finished() const;
   /// Serialize the full resumable coordinator state (manager bookkeeping +
   /// every tenant's cluster state) into the opaque checkpoint fingerprint.
   [[nodiscard]] std::vector<std::uint8_t> capture() const;
 
   StudyManagerOptions options_;
+  /// The effective fleet layout: options_.catalog, or the implicit uniform
+  /// single-class catalog when that was empty. Never empty.
+  cluster::NodeCatalog catalog_;
   std::vector<std::unique_ptr<Tenant>> tenants_;
   std::shared_ptr<const curve::CurvePredictor> predictor_;
+  /// Budget-capped capacity acquisition (created in run(); DESIGN.md §15).
+  std::unique_ptr<cluster::Autoscaler> autoscaler_;
   std::unique_ptr<sim::Simulation> sim_;
   std::vector<std::string> event_log_;
   sim::EventHandle arbitration_event_ = 0;

@@ -53,6 +53,11 @@ StudySpec load_study_spec(std::istream& in) {
       spec.tmax = util::SimTime::seconds(parser.number("tmax"));
     } else if (directive == "cancel-at") {
       spec.cancel_at = util::SimTime::seconds(parser.number("cancel time"));
+    } else if (directive == "budget") {
+      spec.budget_usd = parser.number("budget");
+      if (!(spec.budget_usd > 0.0)) parser.fail("budget must be positive");
+    } else if (directive == "node-class") {
+      spec.node_class = parser.word("node class name");
     } else {
       parser.fail("unknown directive '" + directive + "'");
     }
@@ -88,6 +93,12 @@ void save_study_spec(const StudySpec& spec, std::ostream& out) {
     util::write_spec_time(out, spec.cancel_at);
     out << '\n';
   }
+  // New elastic fields (DESIGN.md §15) are omitted at their defaults, so a
+  // pre-elastic spec round-trips byte-identically.
+  if (spec.budget_usd != std::numeric_limits<double>::infinity()) {
+    out << "budget " << spec.budget_usd << '\n';
+  }
+  if (!spec.node_class.empty()) out << "node-class " << spec.node_class << '\n';
   out.precision(precision);
 }
 

@@ -20,6 +20,8 @@
 //   seed 7
 //   tmax 172800               # per-study Tmax in seconds (default 48 h)
 //   cancel-at inf             # tenant cancelled at this time (default never)
+//   budget 120                # cost-mode spend cap in $ (default unbounded)
+//   node-class gpu-spot       # preferred catalog class (default none)
 #pragma once
 
 #include <cmath>
@@ -55,6 +57,12 @@ struct StudySpec {
   /// When finite, the StudyManager cancels this study at this time (models a
   /// tenant walking away; its capacity drains back to the pool).
   util::SimTime cancel_at = util::SimTime::infinity();
+  /// Cost-arbitration spend cap ($, DESIGN.md §15): once the tenant's
+  /// chargeback reaches it, its lease is pinned to one slot. Infinity = none.
+  double budget_usd = std::numeric_limits<double>::infinity();
+  /// Preferred NodeCatalog class; the arbiter's water-fill serves this class
+  /// to the tenant first. Empty = no preference (class-id order).
+  std::string node_class;
 
   [[nodiscard]] bool has_target_override() const noexcept { return !std::isnan(target); }
   [[nodiscard]] bool has_deadline() const noexcept {

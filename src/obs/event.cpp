@@ -36,6 +36,10 @@ std::string_view to_string(EventKind kind) noexcept {
     case EventKind::LeaseMigrate: return "lease-migrate";
     case EventKind::StudyTimeout: return "study-timeout";
     case EventKind::StudyCancelled: return "study-cancelled";
+    case EventKind::SpotWarning: return "spot-warning";
+    case EventKind::SpotPreempted: return "spot-preempted";
+    case EventKind::NodeAcquired: return "node-acquired";
+    case EventKind::NodeReleased: return "node-released";
     case EventKind::PolicyPromote: return "promote";
     case EventKind::PredictorFit: return "predictor-fit";
     case EventKind::PredictorCacheHit: return "predictor-cache-hit";
@@ -118,6 +122,14 @@ std::string legacy_text(const TraceEvent& e) {
       return "study-timeout";
     case EventKind::StudyCancelled:
       return "study-cancelled";
+    case EventKind::SpotWarning:
+      return "spot-warning" + machine();
+    case EventKind::SpotPreempted:
+      return "spot-preempted" + machine();
+    case EventKind::NodeAcquired:
+      return "node-acquired" + (e.detail.empty() ? "" : ' ' + e.detail);
+    case EventKind::NodeReleased:
+      return "node-released" + (e.detail.empty() ? "" : ' ' + e.detail);
     case EventKind::PolicyPromote:
       return "promote" + job();
     case EventKind::PredictorFit:

@@ -54,6 +54,11 @@ enum class EventKind {
   LeaseMigrate,    ///< "lease-migrate job=J machine=M"
   StudyTimeout,    ///< "study-timeout"
   StudyCancelled,  ///< "study-cancelled"
+  // --- elastic capacity (DESIGN.md §15) -------------------------------------
+  SpotWarning,    ///< "spot-warning machine=M"
+  SpotPreempted,  ///< "spot-preempted machine=M"
+  NodeAcquired,   ///< "node-acquired <detail>" (detail="class=<name> count=N")
+  NodeReleased,   ///< "node-released <detail>" (detail="class=<name> count=N")
   // --- structured-only events (no legacy event-log line) -------------------
   PolicyPromote,      ///< job entered a policy's promising set (POP §3.2)
   PredictorFit,       ///< a learning-curve posterior was computed (cache miss)

@@ -170,6 +170,16 @@ SubmitOutcome StudyService::submit(const std::string& tenant, const std::string&
     options_.obs.emit(obs::TraceEvent(obs::EventKind::StudyRejected).with_detail(out.reason));
     return out;
   }
+  // Tenant allowlist gate (memory-only, like every rejection: the journal
+  // never records unauthorized traffic).
+  if (!options_.allowed_tenants.empty() &&
+      std::find(options_.allowed_tenants.begin(), options_.allowed_tenants.end(),
+                tenant) == options_.allowed_tenants.end()) {
+    out.reason = "unknown-tenant: " + tenant;
+    bump("svc.rejected");
+    options_.obs.emit(obs::TraceEvent(obs::EventKind::StudyRejected).with_detail(out.reason));
+    return out;
+  }
   const std::uint64_t id = next_id_++;
   options_.obs.emit(obs::TraceEvent(obs::EventKind::StudySubmitted)
                         .with_job(static_cast<std::int64_t>(id))

@@ -48,6 +48,10 @@ struct ServiceOptions {
   std::size_t machines = 4;
   /// Base seed for every study manager (mirrors the batch --seed).
   std::uint64_t seed = 1;
+  /// Tenant allowlist (--tenants). Empty (default) admits any tenant name;
+  /// non-empty rejects unlisted tenants with the pinned reason
+  /// "unknown-tenant: <tenant>" before admission control sees them.
+  std::vector<std::string> allowed_tenants;
   AdmissionOptions admission;
   /// Durable journal root; empty = memory-only (no resume, tests only).
   std::string state_dir;

@@ -122,14 +122,14 @@ TEST(TenantLeaseTest, SameTickReclaimAndRegrant) {
   // Jobs occupy machines 0 and 1; 2 and 3 idle online.
   EXPECT_EQ(cluster.held_slots(), 4u);
 
-  cluster.set_lease_target(2);  // idle slots park immediately
+  cluster.set_lease_target(CapacityView::single(2));  // idle slots park immediately
   EXPECT_EQ(cluster.held_slots(), 2u);
   EXPECT_EQ(released, 2u);
 
-  cluster.set_lease_target(3);  // same-tick re-grant of a just-parked slot
-  EXPECT_TRUE(cluster.grant_one());
+  cluster.set_lease_target(CapacityView::single(3));  // same-tick re-grant of a just-parked slot
+  EXPECT_TRUE(cluster.grant_one(0));
   EXPECT_EQ(cluster.held_slots(), 3u);
-  EXPECT_FALSE(cluster.grant_one());  // at target
+  EXPECT_FALSE(cluster.grant_one(0));  // at target
   EXPECT_TRUE(log_contains(cluster, "lease-park machine=3 reason=reclaim"));
   EXPECT_TRUE(log_contains(cluster, "lease-grant machine=2"));
 
@@ -155,7 +155,7 @@ TEST(TenantLeaseTest, MidEpochReclaimMigratesInsteadOfKilling) {
   cluster.start(policy);
   sim.run_until(SimTime::seconds(90));  // every job is mid epoch 2
 
-  cluster.set_lease_target(2);
+  cluster.set_lease_target(CapacityView::single(2));
   // All four machines are busy: nothing parks synchronously; the two
   // reclaimed slots drain via clean suspend.
   EXPECT_EQ(cluster.held_slots(), 4u);
@@ -192,22 +192,22 @@ TEST(TenantLeaseTest, ReclaimAbsorbsCrashedSlotUntilRestartHealsIt) {
   // Machine 0 is a corpse but still charged to the tenant's lease.
   EXPECT_EQ(cluster.held_slots(), 4u);
 
-  cluster.set_lease_target(3);  // parks the idle online slot
+  cluster.set_lease_target(CapacityView::single(3));  // parks the idle online slot
   EXPECT_EQ(cluster.held_slots(), 3u);
-  cluster.set_lease_target(2);  // no idle slot left: absorbs the corpse
+  cluster.set_lease_target(CapacityView::single(2));  // no idle slot left: absorbs the corpse
   EXPECT_EQ(cluster.held_slots(), 2u);
   EXPECT_TRUE(log_contains(cluster, "lease-park machine=0 reason=reclaim-offline"));
 
   // The absorbed slot is sick: raising the target can only re-grant the
   // healthy parked slot.
-  cluster.set_lease_target(4);
-  EXPECT_TRUE(cluster.grant_one());
+  cluster.set_lease_target(CapacityView::single(4));
+  EXPECT_TRUE(cluster.grant_one(0));
   EXPECT_EQ(cluster.held_slots(), 3u);
-  EXPECT_FALSE(cluster.grant_one());  // only the sick slot remains
+  EXPECT_FALSE(cluster.grant_one(0));  // only the sick slot remains
 
   sim.run_until(SimTime::seconds(350));  // restart heals the parked corpse
   EXPECT_TRUE(log_contains(cluster, "restart machine=0 parked"));
-  EXPECT_TRUE(cluster.grant_one());
+  EXPECT_TRUE(cluster.grant_one(0));
   EXPECT_EQ(cluster.held_slots(), 4u);
 
   sim.run_until(SimTime::hours(10));
@@ -242,7 +242,7 @@ TEST(TenantLeaseTest, ReclaimFromQuarantinedNodeHealsThroughProbation) {
 
   // Reclaim while machine 0 sits quarantined: the sick slot is absorbed in
   // place and the tenant keeps only its healthy machine.
-  cluster.set_lease_target(1);
+  cluster.set_lease_target(CapacityView::single(1));
   EXPECT_EQ(cluster.held_slots(), 1u);
   EXPECT_TRUE(log_contains(cluster, "reason=reclaim-offline") ||
               log_contains(cluster, "reason=reclaim-quarantine"));

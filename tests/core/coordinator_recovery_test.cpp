@@ -622,5 +622,48 @@ TEST(CoordinatorRecoveryTest, CheckpointWrittenRidesTheDeterministicTimeline) {
   EXPECT_EQ(smooth, crashed);
 }
 
+// --- elastic capacity through the checkpoint frame (DESIGN.md §15) -----------
+
+StudyManagerOptions elastic_mix_options(std::uint64_t seed) {
+  StudyManagerOptions options = mix_options(seed);
+  cluster::NodeCatalog catalog;
+  catalog.add({"standard", 3, 1.0, 1.0, false});
+  catalog.add({"cheap-spot", 2, 0.4, 1.0, true});
+  options.catalog = catalog;
+  options.arbitration = ArbitrationMode::Cost;
+  cluster::SpotPreemptionEvent spot;  // reclaim a spot node mid-run
+  spot.machine = 4;
+  spot.at = SimTime::minutes(15);
+  options.fault_plan.spot_preemptions.push_back(spot);
+  return options;
+}
+
+TEST(CoordinatorRecoveryTest, ElasticAutoscaledRunResumesByteIdentically) {
+  // The headline §15 durability claim: a live autoscaler (acquired capacity +
+  // spend integral), a typed catalog, cost arbitration and a spot reclaim all
+  // ride the checkpoint frame — crash + resume reproduces the uninterrupted
+  // run byte for byte, including the final cloud bill.
+  for (std::uint64_t seed = 3; seed <= 5; ++seed) {
+    StudyManager reference(elastic_mix_options(seed));
+    for (const StudySpec& spec : mix_specs(seed)) {
+      reference.add_study(spec, trace_for(spec.name), default_policy_factory());
+    }
+    const MultiStudyResult ref = reference.run();
+    ASSERT_GT(ref.spend_usd, 0.0) << "seed " << seed;
+
+    StudyManagerOptions options = elastic_mix_options(seed);
+    cluster::CoordinatorCrashEvent crash;
+    crash.at = SimTime::seconds(ref.total_time.to_seconds() * 0.5);
+    options.fault_plan.coordinator_crashes.push_back(crash);
+    CheckpointOptions ckpt;
+    ckpt.every = SimTime::minutes(5);
+    const auto run = run_recoverable_multi_study(mix_specs(seed), options, ckpt,
+                                                 fixture_admit());
+    EXPECT_EQ(run.recovery.coordinator_crashes, 1u) << "seed " << seed;
+    expect_identical(ref, run.result);
+    EXPECT_EQ(ref.spend_usd, run.result.spend_usd) << "seed " << seed;
+  }
+}
+
 }  // namespace
 }  // namespace hyperdrive::core

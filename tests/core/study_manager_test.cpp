@@ -280,6 +280,115 @@ TEST(StudyManagerTest, DeadlineAwareModeRunsAndFlagsDeadlines) {
   EXPECT_FALSE(agg.study_rows[1].had_deadline);
 }
 
+// --- elastic cost-aware capacity (DESIGN.md §15) -----------------------------
+
+MultiStudyResult run_elastic_mix(std::uint64_t seed) {
+  StudyManagerOptions options;
+  cluster::NodeCatalog catalog;
+  catalog.add({"standard", 3, 1.0, 1.0, false});
+  catalog.add({"burst", 3, 2.5, 1.5, true});
+  options.catalog = catalog;
+  options.arbitration = ArbitrationMode::Cost;
+  options.arbitration_interval = SimTime::minutes(5);
+  options.record_event_log = true;
+  options.seed = seed;
+  cluster::SpotPreemptionEvent spot;  // reclaim a burst node mid-run
+  spot.machine = 4;
+  spot.at = SimTime::minutes(20);
+  options.fault_plan.spot_preemptions.push_back(spot);
+  StudyManager manager(options);
+  auto urgent = make_spec("urgent", seed ^ 11);
+  urgent.deadline = SimTime::hours(2);
+  urgent.node_class = "burst";
+  manager.add_study(urgent, curved_trace(5, 10, 0.9, 3.0, 0.85),
+                    default_policy_factory());
+  auto thrifty = make_spec("thrifty", seed ^ 22);
+  thrifty.budget_usd = 4.0;
+  manager.add_study(thrifty, curved_trace(6, 8, 0.6, 4.0, 0.99),
+                    default_policy_factory());
+  return manager.run();
+}
+
+TEST(ElasticStudyManagerTest, AutoscaledSpotRunsAreDeterministicAcrossThirtySeeds) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const auto a = run_elastic_mix(seed);
+    const auto b = run_elastic_mix(seed);
+    ASSERT_FALSE(a.event_log.empty()) << "seed " << seed;
+    ASSERT_EQ(a.event_log.size(), b.event_log.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < a.event_log.size(); ++i) {
+      ASSERT_EQ(a.event_log[i], b.event_log[i]) << "seed " << seed << " line " << i;
+    }
+    ASSERT_EQ(csv_bytes(a), csv_bytes(b)) << "seed " << seed;
+    ASSERT_EQ(a.spend_usd, b.spend_usd) << "seed " << seed;
+    ASSERT_EQ(a.total_time, b.total_time) << "seed " << seed;
+  }
+}
+
+TEST(ElasticStudyManagerTest, CostModeSpendsLessThanFairWithoutMissingDeadlines) {
+  const auto run_mode = [](ArbitrationMode mode) {
+    StudyManagerOptions options;
+    cluster::NodeCatalog catalog;
+    catalog.add({"standard", 4, 1.0, 1.0, false});
+    catalog.add({"premium", 4, 3.0, 1.0, false});
+    options.catalog = catalog;
+    options.arbitration = mode;
+    options.arbitration_interval = SimTime::minutes(5);
+    StudyManager manager(options);
+    auto urgent = make_spec("urgent", 8);
+    urgent.deadline = SimTime::hours(3);
+    manager.add_study(urgent, curved_trace(3, 10, 0.9, 3.0, 0.85),
+                      default_policy_factory());
+    manager.add_study(make_spec("background", 9), curved_trace(3, 8, 0.9, 2.0, 0.75),
+                      default_policy_factory());
+    return manager.run();
+  };
+
+  const auto fair = run_mode(ArbitrationMode::FairShare);
+  const auto cost = run_mode(ArbitrationMode::Cost);
+  ASSERT_EQ(fair.studies.size(), 2u);
+  ASSERT_EQ(cost.studies.size(), 2u);
+  // Six jobs can never use eight nodes: cost mode caps each tenant to its
+  // active-job count and the autoscaler sheds the surplus, so the bill drops
+  // while the work still completes.
+  EXPECT_GT(fair.spend_usd, 0.0);
+  EXPECT_LT(cost.spend_usd, fair.spend_usd);
+  EXPECT_GE(cost.studies[0].deadline_met, fair.studies[0].deadline_met);
+  for (const auto& study : cost.studies) {
+    EXPECT_EQ(study.result.jobs_started, 3u);
+  }
+  // The per-tenant chargeback ledger also shrinks and stays consistent.
+  EXPECT_GT(cost.studies[0].result.spend_usd, 0.0);
+  EXPECT_LE(cost.studies[0].result.spend_usd + cost.studies[1].result.spend_usd,
+            fair.studies[0].result.spend_usd + fair.studies[1].result.spend_usd);
+}
+
+TEST(ElasticStudyManagerTest, TenantBudgetCapThrottlesToOneSlot) {
+  const auto run_with_budget = [](double budget) {
+    StudyManagerOptions options;
+    options.machines = 4;
+    options.arbitration = ArbitrationMode::Cost;
+    options.arbitration_interval = SimTime::minutes(5);
+    StudyManager manager(options);
+    auto spec = make_spec("capped", 3);
+    spec.budget_usd = budget;
+    manager.add_study(spec, curved_trace(4, 8, 0.9, 2.0, 0.99),
+                      default_policy_factory());
+    return manager.run();
+  };
+
+  const auto roomy = run_with_budget(1e9);
+  const auto tight = run_with_budget(0.05);
+  ASSERT_EQ(roomy.studies.size(), 1u);
+  ASSERT_EQ(tight.studies.size(), 1u);
+  // Once the tenant's spend crosses its budget the arbiter clamps it to one
+  // slot: the run finishes (no starvation) but holds less capacity for
+  // longer, so the chargeback grows slower per unit time.
+  EXPECT_EQ(tight.studies[0].result.jobs_started, 4u);
+  EXPECT_GT(tight.studies[0].result.total_time, roomy.studies[0].result.total_time);
+  EXPECT_GE(tight.studies[0].result.lease_reclaims,
+            roomy.studies[0].result.lease_reclaims);
+}
+
 TEST(StudyManagerTest, RejectsBadConfigurations) {
   StudyManagerOptions options;
   options.machines = 1;
@@ -299,7 +408,9 @@ TEST(StudyManagerTest, RejectsBadConfigurations) {
 
   EXPECT_THROW((void)arbitration_from_string("roundrobin"), std::invalid_argument);
   EXPECT_EQ(arbitration_from_string("deadline"), ArbitrationMode::DeadlineAware);
+  EXPECT_EQ(arbitration_from_string("cost"), ArbitrationMode::Cost);
   EXPECT_EQ(to_string(ArbitrationMode::StaticPartition), "static");
+  EXPECT_EQ(to_string(ArbitrationMode::Cost), "cost");
 }
 
 }  // namespace

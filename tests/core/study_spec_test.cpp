@@ -56,6 +56,8 @@ void expect_equal(const StudySpec& a, const StudySpec& b) {
   EXPECT_EQ(a.seed, b.seed);
   EXPECT_EQ(a.tmax, b.tmax);
   EXPECT_EQ(a.cancel_at, b.cancel_at);
+  EXPECT_EQ(a.budget_usd, b.budget_usd);
+  EXPECT_EQ(a.node_class, b.node_class);
 }
 
 TEST(StudySpecIoTest, SaveLoadIsAFixedPoint) {
@@ -80,6 +82,32 @@ TEST(StudySpecIoTest, DefaultsSurviveTheTrip) {
   EXPECT_EQ(text.find("deadline"), std::string::npos);
   EXPECT_EQ(text.find("weight"), std::string::npos);
   EXPECT_EQ(text.find("cancel-at"), std::string::npos);
+  EXPECT_EQ(text.find("budget"), std::string::npos);
+  EXPECT_EQ(text.find("node-class"), std::string::npos);
+}
+
+TEST(StudySpecIoTest, ElasticDirectivesRoundTrip) {
+  // budget/node-class (DESIGN.md §15) survive the trip; a spec without them
+  // saves byte-identically to the pre-elastic format (checked above).
+  StudySpec spec = full_spec();
+  spec.budget_usd = 120.5;
+  spec.node_class = "gpu-spot";
+  const std::string text = save(spec);
+  EXPECT_NE(text.find("budget 120.5\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("node-class gpu-spot\n"), std::string::npos) << text;
+  const StudySpec loaded = load(text);
+  expect_equal(spec, loaded);
+  EXPECT_EQ(save(loaded), text);
+
+  EXPECT_THROW(load("study a\nbudget 0\n"), std::invalid_argument);
+  EXPECT_THROW(load("study a\nbudget -3\n"), std::invalid_argument);
+  EXPECT_THROW(load("study a\nbudget lots\n"), std::invalid_argument);
+  EXPECT_THROW(load("study a\nnode-class\n"), std::invalid_argument);
+  try {
+    load("study a\nbudget 0\n");
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
 }
 
 TEST(StudySpecIoTest, ParsesCommentsBlanksAndInf) {

@@ -152,6 +152,25 @@ TEST(SvcServerTest, RejectionAndCancelPropagateOverTheWire) {
   EXPECT_EQ(again.text, "already cancelled");
 }
 
+TEST(SvcServerTest, TenantAllowlistRejectsUnknownTenantsOverTheWire) {
+  ServiceOptions sopts = small_service(fresh_dir("svc_server_allowlist").string());
+  sopts.allowed_tenants = {"alice", "carol"};
+  TestServer ts(std::move(sopts));
+  Client client = ts.client();
+
+  const Message ok = client.submit("alice", kSpecAlpha);
+  ASSERT_EQ(ok.type, MsgType::Submitted);
+  const Message rejected = client.submit("bob", kSpecAlpha);
+  ASSERT_EQ(rejected.type, MsgType::Rejected);
+  EXPECT_EQ(rejected.text, "unknown-tenant: bob");
+  // The reject is memory-only: no id was allocated, no journal entry exists.
+  const Message listed = client.list();
+  ASSERT_EQ(listed.type, MsgType::ListResult);
+  ASSERT_EQ(listed.studies.size(), 1u);
+  EXPECT_EQ(listed.studies[0].tenant, "alice");
+  ts.service.wait_idle();
+}
+
 TEST(SvcServerTest, MetricsRequestReturnsPinnedSnapshot) {
   obs::MetricsRegistry registry;
   preregister_service_metrics(registry);
